@@ -1,0 +1,40 @@
+"""Ablation A3 — block size.
+
+Bigger blocks raise fan-out (fewer, wider nodes) which shrinks tree
+height but *grows* the per-boundary-node D_S term ``(f_vb - 1)`` in
+formula (9).  The sweep exposes the trade-off the paper's 4 KiB default
+sits in."""
+
+from repro.analysis.communication import envelope_digests, vbtree_comm_cost
+from repro.analysis.params import Parameters
+from repro.bench.series import emit
+
+BLOCK_SIZES = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+
+def test_blocksize_sweep(benchmark):
+    rows = []
+    for block in BLOCK_SIZES:
+        p = Parameters(block_size=block)
+        g = p.vbtree_geometry()
+        qr = p.result_rows(0.2)
+        rows.append(
+            (
+                block,
+                g.internal_fanout(),
+                g.height_for(p.num_rows),
+                envelope_digests(p, qr),
+                vbtree_comm_cost(p, 0.2).total,
+            )
+        )
+    emit(
+        "Ablation A3: block size vs fan-out/height/D_S (sel 20%)",
+        "ablation_blocksize",
+        ["|B|", "fan-out", "height", "|D_S| max", "comm bytes (20%)"],
+        rows,
+    )
+    fanouts = [r[1] for r in rows]
+    heights = [r[2] for r in rows]
+    assert fanouts == sorted(fanouts)                   # grows with |B|
+    assert heights == sorted(heights, reverse=True)     # shrinks with |B|
+    benchmark(lambda: [vbtree_comm_cost(Parameters(block_size=b), 0.2) for b in BLOCK_SIZES])

@@ -1,0 +1,79 @@
+"""Wall-clock micro-benchmarks of the core operations: VB-tree build,
+VO construction, client verification, and the serialized round-trip.
+
+These are the numbers a deployment engineer would ask for; the paper's
+evaluation is analytical, so these have no paper counterpart — they
+characterize this implementation."""
+
+import pytest
+
+from repro.core.query_auth import QueryAuthenticator
+from repro.core.digests import DigestEngine, DigestPolicy, SigningDigestEngine
+from repro.core.vbtree import VBTree
+from repro.core.wire import result_from_bytes, result_to_bytes
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import DigestSigner
+from repro.db.rows import Row
+from repro.db.schema import Column, TableSchema
+from repro.db.types import IntType, VarcharType
+from repro.workloads.queries import range_for_selectivity
+
+
+def test_vbtree_build_1k(benchmark):
+    schema = TableSchema(
+        "b",
+        (Column("id", IntType()), Column("v", VarcharType(capacity=20))),
+        key="id",
+    )
+    keypair = generate_keypair(bits=512, seed=3)
+    rows = [Row(schema, (i, f"value-{i:05d}")) for i in range(1_000)]
+
+    def build():
+        signing = SigningDigestEngine(
+            DigestEngine("benchdb"), DigestSigner.from_keypair(keypair)
+        )
+        return VBTree.build(schema, rows, signing)
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(tree) == 1_000
+
+
+@pytest.mark.parametrize("sel", [0.05, 0.4])
+def test_vo_construction(benchmark, deployment, sel):
+    central, _edge, _client, spec = deployment
+    vbt = central.vbtrees["items"]
+    auth = QueryAuthenticator(vbt)
+    q = range_for_selectivity(spec, sel)
+    result = benchmark(auth.range_query, q.low, q.high)
+    assert result.num_rows == q.expected_rows
+
+
+@pytest.mark.parametrize("sel", [0.05, 0.4])
+def test_client_verification(benchmark, deployment, sel):
+    central, edge, client, spec = deployment
+    q = range_for_selectivity(spec, sel)
+    resp = edge.range_query("items", q.low, q.high)
+    verdict = benchmark(client.verify, resp)
+    assert verdict.ok
+
+
+def test_wire_roundtrip(benchmark, deployment):
+    central, edge, _client, spec = deployment
+    sig_len = central.public_key.signature_len
+    q = range_for_selectivity(spec, 0.2)
+    resp = edge.range_query("items", q.low, q.high)
+
+    def roundtrip():
+        return result_from_bytes(result_to_bytes(resp.result, sig_len))
+
+    parsed = benchmark(roundtrip)
+    assert parsed.rows == resp.result.rows
+
+
+def test_projection_vo_construction(benchmark, deployment):
+    central, _edge, _client, spec = deployment
+    vbt = central.vbtrees["items"]
+    auth = QueryAuthenticator(vbt)
+    q = range_for_selectivity(spec, 0.2)
+    result = benchmark(auth.range_query, q.low, q.high, ("id", "a1"))
+    assert result.columns == ("id", "a1")

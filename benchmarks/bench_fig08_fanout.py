@@ -1,0 +1,28 @@
+"""Figure 8 — index tree fan-out vs key length (B-tree vs VB-tree).
+
+Analytic series from formula (6) at paper defaults, cross-checked
+against the fan-out the *built* trees actually get from the same page
+geometry."""
+
+from repro.analysis.storage import fig8_series
+from repro.bench.series import emit
+from repro.db.btree import BPlusTree
+from repro.db.page import PageGeometry
+
+
+def test_fig08_fanout(benchmark):
+    rows = fig8_series()
+    emit(
+        "Figure 8: fan-out vs key length (|B|=4KiB, |P|=4, |D|=16)",
+        "fig08_fanout",
+        ["log2|K|", "B-tree fan-out", "VB-tree fan-out"],
+        rows,
+    )
+    # Cross-check: a real tree built with the geometry carries exactly
+    # the analytic capacity.
+    for log_k, f_b, f_vb in rows:
+        b = BPlusTree(geometry=PageGeometry(key_len=2**log_k, digest_len=0))
+        vb = BPlusTree(geometry=PageGeometry(key_len=2**log_k, digest_len=16))
+        assert b.max_children == f_b
+        assert vb.max_children == f_vb
+    benchmark(fig8_series)

@@ -1,0 +1,45 @@
+"""Figure 9 — index tree height vs key length (B-tree vs VB-tree).
+
+Analytic series from formula (7) at N_r = 1M, plus a measured
+cross-check: trees *built* at reduced scale land within one level of
+the fully-packed analytic height."""
+
+from repro.analysis.params import Parameters
+from repro.analysis.storage import fig9_series
+from repro.bench.series import emit
+from repro.db.btree import BPlusTree
+from repro.db.page import PageGeometry
+
+
+def test_fig09_height(benchmark):
+    rows = fig9_series()
+    emit(
+        "Figure 9: tree height vs key length (N_r = 1,000,000)",
+        "fig09_height",
+        ["log2|K|", "B-tree height", "VB-tree height"],
+        rows,
+    )
+    for _logk, h_b, h_vb in rows:
+        assert h_vb - h_b <= 1  # the paper's 'no material difference'
+    benchmark(fig9_series)
+
+
+def test_fig09_measured_height(benchmark):
+    """Build real trees (small blocks => same heights at 20k rows) and
+    compare against the analytic formula."""
+    geometry = PageGeometry(block_size=512, key_len=16, pointer_len=4, digest_len=16)
+    n = 20_000
+
+    def build():
+        tree = BPlusTree(geometry=geometry)
+        for k in range(n):
+            tree.insert(k, None)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    analytic = geometry.height_for(n)
+    print(
+        f"\nmeasured height at {n} rows (512B blocks): built={tree.height()}, "
+        f"analytic fully-packed={analytic}"
+    )
+    assert analytic <= tree.height() <= analytic + 1

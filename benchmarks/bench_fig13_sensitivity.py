@@ -1,0 +1,60 @@
+"""Figure 13 — computation-cost sensitivity analyses at X = 10.
+
+(a) the effect of Cost_c/Cost_a (0..3): both schemes rise linearly,
+    the Naive-VB gap stays nearly constant (decryption-dominated);
+(b) the effect of Q_c (0..10): the gap is exactly the per-tuple
+    decryption term, independent of projection width."""
+
+from repro.analysis.computation import fig13a_series, fig13b_series
+from repro.bench.series import emit
+
+
+def test_fig13a_cost_ratio(benchmark):
+    rows = fig13a_series()
+    table = [
+        (
+            ratio,
+            e["naive(20%)"],
+            e["vbtree(20%)"],
+            e["naive(80%)"],
+            e["vbtree(80%)"],
+        )
+        for ratio, e in rows
+    ]
+    emit(
+        "Figure 13(a): computation vs Cost_c/Cost_a (X = 10)",
+        "fig13a_cost_ratio",
+        ["Cost_c/Cost_a", "Naive(20%)", "VB-tree(20%)", "Naive(80%)", "VB-tree(80%)"],
+        table,
+    )
+    gaps80 = [row[3] - row[4] for row in table]
+    assert max(gaps80) - min(gaps80) < 0.4 * max(gaps80)  # 'almost constant'
+    vb80 = [row[4] for row in table]
+    assert vb80 == sorted(vb80)  # rises with the ratio
+    benchmark(fig13a_series)
+
+
+def test_fig13b_query_cols(benchmark):
+    rows = fig13b_series()
+    table = [
+        (
+            qc,
+            e["naive(20%)"],
+            e["vbtree(20%)"],
+            e["naive(80%)"],
+            e["vbtree(80%)"],
+        )
+        for qc, e in rows
+    ]
+    emit(
+        "Figure 13(b): computation vs Q_c (X = 10)",
+        "fig13b_query_cols",
+        ["Q_c", "Naive(20%)", "VB-tree(20%)", "Naive(80%)", "VB-tree(80%)"],
+        table,
+    )
+    gaps80 = [row[3] - row[4] for row in table]
+    gaps20 = [row[1] - row[2] for row in table]
+    # 'Q_c has little effect on the relative performance': constant gap.
+    assert max(gaps80) - min(gaps80) < 0.01 * max(gaps80)
+    assert max(gaps20) - min(gaps20) < 0.01 * max(gaps20)
+    benchmark(fig13b_series)

@@ -1,0 +1,123 @@
+"""Section 4.4 — update costs (formulas 11 and 12).
+
+The paper analyses insert/delete maintenance cost but plots no figure;
+this bench generates the implied table and measures the real system:
+wall-clock + operation counts for inserts (the cheap commutative fold)
+and range deletes (X-lock + recompute), including the FLATTENED vs
+NESTED policy ablation the paper's "minimal effect on other digests"
+claim rests on."""
+
+import pytest
+
+from repro.analysis.params import Parameters
+from repro.analysis.updates import delete_series, insert_cost
+from repro.bench.series import emit
+from repro.core.digests import DigestEngine, DigestPolicy, SigningDigestEngine
+from repro.core.update import AuthenticatedUpdater
+from repro.core.vbtree import VBTree
+from repro.crypto.meter import CostMeter
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import DigestSigner
+from repro.db.rows import Row
+from repro.db.schema import Column, TableSchema
+from repro.db.types import IntType, VarcharType
+
+
+def test_update_costs_analytic(benchmark):
+    p = Parameters()
+    rows = delete_series(p)
+    emit(
+        "Formulas 11-12: update costs (units of Cost_h; N_r = 1M)",
+        "update_costs_analytic",
+        ["deleted rows Q_r", "delete cost", "insert cost (ref)"],
+        rows,
+    )
+    costs = [c for _n, c, _i in rows]
+    assert costs == sorted(costs)
+    benchmark(delete_series, p)
+
+
+def _build_tree(policy: DigestPolicy, n: int, meter: CostMeter | None = None):
+    schema = TableSchema(
+        "upd",
+        (
+            Column("id", IntType()),
+            Column("a", VarcharType(capacity=20)),
+            Column("b", VarcharType(capacity=20)),
+        ),
+        key="id",
+    )
+    keypair = generate_keypair(bits=512, seed=7)
+    engine = DigestEngine("benchdb", policy=policy, meter=meter or CostMeter())
+    signing = SigningDigestEngine(engine, DigestSigner.from_keypair(keypair))
+    rows = [Row(schema, (i * 2, f"v{i}", f"w{i}")) for i in range(n)]
+    tree = VBTree.build(schema, rows, signing, fanout_override=16)
+    return schema, tree
+
+
+@pytest.mark.parametrize("policy", [DigestPolicy.FLATTENED, DigestPolicy.NESTED])
+def test_insert_measured(benchmark, policy):
+    """The paper's cheap insert only exists under FLATTENED: one
+    combine per path node vs a full recompute per ancestor under
+    NESTED.  Measured combine counts prove it."""
+    schema, tree = _build_tree(policy, 2_000)
+    updater = AuthenticatedUpdater(tree)
+    keys = iter(range(100_001, 10_000_000, 2))
+
+    def do_insert():
+        key = next(keys)
+        updater.insert(Row(schema, (key, "new", "row")))
+
+    benchmark(do_insert)
+    meter = tree.signing.engine.meter
+    print(
+        f"\n[{policy.value}] combines recorded: {meter.combines}, "
+        f"signs: (see signer meter)"
+    )
+
+
+def test_insert_fold_vs_recompute_opcounts(benchmark):
+    """Op-count comparison behind the paper's insert claim."""
+    results = {}
+
+    def measure():
+        results.clear()
+        # An odd key in the middle of the even-keyed table lands in a
+        # half-full leaf: no split, so the digest-maintenance paths (the
+        # fold vs the ancestor recompute) are isolated.
+        key = 1001
+        for policy in (DigestPolicy.FLATTENED, DigestPolicy.NESTED):
+            meter = CostMeter()
+            schema, tree = _build_tree(policy, 2_000, meter=meter)
+            updater = AuthenticatedUpdater(tree)
+            meter.reset()
+            updater.insert(Row(schema, (key, "new", "row")))
+            results[policy.value] = meter.snapshot()
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "Insert maintenance op-counts: FLATTENED fold vs NESTED recompute",
+        "update_insert_opcounts",
+        ["policy", "hashes", "combines"],
+        [
+            (name, snap["hashes"], snap["combines"])
+            for name, snap in results.items()
+        ],
+    )
+    assert results["flattened"]["combines"] < results["nested"]["combines"]
+
+
+@pytest.mark.parametrize("range_size", [1, 16, 64])
+def test_delete_range_measured(benchmark, range_size):
+    """Range deletes: recompute cost grows with the deleted range."""
+    schema, tree = _build_tree(DigestPolicy.FLATTENED, 4_000)
+    updater = AuthenticatedUpdater(tree)
+    starts = iter(range(0, 8_000, 2 * range_size))
+
+    def do_delete():
+        start = next(starts)
+        updater.delete_range(start, start + 2 * range_size - 1)
+
+    benchmark.pedantic(do_delete, rounds=20, iterations=1)
+    tree.audit()  # digests stay correct throughout

@@ -1,0 +1,108 @@
+"""Table 1 — the parameters of the paper's analytical evaluation.
+
+All cost formulas in :mod:`repro.analysis` take a :class:`Parameters`
+instance; the defaults reproduce the paper's settings, and the benches
+sweep individual fields exactly as the figures do.
+
+Cost units follow Section 4.3: ``Cost_a`` (deriving one attribute
+digest) is the unit; ``Cost_c`` (combining two digests) is ``Cost_a /
+ratio`` with ratio = 10 (Table 1's last row); ``Cost_v`` (decrypting a
+signature) is ``X * Cost_a`` with X swept over {5, 10, 100} in
+Figure 12; ``Cost_s`` (generating a signature) defaults to 100x a
+verification, the hash : verify : sign ≈ 1 : 100 : 10000 proportion the
+paper cites from Rivest & Shamir [15].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro import constants
+from repro.db.page import PageGeometry
+
+__all__ = ["Parameters"]
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """The paper's Table 1, as a value object.
+
+    Attributes:
+        digest_len: ``|D|`` signed digest length (bytes).
+        key_len: ``|K|`` search key length (bytes).
+        pointer_len: ``|P|`` node pointer length (bytes).
+        block_size: ``|B|`` block/node size (bytes).
+        num_rows: ``N_r`` tuples in the table.
+        num_cols: ``N_c`` attributes per tuple.
+        query_cols: ``Q_c`` attributes in the query result.
+        attr_size: ``|A_i|`` average attribute size (bytes).
+        cost_hash: ``Cost_a`` — cost of one attribute digest (the unit).
+        hash_combine_ratio: ``Cost_a / Cost_c`` (Table 1: 10).
+        x_ratio: ``X = Cost_v / Cost_a`` (Figure 12: 5, 10, 100).
+        sign_verify_ratio: ``Cost_s / Cost_v`` (paper cites ~100).
+    """
+
+    digest_len: int = constants.DIGEST_LEN
+    key_len: int = constants.KEY_LEN
+    pointer_len: int = constants.POINTER_LEN
+    block_size: int = constants.BLOCK_SIZE
+    num_rows: int = constants.NUM_ROWS
+    num_cols: int = constants.NUM_COLS
+    query_cols: int = constants.QUERY_COLS
+    attr_size: float = constants.ATTR_SIZE
+    cost_hash: float = 1.0
+    hash_combine_ratio: float = constants.COST_RATIO_ATTR_TO_COMBINE
+    x_ratio: float = constants.DEFAULT_X
+    sign_verify_ratio: float = 100.0
+
+    # ------------------------------------------------------------------
+    # Derived cost units
+    # ------------------------------------------------------------------
+
+    @property
+    def cost_combine(self) -> float:
+        """``Cost_c`` in units of ``Cost_a``."""
+        return self.cost_hash / self.hash_combine_ratio
+
+    @property
+    def cost_verify(self) -> float:
+        """``Cost_v`` in units of ``Cost_a``."""
+        return self.x_ratio * self.cost_hash
+
+    @property
+    def cost_sign(self) -> float:
+        """``Cost_s`` in units of ``Cost_a``."""
+        return self.sign_verify_ratio * self.cost_verify
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+
+    def btree_geometry(self) -> PageGeometry:
+        """Plain B-tree page geometry (no digests)."""
+        return PageGeometry(
+            block_size=self.block_size,
+            key_len=self.key_len,
+            pointer_len=self.pointer_len,
+            digest_len=0,
+        )
+
+    def vbtree_geometry(self) -> PageGeometry:
+        """VB-tree page geometry (one signed digest per entry)."""
+        return PageGeometry(
+            block_size=self.block_size,
+            key_len=self.key_len,
+            pointer_len=self.pointer_len,
+            digest_len=self.digest_len,
+        )
+
+    def result_rows(self, selectivity: float) -> int:
+        """``Q_r`` for a selectivity factor in [0, 1]."""
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity out of [0,1]: {selectivity}")
+        return round(self.num_rows * selectivity)
+
+    def with_(self, **changes: Any) -> "Parameters":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **changes)

@@ -1,0 +1,258 @@
+"""Devanbu-style Merkle-hash-tree baseline ([5] in the paper).
+
+The scheme the paper positions itself against: a binary Merkle hash
+tree over the tuples of one sort order, with **only the root signed**.
+A range query's VO contains the sibling hashes on the paths from the
+result's boundaries up to the root, so:
+
+* the VO grows with ``log N_r`` — *dependent on the database size*
+  (the limitation the VB-tree removes by signing every node);
+* projection cannot be done at the edge — whole tuples must be shipped,
+  because leaf hashes commit to the full tuple encoding;
+* any update invalidates the single root signature, so readers of
+  unrelated ranges are affected (no per-subtree locking).
+
+Implemented faithfully enough to quantify those trade-offs in
+``bench_ablation_granularity``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.crypto.encoding import encode_value, encode_values
+from repro.crypto.hashing import BaseHash, Sha256Hash
+from repro.crypto.meter import CostMeter, NULL_METER
+from repro.crypto.rsa import RSAPublicKey
+from repro.crypto.signatures import DigestSigner, DigestVerifier, SignedDigest
+from repro.db.rows import Row
+from repro.db.schema import TableSchema
+from repro.exceptions import SignatureError, VOFormatError
+
+__all__ = ["MerkleTree", "MerkleRangeProof", "MerkleVerifier", "ROOT_SPACE"]
+
+#: Public constant: the root hash is reduced into this space before
+#: signing so it fits any RSA modulus >= 256 bits.  Both signer and
+#: verifier use it, so no key-size knowledge leaks into verification.
+ROOT_SPACE = 1 << 224
+
+
+def _leaf_bytes(table: str, row_values: Sequence[Any]) -> bytes:
+    return b"leaf:" + encode_value(table) + encode_values(row_values)
+
+
+@dataclass(frozen=True)
+class MerkleRangeProof:
+    """VO for a contiguous range ``[first_index, first_index + len(rows))``.
+
+    ``siblings`` lists ``(level, index, hash)`` for every node hash the
+    client cannot recompute from the result tuples; level 0 is the leaf
+    level.  ``total_leaves`` is needed to rebuild the tree shape — an
+    explicit reminder that this baseline's proofs depend on the table
+    size.
+    """
+
+    table: str
+    first_index: int
+    total_leaves: int
+    rows: tuple[tuple[Any, ...], ...]
+    siblings: tuple[tuple[int, int, bytes], ...]
+    signed_root: SignedDigest
+
+    def wire_size(self, sig_len: int, hash_len: int = 32) -> int:
+        """Serialized size in bytes: tuples + sibling hashes + root sig."""
+        total = 4 + 4 + len(encode_value(self.table))
+        for row in self.rows:
+            total += len(encode_values(row))
+        total += len(self.siblings) * (1 + 4 + hash_len)
+        total += sig_len + 2
+        return total
+
+
+class MerkleTree:
+    """Binary Merkle hash tree over a table's rows in key order.
+
+    Args:
+        schema: Table schema.
+        rows: Rows in key order (the "sort order" of [5]; one tree is
+            needed per sort order, which is the storage-overhead
+            criticism in Section 2).
+        signer: The owner's signer (signs the root hash only).
+        base_hash: Leaf/internal hash (default SHA-256).
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows: Iterable[Row],
+        signer: DigestSigner,
+        base_hash: BaseHash | None = None,
+        meter: CostMeter = NULL_METER,
+    ) -> None:
+        self.schema = schema
+        self.hash = base_hash or Sha256Hash()
+        self.meter = meter
+        self._rows = list(rows)
+        self._levels: list[list[bytes]] = []
+        self._build()
+        root_int = int.from_bytes(self.root_hash(), "big") % ROOT_SPACE
+        self._root_int = root_int
+        self.signed_root = signer.sign(root_int)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _hash_bytes(self, data: bytes) -> bytes:
+        self.meter.count_hash(len(data))
+        return self.hash.digest_bytes(data)
+
+    def _build(self) -> None:
+        if not self._rows:
+            self._levels = [[self._hash_bytes(b"empty:" + self.schema.name.encode())]]
+            return
+        leaves = [
+            self._hash_bytes(_leaf_bytes(self.schema.name, row.values))
+            for row in self._rows
+        ]
+        self._levels = [leaves]
+        while len(self._levels[-1]) > 1:
+            prev = self._levels[-1]
+            nxt = []
+            for i in range(0, len(prev), 2):
+                if i + 1 < len(prev):
+                    nxt.append(self._hash_bytes(b"node:" + prev[i] + prev[i + 1]))
+                    self.meter.count_combine(1)
+                else:
+                    nxt.append(prev[i])  # odd node promoted unchanged
+            self._levels.append(nxt)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of leaves (tuples)."""
+        return len(self._rows)
+
+    def height(self) -> int:
+        """Number of levels including the leaf level."""
+        return len(self._levels)
+
+    def root_hash(self) -> bytes:
+        """The root hash (the only signed value in this scheme)."""
+        return self._levels[-1][0]
+
+    def root_int(self) -> int:
+        """Root hash as the signed integer."""
+        return self._root_int
+
+    # ------------------------------------------------------------------
+    # Range proofs
+    # ------------------------------------------------------------------
+
+    def prove_range(self, first_index: int, count: int) -> MerkleRangeProof:
+        """Build the VO for ``count`` consecutive tuples starting at
+        ``first_index``.
+
+        Raises:
+            VOFormatError: On an out-of-bounds range.
+        """
+        if count <= 0:
+            raise VOFormatError(
+                "Merkle range proofs need at least one tuple; this "
+                "baseline has no way to prove emptiness"
+            )
+        if first_index < 0 or first_index + count > self.num_rows:
+            raise VOFormatError(
+                f"range [{first_index}, {first_index + count}) out of bounds"
+            )
+        known = set(range(first_index, first_index + count))
+        siblings: list[tuple[int, int, bytes]] = []
+        for level in range(len(self._levels) - 1):
+            next_known = set()
+            nodes = self._levels[level]
+            for i in sorted(known):
+                buddy = i ^ 1
+                if buddy < len(nodes) and buddy not in known:
+                    siblings.append((level, buddy, nodes[buddy]))
+                next_known.add(i // 2)
+            known = next_known
+        return MerkleRangeProof(
+            table=self.schema.name,
+            first_index=first_index,
+            total_leaves=self.num_rows,
+            rows=tuple(tuple(r.values) for r in self._rows[first_index : first_index + count]),
+            siblings=tuple(siblings),
+            signed_root=self.signed_root,
+        )
+
+    def prove_key_range(self, low: Any, high: Any) -> MerkleRangeProof:
+        """Proof for all rows with ``low <= key <= high``."""
+        keys = [r.key for r in self._rows]
+        import bisect
+
+        first = bisect.bisect_left(keys, low)
+        last = bisect.bisect_right(keys, high)
+        return self.prove_range(first, last - first)
+
+
+class MerkleVerifier:
+    """Client-side verification of Merkle range proofs."""
+
+    def __init__(
+        self,
+        public_key: RSAPublicKey,
+        base_hash: BaseHash | None = None,
+        meter: CostMeter = NULL_METER,
+    ) -> None:
+        self.hash = base_hash or Sha256Hash()
+        self.meter = meter
+        self._verifier = DigestVerifier(public_key, meter=meter)
+
+    def _hash_bytes(self, data: bytes) -> bytes:
+        self.meter.count_hash(len(data))
+        return self.hash.digest_bytes(data)
+
+    def verify(self, proof: MerkleRangeProof) -> bool:
+        """Recompute the root from result tuples + siblings and compare
+        against the signed root."""
+        try:
+            return self._verify(proof)
+        except (SignatureError, VOFormatError, IndexError):
+            return False
+
+    def _verify(self, proof: MerkleRangeProof) -> bool:
+        known: dict[int, bytes] = {
+            proof.first_index
+            + i: self._hash_bytes(_leaf_bytes(proof.table, row))
+            for i, row in enumerate(proof.rows)
+        }
+        sibs: dict[tuple[int, int], bytes] = {
+            (level, idx): h for level, idx, h in proof.siblings
+        }
+        width = proof.total_leaves
+        level = 0
+        while width > 1:
+            nxt: dict[int, bytes] = {}
+            for i, h in known.items():
+                buddy = i ^ 1
+                if buddy >= width:
+                    nxt[i // 2] = h  # odd node promoted
+                    continue
+                other = known.get(buddy) or sibs.get((level, buddy))
+                if other is None:
+                    raise VOFormatError(
+                        f"missing sibling at level {level}, index {buddy}"
+                    )
+                left, right = (h, other) if i % 2 == 0 else (other, h)
+                if buddy in known and buddy < i:
+                    continue  # pair handled when visiting the left node
+                nxt[i // 2] = self._hash_bytes(b"node:" + left + right)
+                self.meter.count_combine(1)
+            known = nxt
+            width = (width + 1) // 2
+            level += 1
+        if 0 not in known:
+            raise VOFormatError("proof never reaches the root")
+        root_int = int.from_bytes(known[0], "big") % ROOT_SPACE
+        recovered = self._verifier.recover(proof.signed_root)
+        return root_int == recovered

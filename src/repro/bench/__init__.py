@@ -1,0 +1,6 @@
+"""Benchmark plumbing shared by the files under ``benchmarks/``."""
+
+from repro.bench.ascii_plot import ascii_plot
+from repro.bench.series import emit, format_table, results_dir, write_csv
+
+__all__ = ["ascii_plot", "emit", "format_table", "results_dir", "write_csv"]

@@ -1,0 +1,80 @@
+"""Terminal line plots for benchmark series.
+
+The paper's figures are simple 2-D line charts; this renders the same
+series as ASCII so `examples/paper_evaluation.py --plots` (and anyone
+working over ssh) can eyeball the shapes without matplotlib."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKS = "*o+x#@"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values.
+
+    Args:
+        xs: X coordinates (need not be evenly spaced).
+        series: Label → y-values (each as long as ``xs``).
+        width: Plot area width in characters.
+        height: Plot area height in rows.
+        title: Optional caption.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    if not xs or not series:
+        return "(empty plot)"
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {label!r} length != x length")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(xs), max(xs)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, ys), mark in zip(series.items(), _MARKS):
+        for x, y in zip(xs, ys):
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    def fmt(v: float) -> str:
+        if abs(v) >= 1e6:
+            return f"{v / 1e6:.1f}M"
+        if abs(v) >= 1e3:
+            return f"{v / 1e3:.1f}k"
+        return f"{v:.3g}"
+
+    label_w = max(len(fmt(y_max)), len(fmt(y_min)))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = fmt(y_max).rjust(label_w)
+        elif i == height - 1:
+            prefix = fmt(y_min).rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w + f"  {fmt(x_min)}" + " " * max(1, width - 12) + fmt(x_max)
+    )
+    legend = "   ".join(
+        f"{mark} {label}" for (label, _ys), mark in zip(series.items(), _MARKS)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Formatting and persistence helpers shared by the benchmark files.
+
+Every figure bench produces a *series* — rows of (x, value, value, …) —
+prints it as an aligned table (the "same rows the paper reports"), and
+writes it to ``benchmarks/results/*.csv`` so EXPERIMENTS.md can cite
+stable numbers."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "write_csv", "results_dir", "emit"]
+
+
+def results_dir() -> str:
+    """The benchmark results directory (created on demand)."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6:
+            return f"{value / 1e6:,.2f}M"
+        if abs(value) >= 1e3:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Align ``rows`` under ``headers`` for terminal output."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(list(headers)), sep, *(line(r) for r in str_rows)])
+
+
+def write_csv(
+    name: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Write a series to ``benchmarks/results/<name>.csv``; returns path."""
+    path = os.path.join(results_dir(), f"{name}.csv")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def emit(
+    title: str,
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    """Print a titled table and persist it as CSV."""
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+    path = write_csv(name, headers, rows)
+    print(f"[series written to {os.path.relpath(path)}]")

@@ -1,0 +1,58 @@
+"""Paper-wide default parameters (Table 1 of Pang & Tan, ICDE 2004).
+
+These are the defaults used throughout the analytical evaluation in
+Section 4 of the paper.  The executable system takes its own concrete
+values (e.g. real RSA signature lengths); the analytical models in
+:mod:`repro.analysis` default to the values below so that the benchmark
+harness regenerates the paper's figures at the paper's scale.
+"""
+
+from __future__ import annotations
+
+#: ``|D|`` — length of a signed node/tuple/attribute digest, in bytes.
+DIGEST_LEN = 16
+
+#: ``|K|`` — length of a search key, in bytes.
+KEY_LEN = 16
+
+#: ``|P|`` — length of a node pointer, in bytes.
+POINTER_LEN = 4
+
+#: ``|B|`` — size of a block / node, in bytes (4 KiB).
+BLOCK_SIZE = 4 * 1024
+
+#: ``N_r`` — number of tuples in the base table (1 million).
+NUM_ROWS = 1_000_000
+
+#: ``N_c`` — number of attributes (columns) in the base table.
+NUM_COLS = 10
+
+#: ``Q_c`` — number of attributes in the query result (projection width).
+QUERY_COLS = 10
+
+#: Average tuple size used in Figure 10 (bytes); 20 bytes per attribute.
+TUPLE_SIZE = 200
+
+#: Average attribute size implied by :data:`TUPLE_SIZE` / :data:`NUM_COLS`.
+ATTR_SIZE = TUPLE_SIZE // NUM_COLS
+
+#: Ratio ``Cost_a / Cost_c`` between deriving an attribute digest and
+#: combining two digests (Table 1's final row).
+COST_RATIO_ATTR_TO_COMBINE = 10
+
+#: Default ``X = Cost_v / Cost_a`` — signature decryption relative to a
+#: one-way hash.  Section 4.3 cites hash functions being ~100x faster than
+#: signature verification; the paper sweeps X over {5, 10, 100}.
+DEFAULT_X = 10
+
+#: Modulus bit-width for the paper's commutative hash ``g^x mod 2^k``
+#: matching the 16-byte digest default.
+COMMUTATIVE_HASH_BITS = DIGEST_LEN * 8
+
+#: Generator ``g`` for the commutative hash.  Any odd g > 1 works modulo a
+#: power of two; 3 keeps exponentiation cheap in the reference path.
+COMMUTATIVE_HASH_GENERATOR = 3
+
+#: Default RSA modulus size for the executable system's signatures (bits).
+#: Tests use 512 for speed; examples/benches use this default.
+RSA_BITS = 1024

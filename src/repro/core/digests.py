@@ -1,0 +1,241 @@
+"""Digest computation — formulas (1), (2), (3) of the paper.
+
+Two digest *policies* are provided (see DESIGN.md, deviation D3, for the
+full discussion):
+
+* :attr:`DigestPolicy.FLATTENED` — our reading of the paper's actual
+  scheme.  With the commutative hash ``h(x) = g^x mod n``, the digest
+  value that propagates upward is the **exponent product**:
+
+  - attribute value   ``a = h_base(db|table|attr|key|value)``
+  - tuple exponent    ``y_T = ∏_j a_j  (mod n)``
+  - node exponent     ``x_N = ∏_child (child exponent)  (mod n)``
+    (a leaf's children are tuple exponents, an internal node's are the
+    child nodes' exponents)
+  - display digest    ``U_N = g^{x_N} mod n`` — what Lemma 1's equation
+    compares against.
+
+  Because every constituent multiplies into every ancestor's exponent,
+  the verification object can be an **unordered set** of signed values
+  (the paper's headline simplicity claim), and inserts fold into each
+  node digest with a single multiplication (Section 3.4's cheap insert).
+
+* :attr:`DigestPolicy.NESTED` — the conservative hash-of-hashes reading
+  (à la Merkle): ``t = H(a_1,…,a_m)``, ``n = H(child digests)``.  Upward
+  flattening is impossible, so verification objects must carry node
+  grouping (structured VO) and ancestor digests must be recomputed on
+  insert.  Included as the baseline reading and for ablations.
+
+The :class:`DigestEngine` computes unsigned values; the central server
+signs them through :class:`SigningDigestEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, Sequence
+
+from repro.crypto.commutative import CommutativeHash, ExponentialCommutativeHash
+from repro.crypto.encoding import digest_input
+from repro.crypto.meter import CostMeter, NULL_METER
+from repro.crypto.signatures import DigestSigner, SignedDigest
+from repro.db.rows import Row
+from repro.exceptions import AuthenticationError
+
+__all__ = [
+    "DigestPolicy",
+    "DigestEngine",
+    "SigningDigestEngine",
+    "TupleDigests",
+]
+
+
+class DigestPolicy(Enum):
+    """How digests propagate up the VB-tree (see module docstring)."""
+
+    FLATTENED = "flattened"
+    NESTED = "nested"
+
+
+@dataclass(frozen=True)
+class TupleDigests:
+    """All digest material for one tuple.
+
+    Attributes:
+        attribute_values: Unsigned attribute digest values, in schema
+            column order (formula 1, pre-signature).
+        tuple_value: Unsigned tuple digest value (formula 2,
+            pre-signature) — the exponent product under FLATTENED, the
+            combined hash under NESTED.
+    """
+
+    attribute_values: tuple[int, ...]
+    tuple_value: int
+
+
+class DigestEngine:
+    """Computes unsigned digest values for attributes, tuples, nodes.
+
+    Args:
+        db_name: Database name bound into every attribute digest.
+        commutative: The commutative hash (paper default
+            :class:`~repro.crypto.commutative.ExponentialCommutativeHash`).
+        policy: FLATTENED (paper) or NESTED (hash-of-hashes).
+        meter: Cost meter for the computation-cost benches.
+
+    Note:
+        FLATTENED semantics require the exponential combinator, whose
+        modulus provides the exponent ring; other combinators only admit
+        NESTED.
+    """
+
+    def __init__(
+        self,
+        db_name: str,
+        commutative: CommutativeHash | None = None,
+        policy: DigestPolicy = DigestPolicy.FLATTENED,
+        meter: CostMeter = NULL_METER,
+    ) -> None:
+        self.db_name = db_name
+        self.meter = meter
+        self.commutative = commutative or ExponentialCommutativeHash(meter=meter)
+        if meter is not NULL_METER and self.commutative.meter is NULL_METER:
+            self.commutative.meter = meter
+        self.policy = policy
+        if policy is DigestPolicy.FLATTENED and not isinstance(
+            self.commutative, ExponentialCommutativeHash
+        ):
+            raise AuthenticationError(
+                "FLATTENED digests require the exponential commutative hash"
+            )
+
+    # ------------------------------------------------------------------
+    # Formula (1): attribute digests
+    # ------------------------------------------------------------------
+
+    def attribute_value(
+        self, table: str, attr: str, key: Any, value: Any
+    ) -> int:
+        """Unsigned attribute digest
+        ``h(db | table | attr | key | value)``."""
+        data = digest_input(self.db_name, table, attr, key, value)
+        return self.commutative.digest_of_bytes(data)
+
+    # ------------------------------------------------------------------
+    # Formula (2): tuple digests
+    # ------------------------------------------------------------------
+
+    def tuple_value(self, attribute_values: Sequence[int]) -> int:
+        """Unsigned tuple digest from its attribute digest values."""
+        if not attribute_values:
+            raise AuthenticationError("a tuple needs at least one attribute")
+        if self.policy is DigestPolicy.FLATTENED:
+            return self._product(attribute_values)
+        return self.commutative.combine(attribute_values)
+
+    def tuple_digests(self, table: str, row: Row) -> TupleDigests:
+        """Attribute + tuple digest values for ``row`` (formulas 1-2)."""
+        key = row.key
+        attr_values = tuple(
+            self.attribute_value(table, name, key, value)
+            for name, value in zip(row.schema.column_names, row.values)
+        )
+        return TupleDigests(
+            attribute_values=attr_values,
+            tuple_value=self.tuple_value(attr_values),
+        )
+
+    # ------------------------------------------------------------------
+    # Formula (3): node digests
+    # ------------------------------------------------------------------
+
+    def node_value(self, child_values: Iterable[int]) -> int:
+        """Unsigned node digest from child digest values.
+
+        Children of a leaf are tuple values; children of an internal
+        node are the child nodes' values.
+        """
+        values = list(child_values)
+        if not values:
+            # Only the root of an empty tree; identity element by policy.
+            return 1 if self.policy is DigestPolicy.FLATTENED else self.commutative.empty()
+        if self.policy is DigestPolicy.FLATTENED:
+            return self._product(values)
+        return self.commutative.combine(values)
+
+    def fold_into_node(self, node_value: int, tuple_value: int) -> int:
+        """The paper's cheap insert: fold a new tuple digest into a node
+        digest (Section 3.4).  Only FLATTENED supports this.
+
+        Raises:
+            AuthenticationError: Under NESTED (ancestors must recompute).
+        """
+        if self.policy is not DigestPolicy.FLATTENED:
+            raise AuthenticationError(
+                "incremental digest folding requires the FLATTENED policy"
+            )
+        modulus = self.commutative.modulus
+        self.meter.count_combine(1)
+        return (node_value * (tuple_value | 1)) % modulus
+
+    # ------------------------------------------------------------------
+    # Display digests (the `g^x` side of the FLATTENED policy)
+    # ------------------------------------------------------------------
+
+    def display_value(self, node_value: int) -> int:
+        """The digest a verifier compares against.
+
+        FLATTENED: ``g^{x} mod n`` (Lemma 1's left-hand side).
+        NESTED: the node value itself.
+        """
+        if self.policy is DigestPolicy.FLATTENED:
+            exp = self.commutative  # type: ignore[assignment]
+            self.meter.count_combine(1)
+            return pow(exp.generator, node_value, exp.modulus)
+        return node_value
+
+    def _product(self, values: Sequence[int]) -> int:
+        """Odd-forced product modulo the hash modulus (exponent ring)."""
+        modulus = self.commutative.modulus
+        acc = 1
+        for v in values:
+            if v <= 0:
+                raise AuthenticationError("digest values must be positive")
+            acc = (acc * (v | 1)) % modulus
+        self.meter.count_combine(len(values))
+        return acc
+
+
+class SigningDigestEngine:
+    """A :class:`DigestEngine` plus the central server's signer.
+
+    Only the central DBMS holds one of these; edge servers and clients
+    get the plain engine plus a verifier.
+    """
+
+    def __init__(self, engine: DigestEngine, signer: DigestSigner) -> None:
+        self.engine = engine
+        self.signer = signer
+
+    @property
+    def policy(self) -> DigestPolicy:
+        """Digest policy of the wrapped engine."""
+        return self.engine.policy
+
+    def sign_value(self, value: int) -> SignedDigest:
+        """Sign any digest value (attribute / tuple / node)."""
+        return self.signer.sign(value)
+
+    def sign_tuple(self, table: str, row: Row) -> tuple[TupleDigests, SignedDigest, tuple[SignedDigest, ...]]:
+        """Digest and sign one tuple.
+
+        Returns:
+            ``(digests, signed_tuple, signed_attributes)``.
+        """
+        digests = self.engine.tuple_digests(table, row)
+        signed_attrs = tuple(
+            self.signer.sign(v) for v in digests.attribute_values
+        )
+        signed_tuple = self.signer.sign(digests.tuple_value)
+        return digests, signed_tuple, signed_attrs

@@ -1,0 +1,189 @@
+"""Enveloping subtrees (Section 3.2's definition, Figure 4).
+
+The *enveloping subtree* is the smallest subtree of the VB-tree that
+covers all result tuples of a query (or all tuples affected by an
+update).  This module finds the envelope's top node and walks the
+subtree, classifying every constituent as:
+
+* a **result tuple** (the client recomputes its digest from values),
+* a **filtered tuple** — a gap inside a boundary leaf (its signed tuple
+  digest joins ``D_S``),
+* a **pruned branch** — a child subtree containing no result tuple (its
+  signed node digest joins ``D_S``).
+
+Positions are tracked as child-index paths from the envelope top so the
+STRUCTURED VO format can rebuild node groupings; the FLAT_SET format
+discards them (sufficient under the FLATTENED digest policy).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.db.btree import BPlusTree, InternalNode, LeafNode, _Node
+from repro.exceptions import IncompleteResultError
+
+__all__ = ["Envelope", "EnvelopeWalk", "ResultPosition", "GapItem", "find_envelope"]
+
+
+@dataclass(frozen=True)
+class ResultPosition:
+    """Where one result tuple sits inside the envelope.
+
+    Attributes:
+        path: Child indices from the envelope top down to the leaf.
+        slot: Entry index within the leaf.
+        key: The tuple's key (redundant but convenient).
+    """
+
+    path: tuple[int, ...]
+    slot: int
+    key: Any
+
+
+@dataclass(frozen=True)
+class GapItem:
+    """A non-result constituent of the envelope.
+
+    ``kind`` is ``"tuple"`` for a filtered tuple in a boundary leaf
+    (``ref`` is its key) or ``"node"`` for a pruned child subtree
+    (``ref`` is the node).
+    """
+
+    kind: str
+    path: tuple[int, ...]
+    slot: int
+    ref: Any
+
+
+@dataclass
+class Envelope:
+    """The enveloping subtree of a query result."""
+
+    top: _Node
+    height: int
+    result_positions: list[ResultPosition]
+    gaps: list[GapItem]
+
+    @property
+    def num_result(self) -> int:
+        """Number of result tuples covered."""
+        return len(self.result_positions)
+
+
+def _lca(tree: BPlusTree, a: _Node, b: _Node) -> _Node:
+    """Lowest common ancestor of two nodes (via parent pointers)."""
+    ancestors = set()
+    cursor: _Node | None = a
+    while cursor is not None:
+        ancestors.add(cursor.node_id)
+        cursor = cursor.parent
+    cursor = b
+    while cursor is not None:
+        if cursor.node_id in ancestors:
+            return cursor
+        cursor = cursor.parent
+    raise IncompleteResultError("nodes share no ancestor (corrupt tree)")
+
+
+def _subtree_height(node: _Node) -> int:
+    height = 1
+    cursor = node
+    while not cursor.is_leaf:
+        cursor = cursor.children[0]  # type: ignore[attr-defined]
+        height += 1
+    return height
+
+
+def find_envelope(tree: BPlusTree, result_keys: Sequence[Any]) -> Envelope:
+    """Compute the enveloping subtree for ``result_keys``.
+
+    Args:
+        tree: The VB-tree's underlying B+-tree.
+        result_keys: Sorted, de-duplicated keys of the result tuples.
+            May be empty — the envelope is then the leaf that would hold
+            the query range's low end (all of whose tuples become gaps),
+            which lets the client confirm the *claimed* emptiness is
+            consistent with a signed node (the paper's trust model does
+            not require proving completeness; see DESIGN.md).
+
+    Returns:
+        The :class:`Envelope` with result positions and gap items.
+
+    Raises:
+        IncompleteResultError: If a claimed result key is not in the
+            tree (the edge server would be inventing tuples).
+    """
+    if not result_keys:
+        top: _Node = tree.first_leaf()
+        return Envelope(
+            top=top,
+            height=1,
+            result_positions=[],
+            gaps=[
+                GapItem(kind="tuple", path=(), slot=i, ref=k)
+                for i, k in enumerate(top.keys)
+            ],
+        )
+
+    keys = list(result_keys)
+    first_leaf = tree.find_leaf(keys[0])
+    last_leaf = tree.find_leaf(keys[-1])
+    top = first_leaf if first_leaf is last_leaf else _lca(tree, first_leaf, last_leaf)
+
+    result_set = set(keys)
+    positions: list[ResultPosition] = []
+    gaps: list[GapItem] = []
+    found: set[Any] = set()
+
+    def child_may_contain(parent: InternalNode, idx: int) -> bool:
+        """Does child ``idx``'s key interval intersect the result keys?
+
+        Child ``idx`` of an internal node covers keys in
+        ``[keys[idx-1], keys[idx])`` (left-open at the extremes), which
+        matches the descent rule ``bisect_right``.
+        """
+        low = parent.keys[idx - 1] if idx > 0 else None
+        high = parent.keys[idx] if idx < len(parent.keys) else None
+        lo_pos = 0 if low is None else bisect.bisect_left(keys, low)
+        if lo_pos >= len(keys):
+            return False
+        candidate = keys[lo_pos]
+        return high is None or candidate < high
+
+    def walk(node: _Node, path: tuple[int, ...]) -> None:
+        if node.is_leaf:
+            for slot, key in enumerate(node.keys):
+                if key in result_set:
+                    positions.append(ResultPosition(path=path, slot=slot, key=key))
+                    found.add(key)
+                else:
+                    gaps.append(
+                        GapItem(kind="tuple", path=path, slot=slot, ref=key)
+                    )
+            return
+        internal: InternalNode = node  # type: ignore[assignment]
+        for idx, child in enumerate(internal.children):
+            if child_may_contain(internal, idx):
+                walk(child, path + (idx,))
+            else:
+                gaps.append(
+                    GapItem(kind="node", path=path, slot=idx, ref=child)
+                )
+
+    walk(top, ())
+
+    if found != result_set:
+        missing = sorted(result_set - found)[:5]
+        raise IncompleteResultError(
+            f"claimed result keys not present in the tree: {missing!r}"
+        )
+
+    return Envelope(
+        top=top,
+        height=_subtree_height(top),
+        result_positions=positions,
+        gaps=gaps,
+    )

@@ -1,0 +1,261 @@
+"""Edge-server-side construction of authenticated query results.
+
+Given a VB-tree replica, :class:`QueryAuthenticator` executes
+selection-projection queries and assembles the verification object of
+Section 3.3:
+
+* selection on the key → contiguous result, envelope boundary digests;
+* selection on non-key attributes → gaps become extra ``D_S`` digests;
+* projection → filtered attributes' signed digests become ``D_P``;
+* joins → run against the VB-tree of a materialized join view
+  (Section 3.3's join strategy), which needs no extra machinery here.
+
+The edge server holds *signed* digests only; it cannot forge new ones.
+Per Section 3.4, a query may S-lock the digests of its enveloping
+subtree so concurrent delete transactions cannot invalidate them
+mid-read; pass a transaction to enable that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.digests import DigestPolicy
+from repro.core.envelope import Envelope, find_envelope
+from repro.core.vbtree import VBTree
+from repro.core.vo import (
+    AuthenticatedResult,
+    VerificationObject,
+    VOEntry,
+    VOEntryKind,
+    VOFormat,
+)
+from repro.db.expressions import KeyRange, Predicate
+from repro.db.rows import Row
+from repro.db.transactions import Transaction
+from repro.exceptions import LockError, VOFormatError
+
+__all__ = ["QueryAuthenticator"]
+
+
+class QueryAuthenticator:
+    """Builds :class:`AuthenticatedResult`s from a VB-tree replica.
+
+    Args:
+        vbtree: The (possibly replicated) VB-tree.
+        default_format: VO format to use when the caller does not force
+            one.  Defaults to the paper's FLAT_SET when the digest
+            policy allows it, else STRUCTURED.
+    """
+
+    def __init__(
+        self, vbtree: VBTree, default_format: VOFormat | None = None
+    ) -> None:
+        self.vbtree = vbtree
+        if default_format is None:
+            default_format = (
+                VOFormat.FLAT_SET
+                if vbtree.policy is DigestPolicy.FLATTENED
+                else VOFormat.STRUCTURED
+            )
+        self.default_format = default_format
+
+    # ------------------------------------------------------------------
+    # Public query surface
+    # ------------------------------------------------------------------
+
+    def range_query(
+        self,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+        txn: Transaction | None = None,
+    ) -> AuthenticatedResult:
+        """Selection on the primary key: ``low <= key <= high``."""
+        key_range = KeyRange(low=low, high=high)
+        rows = [
+            row
+            for _k, row in self.vbtree.tree.range_items(
+                low=low, high=high
+            )
+        ]
+        return self._build_result(rows, columns, vo_format, txn)
+
+    def select(
+        self,
+        predicate: Predicate,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+        txn: Transaction | None = None,
+    ) -> AuthenticatedResult:
+        """General selection (key or non-key predicates).
+
+        Non-key predicates produce non-contiguous results; the envelope
+        then contains gaps, each covered by a ``D_S`` digest, exactly as
+        Section 3.3 describes.
+        """
+        key_range = predicate.key_range(self.vbtree.schema.key)
+        if key_range is not None and key_range.empty:
+            candidates: list[Row] = []
+        elif key_range is not None:
+            candidates = [
+                row
+                for _k, row in self.vbtree.tree.range_items(
+                    low=key_range.low,
+                    high=key_range.high,
+                    low_inclusive=key_range.low_inclusive,
+                    high_inclusive=key_range.high_inclusive,
+                )
+            ]
+        else:
+            candidates = list(self.vbtree.rows())
+        rows = [row for row in candidates if predicate.evaluate(row)]
+        return self._build_result(rows, columns, vo_format, txn)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def _build_result(
+        self,
+        rows: list[Row],
+        columns: Optional[Sequence[str]],
+        vo_format: VOFormat | None,
+        txn: Transaction | None,
+    ) -> AuthenticatedResult:
+        fmt = vo_format or self.default_format
+        schema = self.vbtree.schema
+        all_columns = schema.column_names
+        returned = tuple(columns) if columns is not None else all_columns
+        for name in returned:
+            schema.column(name)  # validates projection targets
+
+        if fmt is VOFormat.FLAT_SET and self.vbtree.policy is not DigestPolicy.FLATTENED:
+            raise VOFormatError(
+                "FLAT_SET VOs are only sound under the FLATTENED digest "
+                "policy; use STRUCTURED (see DESIGN.md, deviation D3)"
+            )
+
+        envelope = find_envelope(
+            self.vbtree.tree, [self.vbtree.key_of(row) for row in rows]
+        )
+        if txn is not None:
+            self._lock_envelope(envelope, txn)
+
+        vo = self._vo_from_envelope(envelope, fmt)
+        self._add_projection_entries(vo, rows, returned, all_columns, fmt)
+
+        projected = [
+            tuple(row[name] for name in returned) for row in rows
+        ]
+        return AuthenticatedResult(
+            table=self.vbtree.table_name,
+            columns=returned,
+            all_columns=all_columns,
+            key_column=schema.key,
+            rows=projected,
+            keys=[row.key for row in rows],
+            vo=vo,
+        )
+
+    def _vo_from_envelope(
+        self, envelope: Envelope, fmt: VOFormat
+    ) -> VerificationObject:
+        vbt = self.vbtree
+        top_auth = vbt.node_auth(envelope.top)
+        entries: list[VOEntry] = []
+        for gap in envelope.gaps:
+            if gap.kind == "tuple":
+                signed = vbt.tuple_auth(gap.ref).signed_tuple
+                kind = VOEntryKind.TUPLE
+            else:
+                signed = vbt.node_auth(gap.ref).signed
+                kind = VOEntryKind.NODE
+            if fmt is VOFormat.FLAT_SET:
+                entries.append(VOEntry(kind=kind, signed=signed))
+            else:
+                entries.append(
+                    VOEntry(
+                        kind=kind, signed=signed, path=gap.path, slot=gap.slot
+                    )
+                )
+        positions = (
+            [(p.path, p.slot) for p in envelope.result_positions]
+            if fmt is VOFormat.STRUCTURED
+            else None
+        )
+        return VerificationObject(
+            format=fmt,
+            policy=vbt.policy,
+            table=vbt.table_name,
+            top_signed=top_auth.signed_display,
+            selection_entries=entries,
+            result_positions=positions,
+            envelope_height=envelope.height,
+        )
+
+    def _add_projection_entries(
+        self,
+        vo: VerificationObject,
+        rows: list[Row],
+        returned: tuple[str, ...],
+        all_columns: tuple[str, ...],
+        fmt: VOFormat,
+    ) -> None:
+        returned_set = set(returned)
+        filtered_indices = [
+            i for i, name in enumerate(all_columns) if name not in returned_set
+        ]
+        if not filtered_indices:
+            return
+        for row_index, row in enumerate(rows):
+            auth = self.vbtree.tuple_auth(self.vbtree.key_of(row))
+            for attr_index in filtered_indices:
+                signed = auth.signed_attrs[attr_index]
+                if fmt is VOFormat.FLAT_SET:
+                    vo.projection_entries.append(
+                        VOEntry(kind=VOEntryKind.ATTRIBUTE, signed=signed)
+                    )
+                else:
+                    vo.projection_entries.append(
+                        VOEntry(
+                            kind=VOEntryKind.ATTRIBUTE,
+                            signed=signed,
+                            row_index=row_index,
+                            attr_index=attr_index,
+                        )
+                    )
+
+    def _lock_envelope(self, envelope: Envelope, txn: Transaction) -> None:
+        """S-lock every digest in the enveloping subtree (Section 3.4's
+        reader protocol).
+
+        Raises:
+            LockError: If a lock could not be granted immediately (the
+                simulation surfaces blocking to the caller).
+        """
+        resources = [("digest", self.vbtree.table_name, envelope.top.node_id)]
+        stack = [(envelope.top, ())]
+        seen = {envelope.top.node_id}
+        for gap in envelope.gaps:
+            if gap.kind == "node" and gap.ref.node_id not in seen:
+                resources.append(
+                    ("digest", self.vbtree.table_name, gap.ref.node_id)
+                )
+                seen.add(gap.ref.node_id)
+        for pos in envelope.result_positions:
+            # Lock the leaf digests along result paths.
+            node = envelope.top
+            for idx in pos.path:
+                node = node.children[idx]  # type: ignore[attr-defined]
+                if node.node_id not in seen:
+                    resources.append(
+                        ("digest", self.vbtree.table_name, node.node_id)
+                    )
+                    seen.add(node.node_id)
+        for resource in resources:
+            if not txn.lock_shared(resource):
+                raise LockError(
+                    f"query blocked acquiring S-lock on {resource!r}"
+                )

@@ -1,0 +1,188 @@
+"""Authenticated updates — Section 3.4.
+
+All updates run at the central server (only it can sign new digests).
+
+**Insert.**  The DBMS computes the new tuple's digests (formulas 1-2),
+then updates each node digest on the root-to-leaf path.  Under the
+FLATTENED policy this is the paper's cheap fold::
+
+    D_N' = h(D_N, D_T)     (one modular multiplication per node)
+
+X-locking "each digest in turn only as it is being modified".  Under
+the NESTED policy ancestors must be recomputed from their children
+(an explicit cost the update benches quantify).  Splits force digest
+recomputation for the affected nodes either way.
+
+**Delete.**  The tuple's contribution cannot be reversed out of the
+exponent product (that would require taking roots), so the transaction
+X-locks *all* digests on the path from the root to the affected leaves,
+deletes the tuples, then recomputes digests bottom-up — exactly the
+paper's description of why deletes are the expensive operation.
+
+Concurrent queries S-lock their enveloping subtrees
+(:meth:`repro.core.query_auth.QueryAuthenticator._lock_envelope`); a
+query whose envelope does not overlap the delete's path proceeds
+untouched, which is the concurrency win the paper claims over
+root-signature schemes like [5].
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.digests import DigestPolicy
+from repro.core.vbtree import VBTree
+from repro.db.btree import _Node
+from repro.db.rows import Row
+from repro.db.transactions import Transaction
+from repro.exceptions import LockError
+
+__all__ = ["AuthenticatedUpdater", "digest_resource"]
+
+
+def digest_resource(table: str, node_id: int) -> tuple[str, str, int]:
+    """Lock-manager resource name for one node digest."""
+    return ("digest", table, node_id)
+
+
+class AuthenticatedUpdater:
+    """Applies inserts/deletes to a VB-tree, maintaining digests and
+    following the paper's digest-locking protocol.
+
+    Args:
+        vbtree: The central server's authoritative VB-tree.
+        short_insert_locks: If True (paper behaviour), insert releases
+            each digest X-lock right after updating that digest; if
+            False, locks are held to commit (strict 2PL).
+    """
+
+    def __init__(self, vbtree: VBTree, short_insert_locks: bool = True) -> None:
+        self.vbtree = vbtree
+        self.short_insert_locks = short_insert_locks
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, row: Row, txn: Transaction | None = None) -> None:
+        """Insert ``row`` and maintain digests along the path.
+
+        Raises:
+            DuplicateKeyError: On key collision (no digests are touched).
+            LockError: If a digest X-lock cannot be granted immediately.
+        """
+        vbt = self.vbtree
+        trace, auth = vbt.raw_insert(row)
+        acquired: list[tuple[str, str, int]] = []
+        try:
+            if trace.split or trace.freed:
+                # Structural change: recompute digests of all dirty nodes.
+                self._lock_nodes(txn, trace.path, exclusive=True, acquired=acquired)
+                vbt.recompute_dirty(trace)
+            elif vbt.policy is DigestPolicy.FLATTENED:
+                # The paper's incremental path: fold the tuple digest
+                # into each node digest from the root down, X-locking
+                # "each digest in turn only as it is being modified".
+                for node in trace.path:
+                    self._with_node_xlock(
+                        txn,
+                        node,
+                        lambda n=node: self._fold(n, auth.digests.tuple_value),
+                    )
+            else:
+                # NESTED: the leaf digest changes, so every ancestor must
+                # be recomputed from its children.
+                self._lock_nodes(txn, trace.path, exclusive=True, acquired=acquired)
+                for node in reversed(trace.path):
+                    vbt.recompute_node(node)
+        finally:
+            if self.short_insert_locks and txn is not None:
+                for resource in acquired:
+                    txn.manager.locks.release(txn.txn_id, resource)
+        vbt.version += 1
+
+    def _fold(self, node: _Node, tuple_value: int) -> None:
+        vbt = self.vbtree
+        current = vbt.node_auth(node)
+        folded = vbt.signing.engine.fold_into_node(current.value, tuple_value)
+        vbt.set_node_value(node, folded)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any, txn: Transaction | None = None) -> Row:
+        """Delete the tuple at ``key``; recompute digests bottom-up.
+
+        The root-to-leaf digest path is X-locked *before* any
+        modification (the paper's delete protocol).
+
+        Returns:
+            The removed row.
+        """
+        vbt = self.vbtree
+        leaf = vbt.tree.find_leaf(key)
+        path = vbt.tree.path_to(leaf)
+        self._lock_nodes(txn, path, exclusive=True)
+        row = vbt.tree.get(key)
+        trace, _auth = vbt.raw_delete(key)
+        vbt.recompute_dirty(trace)
+        vbt.version += 1
+        return row
+
+    def delete_range(
+        self, low: Any, high: Any, txn: Transaction | None = None
+    ) -> list[Row]:
+        """Delete all tuples with ``low <= key <= high`` (the paper's
+        contiguous-range delete whose cost formula (12) models).
+
+        Returns:
+            The removed rows.
+        """
+        keys = [k for k, _ in self.vbtree.tree.range_items(low, high)]
+        return [self.delete(k, txn=txn) for k in keys]
+
+    # ------------------------------------------------------------------
+    # Locking plumbing
+    # ------------------------------------------------------------------
+
+    def _lock_nodes(
+        self,
+        txn: Transaction | None,
+        nodes: Sequence[_Node],
+        exclusive: bool,
+        acquired: list | None = None,
+    ) -> None:
+        if txn is None:
+            return
+        for node in nodes:
+            resource = digest_resource(self.vbtree.table_name, node.node_id)
+            already_held = txn.holds(resource) is not None
+            granted = (
+                txn.lock_exclusive(resource)
+                if exclusive
+                else txn.lock_shared(resource)
+            )
+            if not granted:
+                raise LockError(
+                    f"update blocked acquiring lock on {resource!r}"
+                )
+            if acquired is not None and not already_held:
+                acquired.append(resource)
+
+    def _with_node_xlock(
+        self, txn: Transaction | None, node: _Node, action
+    ) -> None:
+        """X-lock one digest, run ``action``, optionally release
+        immediately (the paper's short insert locks)."""
+        if txn is None:
+            action()
+            return
+        resource = digest_resource(self.vbtree.table_name, node.node_id)
+        if not txn.lock_exclusive(resource):
+            raise LockError(f"insert blocked acquiring X-lock on {resource!r}")
+        try:
+            action()
+        finally:
+            if self.short_insert_locks:
+                txn.manager.locks.release(txn.txn_id, resource)

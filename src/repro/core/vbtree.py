@@ -1,0 +1,398 @@
+"""The Verifiable B-tree (Section 3.2).
+
+A :class:`VBTree` is a B+-tree over ``key -> Row`` whose geometry
+includes the per-child signed digest (formula 6's reduced fan-out), plus
+the digest material of formulas (1)-(3):
+
+* per tuple: attribute digest values + signatures, tuple digest value +
+  signature (stored with the leaf entry);
+* per node: node digest value + signature (stored with the child
+  pointer in the parent), and — under the FLATTENED policy — the
+  *display* form ``g^x mod n`` with its own signature, which is what an
+  enveloping subtree's top digest ``D_N`` ships as;
+* tree metadata: the root's signed display digest and a version number.
+
+Digest maintenance on updates lives in :mod:`repro.core.update`; this
+module owns the data structure, bulk build, and digest recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.digests import DigestPolicy, SigningDigestEngine, TupleDigests
+from repro.crypto.signatures import SignedDigest
+from repro.db.btree import BPlusTree, InternalNode, LeafNode, MutationTrace, _Node
+from repro.db.page import PageGeometry
+from repro.db.rows import Row
+from repro.db.schema import TableSchema
+from repro.exceptions import AuthenticationError, KeyNotFoundError
+
+__all__ = ["VBTree", "NodeAuth", "TupleAuth"]
+
+
+@dataclass
+class TupleAuth:
+    """Digest material for one stored tuple."""
+
+    digests: TupleDigests
+    signed_tuple: SignedDigest
+    signed_attrs: tuple[SignedDigest, ...]
+
+
+@dataclass
+class NodeAuth:
+    """Digest material for one VB-tree node.
+
+    Attributes:
+        value: The propagating digest value (exponent product under
+            FLATTENED; combined hash under NESTED).
+        signed: Signature over ``value`` — what D_S ships for pruned
+            branches.
+        display: The comparison form (``g^value`` under FLATTENED;
+            ``value`` under NESTED).
+        signed_display: Signature over ``display`` — what D_N ships for
+            the enveloping subtree's top node.
+    """
+
+    value: int
+    signed: SignedDigest
+    display: int
+    signed_display: SignedDigest
+
+
+class VBTree:
+    """Verifiable B-tree over a table's rows.
+
+    Args:
+        schema: Table schema (fixes the key column and digest inputs).
+        signing: The central server's signing digest engine.
+        geometry: Page geometry; defaults to the paper's VB-tree
+            geometry, with ``key_len`` taken from the schema's key type
+            and ``digest_len`` from the signature width.
+        fanout_override: Test hook for small fan-outs.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        signing: SigningDigestEngine,
+        geometry: PageGeometry | None = None,
+        fanout_override: int | None = None,
+        key_func: "Callable[[Row], Any] | None" = None,
+        key_len: int | None = None,
+    ) -> None:
+        self.schema = schema
+        self.signing = signing
+        #: Maps a row to its search key in THIS tree.  The primary
+        #: VB-tree uses the schema key; secondary VB-trees (the paper's
+        #: "one or more VB-trees" per table) use a composite
+        #: ``(attribute, primary key)`` — see :mod:`repro.core.secondary`.
+        self.key_of = key_func or (lambda row: row.key)
+        sig_len = signing.signer.public_key.signature_len + 2
+        base = geometry or PageGeometry.vbtree_default()
+        self.geometry = PageGeometry(
+            block_size=base.block_size,
+            key_len=key_len or schema.key_type.byte_width(),
+            pointer_len=base.pointer_len,
+            digest_len=sig_len,
+        )
+        self.tree = BPlusTree(
+            geometry=self.geometry, min_fanout_override=fanout_override
+        )
+        self._tuple_auth: dict[Any, TupleAuth] = {}
+        self._node_auth: dict[int, NodeAuth] = {}
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> DigestPolicy:
+        """Digest policy in force."""
+        return self.signing.policy
+
+    @property
+    def table_name(self) -> str:
+        """Name of the table this tree authenticates."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def height(self) -> int:
+        """Tree height (leaf level = 1)."""
+        return self.tree.height()
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        schema: TableSchema,
+        rows: Iterable[Row],
+        signing: SigningDigestEngine,
+        geometry: PageGeometry | None = None,
+        fanout_override: int | None = None,
+        key_func: Callable[[Row], Any] | None = None,
+        key_len: int | None = None,
+    ) -> "VBTree":
+        """Bulk-build a VB-tree: insert rows, then digest bottom-up."""
+        vbt = cls(
+            schema,
+            signing,
+            geometry=geometry,
+            fanout_override=fanout_override,
+            key_func=key_func,
+            key_len=key_len,
+        )
+        for row in rows:
+            vbt.tree.insert(vbt.key_of(row), row)
+            vbt._store_tuple(row)
+        vbt.recompute_all_nodes()
+        return vbt
+
+    def _store_tuple(self, row: Row) -> TupleAuth:
+        digests, signed_tuple, signed_attrs = self.signing.sign_tuple(
+            self.table_name, row
+        )
+        auth = TupleAuth(
+            digests=digests,
+            signed_tuple=signed_tuple,
+            signed_attrs=signed_attrs,
+        )
+        self._tuple_auth[self.key_of(row)] = auth
+        return auth
+
+    # ------------------------------------------------------------------
+    # Digest access
+    # ------------------------------------------------------------------
+
+    def tuple_auth(self, key: Any) -> TupleAuth:
+        """Digest material of the tuple at ``key``.
+
+        Raises:
+            KeyNotFoundError: If no such tuple.
+        """
+        try:
+            return self._tuple_auth[key]
+        except KeyError:
+            raise KeyNotFoundError(f"no tuple digest for key {key!r}") from None
+
+    def node_auth(self, node: _Node) -> NodeAuth:
+        """Digest material of a node.
+
+        Raises:
+            AuthenticationError: If the node has no digest (tree
+                corrupted or digests not yet computed).
+        """
+        try:
+            return self._node_auth[node.node_id]
+        except KeyError:
+            raise AuthenticationError(
+                f"no digest recorded for node {node.node_id}"
+            ) from None
+
+    def root_auth(self) -> NodeAuth:
+        """Digest material of the root (tree metadata's signed digest)."""
+        return self.node_auth(self.tree.root)
+
+    def get_row(self, key: Any) -> Row:
+        """Row stored at ``key``.
+
+        Raises:
+            KeyNotFoundError: If absent.
+        """
+        return self.tree.get(key)
+
+    def rows(self) -> Iterator[Row]:
+        """All rows in key order."""
+        for _k, row in self.tree.items():
+            yield row
+
+    # ------------------------------------------------------------------
+    # Digest (re)computation
+    # ------------------------------------------------------------------
+
+    def compute_node_value(self, node: _Node) -> int:
+        """Digest value of ``node`` from its children's current values."""
+        engine = self.signing.engine
+        if node.is_leaf:
+            child_values = [
+                self._tuple_auth[k].digests.tuple_value for k in node.keys
+            ]
+        else:
+            child_values = [
+                self._node_auth[c.node_id].value
+                for c in node.children  # type: ignore[attr-defined]
+            ]
+        return engine.node_value(child_values)
+
+    def set_node_value(self, node: _Node, value: int) -> NodeAuth:
+        """Record (and sign) a node's digest value and display form."""
+        engine = self.signing.engine
+        signed = self.signing.sign_value(value)
+        display = engine.display_value(value)
+        if display == value:
+            signed_display = signed
+        else:
+            signed_display = self.signing.sign_value(display)
+        auth = NodeAuth(
+            value=value,
+            signed=signed,
+            display=display,
+            signed_display=signed_display,
+        )
+        self._node_auth[node.node_id] = auth
+        return auth
+
+    def recompute_node(self, node: _Node) -> NodeAuth:
+        """Recompute one node's digest from its children."""
+        return self.set_node_value(node, self.compute_node_value(node))
+
+    def recompute_all_nodes(self) -> None:
+        """Recompute every node digest bottom-up (bulk build / repair)."""
+        self._node_auth.clear()
+        self._recompute_subtree(self.tree.root)
+
+    def _recompute_subtree(self, node: _Node) -> None:
+        if not node.is_leaf:
+            for child in node.children:  # type: ignore[attr-defined]
+                self._recompute_subtree(child)
+        self.recompute_node(node)
+
+    def recompute_dirty(self, trace: MutationTrace) -> list[_Node]:
+        """Recompute digests for every node a mutation touched, plus all
+        their ancestors, bottom-up.
+
+        Returns:
+            The nodes recomputed, deepest first.
+        """
+        for node in trace.freed:
+            self._node_auth.pop(node.node_id, None)
+        dirty: dict[int, _Node] = {}
+
+        def add_with_ancestors(node: _Node) -> None:
+            cursor: _Node | None = node
+            while cursor is not None and cursor.node_id not in dirty:
+                dirty[cursor.node_id] = cursor
+                cursor = cursor.parent
+
+        for node in trace.modified:
+            if node.node_id not in {f.node_id for f in trace.freed}:
+                add_with_ancestors(node)
+        for node in trace.created:
+            add_with_ancestors(node)
+        add_with_ancestors(self.tree.root)
+
+        ordered = sorted(
+            dirty.values(), key=self._depth_of, reverse=True
+        )
+        for node in ordered:
+            self.recompute_node(node)
+        return ordered
+
+    def _depth_of(self, node: _Node) -> int:
+        depth = 0
+        cursor = node
+        while cursor.parent is not None:
+            cursor = cursor.parent
+            depth += 1
+        return depth
+
+    # ------------------------------------------------------------------
+    # Integrity audit (test / ops helper)
+    # ------------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Recompute every digest from scratch and compare with stored
+        values; raises :class:`AuthenticationError` on any mismatch.
+        Also checks that tuple digest material exists for every row and
+        carries valid signatures."""
+        verifier_key = self.signing.signer.public_key
+        from repro.crypto.signatures import DigestVerifier
+
+        verifier = DigestVerifier(verifier_key)
+        for key, row in self.tree.items():
+            auth = self._tuple_auth.get(key)
+            if auth is None:
+                raise AuthenticationError(f"missing tuple digests for {key!r}")
+            fresh = self.signing.engine.tuple_digests(self.table_name, row)
+            if fresh != auth.digests:
+                raise AuthenticationError(f"stale tuple digest at {key!r}")
+            if not verifier.verify_value(auth.signed_tuple, auth.digests.tuple_value):
+                raise AuthenticationError(f"bad tuple signature at {key!r}")
+
+        def check(node: _Node) -> int:
+            if node.is_leaf:
+                child_values = [
+                    self._tuple_auth[k].digests.tuple_value for k in node.keys
+                ]
+            else:
+                child_values = [
+                    check(c) for c in node.children  # type: ignore[attr-defined]
+                ]
+            expected = self.signing.engine.node_value(child_values)
+            stored = self.node_auth(node)
+            if stored.value != expected:
+                raise AuthenticationError(
+                    f"node {node.node_id} digest mismatch"
+                )
+            if not verifier.verify_value(stored.signed, stored.value):
+                raise AuthenticationError(
+                    f"node {node.node_id} signature invalid"
+                )
+            return stored.value
+
+        check(self.tree.root)
+
+    # ------------------------------------------------------------------
+    # Raw mutation + digest bookkeeping (used by core.update)
+    # ------------------------------------------------------------------
+
+    def raw_insert(self, row: Row) -> tuple[MutationTrace, TupleAuth]:
+        """Insert a row and its tuple digests; node digests are NOT
+        updated here (see :mod:`repro.core.update`)."""
+        trace = self.tree.insert(self.key_of(row), row)
+        auth = self._store_tuple(row)
+        return trace, auth
+
+    def raw_delete(self, key: Any) -> tuple[MutationTrace, TupleAuth]:
+        """Delete a row and its tuple digests; node digests are NOT
+        updated here (see :mod:`repro.core.update`)."""
+        trace = self.tree.delete(key)
+        auth = self._tuple_auth.pop(key)
+        return trace, auth
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "VBTree":
+        """Replica copy for distribution to an edge server.
+
+        The tree structure and digest maps are copied (so at-rest
+        tampering on the replica cannot corrupt the master); rows and
+        signed digests are immutable and shared."""
+        new = self.__class__.__new__(self.__class__)
+        new.__dict__.update(
+            {k: v for k, v in self.__dict__.items()
+             if k not in ("tree", "_tuple_auth", "_node_auth")}
+        )
+        new.tree = self.tree.clone()
+        new._tuple_auth = dict(self._tuple_auth)
+        new._node_auth = {
+            node_id: NodeAuth(
+                value=a.value,
+                signed=a.signed,
+                display=a.display,
+                signed_display=a.signed_display,
+            )
+            for node_id, a in self._node_auth.items()
+        }
+        new.version = self.version
+        return new

@@ -1,0 +1,144 @@
+"""Verification objects (VOs) and authenticated results.
+
+A VO carries everything a client needs — beyond the result tuples
+themselves — to check a query result against the central server's
+signatures (Section 3.3):
+
+* ``D_N`` — the signed *display* digest of the enveloping subtree's top
+  node;
+* ``D_S`` — signed digests for the envelope constituents that are not
+  part of the result: filtered tuples (gaps) and pruned child subtrees;
+* ``D_P`` — signed digests for attributes removed by projection.
+
+Two formats:
+
+* :attr:`VOFormat.FLAT_SET` — the paper's encoding: ``D_S`` and ``D_P``
+  are unordered multisets of signed digests.  Sufficient under the
+  FLATTENED digest policy, where every constituent multiplies into the
+  top node's exponent regardless of position.
+* :attr:`VOFormat.STRUCTURED` — every entry is tagged with its node
+  path/slot (and projection entries with their row/column), so the
+  client can rebuild intermediate node digests.  Required under the
+  NESTED digest policy; also usable under FLATTENED (and is what a
+  system would ship if it wanted the client to pinpoint *where*
+  tampering happened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional, Sequence
+
+from repro.core.digests import DigestPolicy
+from repro.crypto.signatures import SignedDigest
+
+__all__ = [
+    "VOFormat",
+    "VOEntryKind",
+    "VOEntry",
+    "VerificationObject",
+    "AuthenticatedResult",
+]
+
+
+class VOFormat(Enum):
+    """Wire encodings of a VO (see module docstring)."""
+
+    FLAT_SET = "flat"
+    STRUCTURED = "structured"
+
+
+class VOEntryKind(Enum):
+    """What a ``D_S``/``D_P`` entry stands for."""
+
+    NODE = "node"          # pruned child subtree (D_S)
+    TUPLE = "tuple"        # filtered tuple in a boundary leaf (D_S)
+    ATTRIBUTE = "attr"     # projected-away attribute (D_P)
+
+
+@dataclass(frozen=True)
+class VOEntry:
+    """One signed digest in a VO.
+
+    Structured-format tags (``None`` in FLAT_SET):
+
+    * NODE / TUPLE entries: ``path`` (child indices from the envelope
+      top) and ``slot`` (index within that node).
+    * ATTRIBUTE entries: ``row_index`` (position in the result list) and
+      ``attr_index`` (column position in the *full* table schema).
+    """
+
+    kind: VOEntryKind
+    signed: SignedDigest
+    path: Optional[tuple[int, ...]] = None
+    slot: Optional[int] = None
+    row_index: Optional[int] = None
+    attr_index: Optional[int] = None
+
+
+@dataclass
+class VerificationObject:
+    """The verification object for one query result."""
+
+    format: VOFormat
+    policy: DigestPolicy
+    table: str
+    top_signed: SignedDigest
+    selection_entries: list[VOEntry] = field(default_factory=list)
+    projection_entries: list[VOEntry] = field(default_factory=list)
+    #: STRUCTURED only: (path, slot) per result row, aligned with the
+    #: result row order.
+    result_positions: Optional[list[tuple[tuple[int, ...], int]]] = None
+    envelope_height: int = 0
+
+    @property
+    def num_selection_digests(self) -> int:
+        """|D_S| — digests covering gaps and pruned branches."""
+        return len(self.selection_entries)
+
+    @property
+    def num_projection_digests(self) -> int:
+        """|D_P| — digests covering projected-away attributes."""
+        return len(self.projection_entries)
+
+    def digest_count(self) -> int:
+        """Total signed digests shipped (D_N + D_S + D_P)."""
+        return 1 + self.num_selection_digests + self.num_projection_digests
+
+
+@dataclass
+class AuthenticatedResult:
+    """A query result together with its VO, as shipped by an edge server.
+
+    Attributes:
+        table: Source table (or materialized view) name.
+        columns: Returned column names, in row-value order.
+        all_columns: The table's full column list (the client derives
+            which attributes were filtered by projection).
+        key_column: Name of the primary-key column.
+        rows: Result tuples (projected values only).
+        keys: Primary key of each result row (always shipped — formula 1
+            hashes the key, so verification needs it even when the key
+            column is projected away).
+        vo: The verification object.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    all_columns: tuple[str, ...]
+    key_column: str
+    rows: list[tuple[Any, ...]]
+    keys: list[Any]
+    vo: VerificationObject
+
+    @property
+    def num_rows(self) -> int:
+        """``Q_r`` in the paper's notation."""
+        return len(self.rows)
+
+    @property
+    def filtered_columns(self) -> tuple[str, ...]:
+        """Columns removed by projection (``N_c - Q_c`` of them)."""
+        returned = set(self.columns)
+        return tuple(c for c in self.all_columns if c not in returned)

@@ -1,0 +1,240 @@
+"""Wire format for authenticated results — exact byte accounting.
+
+The communication-cost experiments (Figures 10-11) need real byte
+counts from the running system, so authenticated results serialize to a
+deterministic binary format and the benches measure ``len(bytes)``.
+
+Layout (all integers big-endian, lengths 4 bytes):
+
+    header   : sig_len | format | policy | envelope_height
+               table | key_column | columns | all_columns
+    rows     : count, then each row's values (canonical encoding)
+    keys     : values
+    vo       : top_signed
+               D_S count, entries
+               D_P count, entries
+               result positions (STRUCTURED only)
+
+Entries carry positional tags only in the STRUCTURED format, which is
+exactly the encoding-size difference between the two formats that the
+``bench_ablation_granularity`` bench reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.digests import DigestPolicy
+from repro.core.vo import (
+    AuthenticatedResult,
+    VerificationObject,
+    VOEntry,
+    VOEntryKind,
+    VOFormat,
+)
+from repro.crypto.encoding import (
+    decode_uint,
+    decode_value,
+    decode_values,
+    encode_uint,
+    encode_value,
+    encode_values,
+)
+from repro.crypto.signatures import SignedDigest
+from repro.exceptions import VOFormatError
+
+__all__ = ["result_to_bytes", "result_from_bytes", "wire_breakdown"]
+
+_FORMAT_TAGS = {VOFormat.FLAT_SET: 0, VOFormat.STRUCTURED: 1}
+_FORMAT_FROM_TAG = {v: k for k, v in _FORMAT_TAGS.items()}
+_POLICY_TAGS = {DigestPolicy.FLATTENED: 0, DigestPolicy.NESTED: 1}
+_POLICY_FROM_TAG = {v: k for k, v in _POLICY_TAGS.items()}
+_KIND_TAGS = {VOEntryKind.NODE: 0, VOEntryKind.TUPLE: 1, VOEntryKind.ATTRIBUTE: 2}
+_KIND_FROM_TAG = {v: k for k, v in _KIND_TAGS.items()}
+
+
+def _encode_path(path: tuple[int, ...]) -> bytes:
+    return encode_uint(len(path)) + b"".join(encode_uint(p) for p in path)
+
+
+def _decode_path(data: bytes, offset: int) -> tuple[tuple[int, ...], int]:
+    count, offset = decode_uint(data, offset)
+    path = []
+    for _ in range(count):
+        p, offset = decode_uint(data, offset)
+        path.append(p)
+    return tuple(path), offset
+
+
+def _encode_entry(entry: VOEntry, fmt: VOFormat, sig_len: int) -> bytes:
+    out = bytes([_KIND_TAGS[entry.kind]]) + entry.signed.to_bytes(sig_len)
+    if fmt is VOFormat.FLAT_SET:
+        return out
+    if entry.kind is VOEntryKind.ATTRIBUTE:
+        if entry.row_index is None or entry.attr_index is None:
+            raise VOFormatError("structured attribute entry missing tags")
+        return out + encode_uint(entry.row_index) + encode_uint(entry.attr_index)
+    if entry.path is None or entry.slot is None:
+        raise VOFormatError("structured entry missing position tags")
+    return out + _encode_path(entry.path) + encode_uint(entry.slot)
+
+
+def _decode_entry(
+    data: bytes, offset: int, fmt: VOFormat, sig_len: int
+) -> tuple[VOEntry, int]:
+    kind = _KIND_FROM_TAG.get(data[offset])
+    if kind is None:
+        raise VOFormatError(f"unknown VO entry kind tag {data[offset]}")
+    offset += 1
+    signed = SignedDigest.from_bytes(data[offset : offset + sig_len + 2], sig_len)
+    offset += sig_len + 2
+    if fmt is VOFormat.FLAT_SET:
+        return VOEntry(kind=kind, signed=signed), offset
+    if kind is VOEntryKind.ATTRIBUTE:
+        row_index, offset = decode_uint(data, offset)
+        attr_index, offset = decode_uint(data, offset)
+        return (
+            VOEntry(
+                kind=kind, signed=signed, row_index=row_index, attr_index=attr_index
+            ),
+            offset,
+        )
+    path, offset = _decode_path(data, offset)
+    slot, offset = decode_uint(data, offset)
+    return VOEntry(kind=kind, signed=signed, path=path, slot=slot), offset
+
+
+def result_to_bytes(result: AuthenticatedResult, sig_len: int) -> bytes:
+    """Serialize an authenticated result.
+
+    Args:
+        result: The result + VO to encode.
+        sig_len: Raw signature width in bytes (modulus size).
+    """
+    vo = result.vo
+    parts = [
+        encode_uint(sig_len),
+        bytes([_FORMAT_TAGS[vo.format]]),
+        bytes([_POLICY_TAGS[vo.policy]]),
+        encode_uint(vo.envelope_height),
+        encode_value(result.table),
+        encode_value(result.key_column),
+        encode_values(result.columns),
+        encode_values(result.all_columns),
+        encode_uint(len(result.rows)),
+    ]
+    for row in result.rows:
+        parts.append(encode_values(row))
+    parts.append(encode_values(result.keys))
+    parts.append(vo.top_signed.to_bytes(sig_len))
+    parts.append(encode_uint(len(vo.selection_entries)))
+    for entry in vo.selection_entries:
+        parts.append(_encode_entry(entry, vo.format, sig_len))
+    parts.append(encode_uint(len(vo.projection_entries)))
+    for entry in vo.projection_entries:
+        parts.append(_encode_entry(entry, vo.format, sig_len))
+    if vo.format is VOFormat.STRUCTURED:
+        positions = vo.result_positions or []
+        parts.append(encode_uint(len(positions)))
+        for path, slot in positions:
+            parts.append(_encode_path(tuple(path)) + encode_uint(slot))
+    return b"".join(parts)
+
+
+def result_from_bytes(data: bytes) -> AuthenticatedResult:
+    """Parse the serialization produced by :func:`result_to_bytes`."""
+    sig_len, offset = decode_uint(data, 0)
+    fmt = _FORMAT_FROM_TAG.get(data[offset])
+    policy = _POLICY_FROM_TAG.get(data[offset + 1])
+    if fmt is None or policy is None:
+        raise VOFormatError("unknown format/policy tags")
+    offset += 2
+    envelope_height, offset = decode_uint(data, offset)
+    table, offset = decode_value(data, offset)
+    key_column, offset = decode_value(data, offset)
+    columns, offset = decode_values(data, offset)
+    all_columns, offset = decode_values(data, offset)
+    row_count, offset = decode_uint(data, offset)
+    rows = []
+    for _ in range(row_count):
+        values, offset = decode_values(data, offset)
+        rows.append(tuple(values))
+    keys, offset = decode_values(data, offset)
+    top_signed = SignedDigest.from_bytes(
+        data[offset : offset + sig_len + 2], sig_len
+    )
+    offset += sig_len + 2
+    ds_count, offset = decode_uint(data, offset)
+    selection = []
+    for _ in range(ds_count):
+        entry, offset = _decode_entry(data, offset, fmt, sig_len)
+        selection.append(entry)
+    dp_count, offset = decode_uint(data, offset)
+    projection = []
+    for _ in range(dp_count):
+        entry, offset = _decode_entry(data, offset, fmt, sig_len)
+        projection.append(entry)
+    positions = None
+    if fmt is VOFormat.STRUCTURED:
+        pos_count, offset = decode_uint(data, offset)
+        positions = []
+        for _ in range(pos_count):
+            path, offset = _decode_path(data, offset)
+            slot, offset = decode_uint(data, offset)
+            positions.append((path, slot))
+    if offset != len(data):
+        raise VOFormatError(f"{len(data) - offset} trailing bytes")
+    vo = VerificationObject(
+        format=fmt,
+        policy=policy,
+        table=table,
+        top_signed=top_signed,
+        selection_entries=selection,
+        projection_entries=projection,
+        result_positions=positions,
+        envelope_height=envelope_height,
+    )
+    return AuthenticatedResult(
+        table=table,
+        columns=tuple(columns),
+        all_columns=tuple(all_columns),
+        key_column=key_column,
+        rows=rows,
+        keys=keys,
+        vo=vo,
+    )
+
+
+def wire_breakdown(result: AuthenticatedResult, sig_len: int) -> dict[str, int]:
+    """Byte counts per component — the measured analogue of formula (9).
+
+    Keys: ``data`` (result tuple values), ``keys``, ``dn``, ``ds``,
+    ``dp``, ``structure`` (positions and tags), ``header``, ``total``.
+    """
+    vo = result.vo
+    data_bytes = sum(len(encode_values(row)) for row in result.rows)
+    key_bytes = len(encode_values(result.keys))
+    dn_bytes = sig_len + 2
+    ds_sig = vo.num_selection_digests * (sig_len + 2 + 1)
+    dp_sig = vo.num_projection_digests * (sig_len + 2 + 1)
+    total = len(result_to_bytes(result, sig_len))
+    header = (
+        4 + 2 + 4
+        + len(encode_value(result.table))
+        + len(encode_value(result.key_column))
+        + len(encode_values(result.columns))
+        + len(encode_values(result.all_columns))
+        + 4  # row count
+        + 4 + 4  # D_S / D_P counts
+    )
+    structure = total - data_bytes - key_bytes - dn_bytes - ds_sig - dp_sig - header
+    return {
+        "data": data_bytes,
+        "keys": key_bytes,
+        "dn": dn_bytes,
+        "ds": ds_sig,
+        "dp": dp_sig,
+        "structure": structure,
+        "header": header,
+        "total": total,
+    }

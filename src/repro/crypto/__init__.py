@@ -1,0 +1,75 @@
+"""Cryptographic substrate: hashes, commutative combinators, RSA, signing.
+
+Public surface re-exported here; see the individual modules for detail:
+
+* :mod:`repro.crypto.primes` — Miller-Rabin and prime generation.
+* :mod:`repro.crypto.rsa` — textbook RSA (the paper's ``s``/``s^{-1}``).
+* :mod:`repro.crypto.hashing` — base one-way hashes (SHA/MD5 family).
+* :mod:`repro.crypto.commutative` — the paper's ``g^x mod 2^k``
+  combinator plus hardened alternatives.
+* :mod:`repro.crypto.signatures` — digest signing with key epochs.
+* :mod:`repro.crypto.keyring` — epoch validity windows (stale replay).
+* :mod:`repro.crypto.encoding` — canonical injective byte encodings.
+* :mod:`repro.crypto.meter` — Cost_h/Cost_c/Cost_v operation accounting.
+"""
+
+from repro.crypto.commutative import (
+    AdditiveSetHash,
+    CommutativeHash,
+    ExponentialCommutativeHash,
+    MultiplicativeSetHash,
+    get_commutative_hash,
+    pow_by_repeated_squaring,
+)
+from repro.crypto.encoding import (
+    decode_value,
+    decode_values,
+    digest_input,
+    encode_value,
+    encode_values,
+)
+from repro.crypto.hashing import BaseHash, Md5Hash, Sha1Hash, Sha256Hash, get_base_hash
+from repro.crypto.keyring import EpochRecord, KeyRing
+from repro.crypto.meter import NULL_METER, CostMeter, CostWeights
+from repro.crypto.primes import generate_prime, is_probable_prime, miller_rabin
+from repro.crypto.rsa import (
+    RSAKeyPair,
+    RSAPrivateKey,
+    RSAPublicKey,
+    generate_keypair,
+)
+from repro.crypto.signatures import DigestSigner, DigestVerifier, SignedDigest
+
+__all__ = [
+    "AdditiveSetHash",
+    "BaseHash",
+    "CommutativeHash",
+    "CostMeter",
+    "CostWeights",
+    "DigestSigner",
+    "DigestVerifier",
+    "EpochRecord",
+    "ExponentialCommutativeHash",
+    "KeyRing",
+    "Md5Hash",
+    "MultiplicativeSetHash",
+    "NULL_METER",
+    "RSAKeyPair",
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "Sha1Hash",
+    "Sha256Hash",
+    "SignedDigest",
+    "decode_value",
+    "decode_values",
+    "digest_input",
+    "encode_value",
+    "encode_values",
+    "generate_keypair",
+    "generate_prime",
+    "get_base_hash",
+    "get_commutative_hash",
+    "is_probable_prime",
+    "miller_rabin",
+    "pow_by_repeated_squaring",
+]

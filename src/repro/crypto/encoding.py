@@ -1,0 +1,164 @@
+"""Canonical byte encoding for digest inputs and wire formats.
+
+Formula (1) of the paper hashes the concatenation
+``db | table | attr | key | value``.  A naive concatenation is ambiguous
+(``"ab"+"c" == "a"+"bc"``), so every component here is length-prefixed
+and type-tagged, giving an **injective** encoding: distinct value tuples
+never encode to the same byte string.  The same primitives back the VO
+wire format in :mod:`repro.core.wire`.
+
+Supported scalar types: ``None``, ``bool``, ``int`` (arbitrary
+precision), ``float``, ``str``, ``bytes``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterable
+
+from repro.exceptions import EncodingError
+
+__all__ = [
+    "encode_value",
+    "decode_value",
+    "encode_values",
+    "decode_values",
+    "encode_uint",
+    "decode_uint",
+    "digest_input",
+]
+
+# One-byte type tags.
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+
+
+def encode_uint(value: int) -> bytes:
+    """Encode a non-negative int as a 4-byte big-endian length/count field."""
+    if value < 0 or value > 0xFFFFFFFF:
+        raise EncodingError(f"uint out of range: {value}")
+    return struct.pack(">I", value)
+
+
+def decode_uint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a 4-byte big-endian uint; return ``(value, new_offset)``."""
+    if offset + 4 > len(data):
+        raise EncodingError("truncated uint field")
+    return struct.unpack_from(">I", data, offset)[0], offset + 4
+
+
+def encode_value(value: Any) -> bytes:
+    """Canonically encode one scalar as ``tag | length | payload``.
+
+    The encoding is injective across all supported types: the type tag
+    separates namespaces and the length prefix removes concatenation
+    ambiguity.
+
+    Raises:
+        EncodingError: For unsupported types (including ``int``-like
+            ``bool`` confusion — ``bool`` is tagged separately).
+    """
+    if value is None:
+        return _TAG_NONE + encode_uint(0)
+    if value is True:
+        return _TAG_TRUE + encode_uint(0)
+    if value is False:
+        return _TAG_FALSE + encode_uint(0)
+    if isinstance(value, int):
+        payload = value.to_bytes(
+            (value.bit_length() + 8) // 8 or 1, "big", signed=True
+        )
+        return _TAG_INT + encode_uint(len(payload)) + payload
+    if isinstance(value, float):
+        payload = struct.pack(">d", value)
+        return _TAG_FLOAT + encode_uint(len(payload)) + payload
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return _TAG_STR + encode_uint(len(payload)) + payload
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        payload = bytes(value)
+        return _TAG_BYTES + encode_uint(len(payload)) + payload
+    raise EncodingError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes, offset: int = 0) -> tuple[Any, int]:
+    """Decode one scalar encoded by :func:`encode_value`.
+
+    Returns:
+        ``(value, new_offset)``.
+
+    Raises:
+        EncodingError: On truncation or unknown tags.
+    """
+    if offset >= len(data):
+        raise EncodingError("truncated value: missing tag")
+    tag = data[offset : offset + 1]
+    length, cursor = decode_uint(data, offset + 1)
+    payload = data[cursor : cursor + length]
+    if len(payload) != length:
+        raise EncodingError("truncated value payload")
+    cursor += length
+    if tag == _TAG_NONE:
+        return None, cursor
+    if tag == _TAG_TRUE:
+        return True, cursor
+    if tag == _TAG_FALSE:
+        return False, cursor
+    if tag == _TAG_INT:
+        return int.from_bytes(payload, "big", signed=True), cursor
+    if tag == _TAG_FLOAT:
+        try:
+            return struct.unpack(">d", payload)[0], cursor
+        except struct.error as exc:
+            raise EncodingError(f"bad float payload: {exc}") from exc
+    if tag == _TAG_STR:
+        try:
+            return payload.decode("utf-8"), cursor
+        except UnicodeDecodeError as exc:
+            raise EncodingError(f"bad utf-8 payload: {exc}") from exc
+    if tag == _TAG_BYTES:
+        return payload, cursor
+    raise EncodingError(f"unknown type tag {tag!r}")
+
+
+def encode_values(values: Iterable[Any]) -> bytes:
+    """Encode a sequence of scalars with a leading count."""
+    items = [encode_value(v) for v in values]
+    return encode_uint(len(items)) + b"".join(items)
+
+
+def decode_values(data: bytes, offset: int = 0) -> tuple[list[Any], int]:
+    """Decode a sequence written by :func:`encode_values`."""
+    count, cursor = decode_uint(data, offset)
+    out: list[Any] = []
+    for _ in range(count):
+        value, cursor = decode_value(data, cursor)
+        out.append(value)
+    return out, cursor
+
+
+def digest_input(
+    db_name: str,
+    table_name: str,
+    attr_name: str,
+    key: Any,
+    value: Any,
+) -> bytes:
+    """Build the canonical byte string hashed by formula (1).
+
+    ``h( db | table | attr | key | value )`` with every component
+    length-prefixed so the mapping from the 5-tuple to bytes is
+    injective.
+    """
+    return (
+        encode_value(db_name)
+        + encode_value(table_name)
+        + encode_value(attr_name)
+        + encode_value(key)
+        + encode_value(value)
+    )

@@ -1,0 +1,125 @@
+"""Key-epoch management for stale-data detection (Section 3.4).
+
+When updates are propagated to edge servers lazily, a compromised edge
+server could keep serving old data *with old, still-valid signatures*.
+The paper's defence: "the central server can include the timestamp or
+version number in its public key, and make available to users the
+validity period of each public key at a well-known location".
+
+:class:`KeyRing` is that well-known location.  The central server
+registers a new epoch on every key rotation; clients ask the ring which
+epochs are currently acceptable and reject signatures outside the
+window with :class:`~repro.exceptions.StaleKeyError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RSAPublicKey
+from repro.exceptions import StaleKeyError
+
+__all__ = ["EpochRecord", "KeyRing"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One registered key epoch.
+
+    Attributes:
+        epoch: Monotonically increasing epoch number.
+        public_key: Public key valid during this epoch.
+        issued_at: Logical timestamp when the epoch began.
+        expires_at: Logical timestamp after which signatures under this
+            epoch must be rejected (``None`` = still current).
+    """
+
+    epoch: int
+    public_key: RSAPublicKey
+    issued_at: int
+    expires_at: int | None = None
+
+
+@dataclass
+class KeyRing:
+    """Registry of key epochs with validity windows.
+
+    The ring uses *logical time* (an integer the caller advances), which
+    keeps the simulation deterministic; wall-clock integration is a
+    one-line adapter.
+
+    Attributes:
+        grace: How many logical ticks an expired epoch remains
+            acceptable, modelling clients that tolerate propagation lag.
+    """
+
+    grace: int = 0
+    _records: dict[int, EpochRecord] = field(default_factory=dict)
+    _clock: int = 0
+    _current_epoch: int = -1
+
+    @property
+    def now(self) -> int:
+        """Current logical time."""
+        return self._clock
+
+    @property
+    def current_epoch(self) -> int:
+        """Most recently registered epoch number."""
+        if self._current_epoch < 0:
+            raise StaleKeyError("no key epoch registered yet")
+        return self._current_epoch
+
+    def tick(self, steps: int = 1) -> int:
+        """Advance logical time; returns the new time."""
+        if steps < 0:
+            raise ValueError("time cannot move backwards")
+        self._clock += steps
+        return self._clock
+
+    def register(self, public_key: RSAPublicKey) -> EpochRecord:
+        """Register a new epoch for ``public_key``, expiring the old one.
+
+        Returns:
+            The new :class:`EpochRecord`.
+        """
+        new_epoch = self._current_epoch + 1
+        if self._current_epoch >= 0:
+            old = self._records[self._current_epoch]
+            self._records[self._current_epoch] = EpochRecord(
+                epoch=old.epoch,
+                public_key=old.public_key,
+                issued_at=old.issued_at,
+                expires_at=self._clock,
+            )
+        record = EpochRecord(
+            epoch=new_epoch, public_key=public_key, issued_at=self._clock
+        )
+        self._records[new_epoch] = record
+        self._current_epoch = new_epoch
+        return record
+
+    def public_key_for(self, epoch: int) -> RSAPublicKey:
+        """Return the public key for ``epoch`` **if it is still valid**.
+
+        Raises:
+            StaleKeyError: If the epoch is unknown, or expired beyond the
+                grace window — the stale-replay detection path.
+        """
+        record = self._records.get(epoch)
+        if record is None:
+            raise StaleKeyError(f"unknown key epoch {epoch}")
+        if record.expires_at is not None and self._clock > record.expires_at + self.grace:
+            raise StaleKeyError(
+                f"key epoch {epoch} expired at t={record.expires_at} "
+                f"(now t={self._clock}, grace={self.grace})"
+            )
+        return record.public_key
+
+    def is_valid(self, epoch: int) -> bool:
+        """True if signatures under ``epoch`` are currently acceptable."""
+        try:
+            self.public_key_for(epoch)
+        except StaleKeyError:
+            return False
+        return True

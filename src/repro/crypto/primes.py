@@ -1,0 +1,154 @@
+"""Primality testing and prime generation for the RSA substrate.
+
+Implements deterministic trial division for small candidates and the
+Miller-Rabin probabilistic primality test for large ones, plus a prime
+generator used by :mod:`repro.crypto.rsa` key generation.
+
+Everything here is pure Python on ``int``; no external dependencies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.exceptions import KeyGenerationError
+
+__all__ = [
+    "SMALL_PRIMES",
+    "is_probable_prime",
+    "miller_rabin",
+    "next_probable_prime",
+    "generate_prime",
+]
+
+#: Primes below 1000, used for fast trial-division screening.
+SMALL_PRIMES: tuple[int, ...] = tuple(
+    p
+    for p in range(2, 1000)
+    if all(p % q for q in range(2, int(p**0.5) + 1))
+)
+
+#: Number of Miller-Rabin rounds.  40 rounds gives a false-positive
+#: probability below 4^-40 (~1e-24) per composite, far below any practical
+#: concern for this library.
+DEFAULT_ROUNDS = 40
+
+# Witnesses that make Miller-Rabin *deterministic* for n < 3.3e24
+# (Sorenson & Webster).  Used before falling back to random witnesses.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+
+def _decompose(n: int) -> tuple[int, int]:
+    """Write ``n - 1 = d * 2**r`` with ``d`` odd; return ``(r, d)``."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    return r, d
+
+
+def _witness_says_composite(a: int, n: int, r: int, d: int) -> bool:
+    """Return True if witness ``a`` proves ``n`` composite."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def miller_rabin(
+    n: int,
+    rounds: int = DEFAULT_ROUNDS,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Miller-Rabin probabilistic primality test.
+
+    For ``n`` below the Sorenson-Webster bound the fixed witness set makes
+    the answer deterministic; above it, ``rounds`` random witnesses are
+    drawn from ``rng`` (or the module-level PRNG).
+
+    Args:
+        n: Candidate integer (``n >= 2``).
+        rounds: Number of random witnesses for large ``n``.
+        rng: Optional PRNG for reproducible witness selection.
+
+    Returns:
+        ``True`` if ``n`` is (probably) prime.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    r, d = _decompose(n)
+    if n < _DETERMINISTIC_BOUND:
+        witnesses: Iterable[int] = (
+            a for a in _DETERMINISTIC_WITNESSES if a < n - 1
+        )
+        return not any(_witness_says_composite(a, n, r, d) for a in witnesses)
+    rng = rng or random
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _witness_says_composite(a, n, r, d):
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rounds: int = DEFAULT_ROUNDS) -> bool:
+    """Convenience alias for :func:`miller_rabin` with default rounds."""
+    return miller_rabin(n, rounds=rounds)
+
+
+def next_probable_prime(n: int) -> int:
+    """Return the smallest probable prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not miller_rabin(candidate):
+        candidate += 2
+    return candidate
+
+
+def generate_prime(
+    bits: int,
+    rng: Optional[random.Random] = None,
+    max_attempts: int = 100_000,
+) -> int:
+    """Generate a probable prime of exactly ``bits`` bits.
+
+    The top two bits are forced to 1 (so that the product of two such
+    primes has exactly ``2 * bits`` bits — required by RSA key sizing),
+    and the bottom bit is forced to 1 (odd).
+
+    Args:
+        bits: Bit-length of the prime (``bits >= 8``).
+        rng: Optional PRNG for reproducible generation.  When omitted, a
+            fresh ``random.SystemRandom`` is used (cryptographic entropy).
+        max_attempts: Bail-out bound; prime density makes hitting it
+            essentially impossible for sane ``bits``.
+
+    Raises:
+        KeyGenerationError: If ``bits < 8`` or no prime was found within
+            ``max_attempts`` candidates.
+    """
+    if bits < 8:
+        raise KeyGenerationError(f"prime size too small: {bits} bits")
+    rng = rng or random.SystemRandom()
+    top = (1 << (bits - 1)) | (1 << (bits - 2))
+    for _ in range(max_attempts):
+        candidate = rng.getrandbits(bits) | top | 1
+        if miller_rabin(candidate, rng=rng if isinstance(rng, random.Random) else None):
+            return candidate
+    raise KeyGenerationError(
+        f"no {bits}-bit prime found in {max_attempts} attempts"
+    )

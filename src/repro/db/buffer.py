@@ -1,0 +1,106 @@
+"""An LRU buffer pool over B+-tree nodes — the physical I/O model.
+
+The in-memory B+-tree counts every node visit as one *logical* I/O.
+Real edge servers cache hot nodes; the interesting quantity for the
+paper's "I/O savings" discussion is the number of *physical* reads
+(buffer misses).  :class:`BufferPool` replays a logical access trace
+through an LRU cache of configurable capacity, giving miss counts
+without coupling the tree to a storage layer.
+
+Used by the edge-I/O analyses and available as a substrate component:
+
+    pool = BufferPool(capacity=64)
+    for node in access_trace:
+        pool.access(node.node_id)
+    print(pool.misses, pool.hit_rate)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable
+
+from repro.exceptions import DatabaseError
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """LRU page cache with hit/miss accounting.
+
+    Args:
+        capacity: Maximum number of resident pages (> 0).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise DatabaseError(f"buffer capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._pages: OrderedDict[Hashable, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+
+    def access(self, page_id: Hashable) -> bool:
+        """Touch one page.
+
+        Returns:
+            True on a hit (already resident), False on a miss (the page
+            is faulted in, possibly evicting the LRU page).
+        """
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page_id] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def access_many(self, page_ids: Iterable[Hashable]) -> int:
+        """Touch a sequence of pages; returns the number of misses."""
+        before = self.misses
+        for page_id in page_ids:
+            self.access(page_id)
+        return self.misses - before
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._pages)
+
+    def contains(self, page_id: Hashable) -> bool:
+        """True if ``page_id`` is resident (does not count as an access)."""
+        return page_id in self._pages
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses recorded."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0.0 when nothing was accessed)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the counters, keeping resident pages."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        """Drop all pages and statistics."""
+        self._pages.clear()
+        self.reset_stats()

@@ -1,0 +1,259 @@
+"""Lock manager: shared/exclusive locks, upgrades, deadlock detection.
+
+Section 3.4 of the paper prescribes a locking protocol over VB-tree
+*digests*: inserts X-lock each digest on the root-to-leaf path "in turn
+only as it is being modified"; deletes X-lock the whole path; queries
+S-lock the digests of their enveloping subtree.  Concurrency control
+across servers is "basic 2PL [3], with the central server hosting the
+master copy".
+
+This lock manager supports that protocol for a *simulated* set of
+transactions (the simulation interleaves operations deterministically
+rather than using OS threads):
+
+* lock modes S and X with the standard compatibility matrix;
+* S→X upgrades;
+* FIFO wait queues;
+* waits-for graph with cycle detection — a request that would close a
+  cycle raises :class:`~repro.exceptions.DeadlockError` so the caller
+  can abort the victim.
+
+Resources are arbitrary hashable names; the VB-tree layer uses
+``("digest", tree_name, node_id)`` tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable, Iterable
+
+from repro.exceptions import DeadlockError, LockError
+
+__all__ = ["LockMode", "LockManager", "LockRequest"]
+
+
+class LockMode(Enum):
+    """Lock modes with the usual S/X compatibility."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+    def compatible_with(self, other: "LockMode") -> bool:
+        """S is compatible with S; everything else conflicts."""
+        return self is LockMode.SHARED and other is LockMode.SHARED
+
+
+@dataclass
+class LockRequest:
+    """A queued lock request."""
+
+    txn: Hashable
+    mode: LockMode
+
+
+@dataclass
+class _ResourceState:
+    """Grant table entry for one resource."""
+
+    granted: dict[Hashable, LockMode] = field(default_factory=dict)
+    queue: list[LockRequest] = field(default_factory=list)
+
+
+class LockManager:
+    """Deterministic lock manager for the simulation.
+
+    ``acquire`` either grants immediately (returns True), queues the
+    request (returns False — the transaction must wait until a later
+    ``release`` grants it), or raises :class:`DeadlockError` when
+    waiting would create a cycle in the waits-for graph.
+    """
+
+    def __init__(self) -> None:
+        self._resources: dict[Hashable, _ResourceState] = {}
+        self._held: dict[Hashable, set[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def holders(self, resource: Hashable) -> dict[Hashable, LockMode]:
+        """Current granted locks on ``resource``."""
+        state = self._resources.get(resource)
+        return dict(state.granted) if state else {}
+
+    def held_by(self, txn: Hashable) -> set[Hashable]:
+        """Resources on which ``txn`` currently holds locks."""
+        return set(self._held.get(txn, ()))
+
+    def mode_held(self, txn: Hashable, resource: Hashable) -> LockMode | None:
+        """Lock mode ``txn`` holds on ``resource``, if any."""
+        state = self._resources.get(resource)
+        if state is None:
+            return None
+        return state.granted.get(txn)
+
+    def is_waiting(self, txn: Hashable) -> bool:
+        """True if ``txn`` has a queued (ungranted) request."""
+        return any(
+            any(req.txn == txn for req in state.queue)
+            for state in self._resources.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self, txn: Hashable, resource: Hashable, mode: LockMode
+    ) -> bool:
+        """Request ``mode`` on ``resource`` for ``txn``.
+
+        Returns:
+            True if granted immediately; False if queued.
+
+        Raises:
+            DeadlockError: If queueing the request would deadlock.
+            LockError: On a nonsensical request (e.g. downgrade attempt
+                while others wait is fine; re-request of held mode is a
+                no-op returning True).
+        """
+        state = self._resources.setdefault(resource, _ResourceState())
+        current = state.granted.get(txn)
+
+        if current is not None:
+            if current is mode or current is LockMode.EXCLUSIVE:
+                return True  # already strong enough
+            # S -> X upgrade: needs every *other* holder gone.
+            others = [t for t in state.granted if t != txn]
+            if not others:
+                state.granted[txn] = LockMode.EXCLUSIVE
+                return True
+            self._check_deadlock(txn, others)
+            state.queue.insert(0, LockRequest(txn, LockMode.EXCLUSIVE))
+            return False
+
+        blockers = [
+            t
+            for t, m in state.granted.items()
+            if not mode.compatible_with(m)
+        ]
+        # FIFO fairness: an incompatible queue head also blocks new grants.
+        if not blockers and state.queue:
+            head = state.queue[0]
+            if not mode.compatible_with(head.mode) or not state.granted:
+                blockers = [head.txn]
+        if not blockers:
+            state.granted[txn] = mode
+            self._held.setdefault(txn, set()).add(resource)
+            return True
+        self._check_deadlock(txn, blockers)
+        state.queue.append(LockRequest(txn, mode))
+        return False
+
+    def release(self, txn: Hashable, resource: Hashable) -> list[Hashable]:
+        """Release ``txn``'s lock on ``resource``.
+
+        Returns:
+            Transactions whose queued requests became granted.
+
+        Raises:
+            LockError: If ``txn`` holds no lock on ``resource``.
+        """
+        state = self._resources.get(resource)
+        if state is None or txn not in state.granted:
+            raise LockError(f"{txn!r} holds no lock on {resource!r}")
+        del state.granted[txn]
+        held = self._held.get(txn)
+        if held:
+            held.discard(resource)
+        granted = self._drain_queue(resource, state)
+        if not state.granted and not state.queue:
+            del self._resources[resource]
+        return granted
+
+    def release_all(self, txn: Hashable) -> list[Hashable]:
+        """Release every lock ``txn`` holds (2PL shrink phase) and drop
+        any queued requests it still has pending.
+
+        Returns:
+            Transactions granted as a result.
+        """
+        woken: list[Hashable] = []
+        for resource in list(self._held.get(txn, ())):
+            woken.extend(self.release(txn, resource))
+        self._held.pop(txn, None)
+        for resource, state in list(self._resources.items()):
+            state.queue = [r for r in state.queue if r.txn != txn]
+            woken.extend(self._drain_queue(resource, state))
+            if not state.granted and not state.queue:
+                del self._resources[resource]
+        return woken
+
+    def _drain_queue(
+        self, resource: Hashable, state: _ResourceState
+    ) -> list[Hashable]:
+        """Grant as many queued requests as compatibility allows (FIFO)."""
+        granted: list[Hashable] = []
+        while state.queue:
+            head = state.queue[0]
+            current = state.granted.get(head.txn)
+            if current is not None and head.mode is LockMode.EXCLUSIVE:
+                # Pending upgrade: grantable only when alone.
+                others = [t for t in state.granted if t != head.txn]
+                if others:
+                    break
+                state.granted[head.txn] = LockMode.EXCLUSIVE
+                state.queue.pop(0)
+                granted.append(head.txn)
+                continue
+            conflict = any(
+                not head.mode.compatible_with(m)
+                for t, m in state.granted.items()
+                if t != head.txn
+            )
+            if conflict:
+                break
+            state.granted[head.txn] = head.mode
+            self._held.setdefault(head.txn, set()).add(resource)
+            state.queue.pop(0)
+            granted.append(head.txn)
+        return granted
+
+    # ------------------------------------------------------------------
+    # Deadlock detection
+    # ------------------------------------------------------------------
+
+    def _waits_for_edges(self) -> dict[Hashable, set[Hashable]]:
+        """Current waits-for graph: waiter -> set of holders."""
+        edges: dict[Hashable, set[Hashable]] = {}
+        for state in self._resources.values():
+            for req in state.queue:
+                blockers = {
+                    t
+                    for t, m in state.granted.items()
+                    if t != req.txn and not req.mode.compatible_with(m)
+                }
+                if blockers:
+                    edges.setdefault(req.txn, set()).update(blockers)
+        return edges
+
+    def _check_deadlock(
+        self, txn: Hashable, new_blockers: Iterable[Hashable]
+    ) -> None:
+        """Raise if adding ``txn -> new_blockers`` closes a cycle."""
+        edges = self._waits_for_edges()
+        edges.setdefault(txn, set()).update(new_blockers)
+        # DFS from txn looking for a path back to txn.
+        stack = list(edges.get(txn, ()))
+        seen: set[Hashable] = set()
+        while stack:
+            node = stack.pop()
+            if node == txn:
+                raise DeadlockError(
+                    f"granting this lock to {txn!r} would deadlock"
+                )
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))

@@ -1,0 +1,174 @@
+"""Materialized join views.
+
+Section 3.3 (Join): ad-hoc joins cannot be pre-authenticated, but in
+edge computing "most of the database queries are not likely to be
+ad-hoc, but are embedded in application programs and hence known in
+advance.  It is thus possible to materialize each join operation, and
+construct a VB-tree on the materialized view."
+
+:class:`MaterializedJoinView` materializes an equi-join of two base
+tables into a regular :class:`~repro.db.table.Table` (with a synthetic
+integer key, since join outputs need a unique primary key for the
+VB-tree), and supports incremental maintenance when base rows are
+inserted or deleted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.db.executor import MergeJoin, SeqScan, _joined_schema
+from repro.db.rows import Row
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.types import IntType
+from repro.exceptions import SchemaError
+
+__all__ = ["MaterializedJoinView"]
+
+#: Name of the synthetic key column every materialized view gets.
+VIEW_KEY = "view_id"
+
+
+class MaterializedJoinView:
+    """An equi-join of two tables, materialized and maintainable.
+
+    Args:
+        name: View name (registered like a table).
+        left: Left base table.
+        right: Right base table.
+        left_column: Join column on the left table.
+        right_column: Join column on the right table.
+
+    The view's rows carry a synthetic ``view_id`` key assigned in join
+    order, then the left row's columns, then the right row's columns
+    (collision-renamed).  ``view_id`` gives the VB-tree built over the
+    view a proper search key.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        left: Table,
+        right: Table,
+        left_column: str,
+        right_column: str,
+    ) -> None:
+        left.schema.column(left_column)   # validate early
+        right.schema.column(right_column)
+        self.name = name
+        self.left = left
+        self.right = right
+        self.left_column = left_column
+        self.right_column = right_column
+        joined = _joined_schema(left.schema, right.schema, name)
+        self.schema = TableSchema(
+            name=name,
+            columns=(Column(VIEW_KEY, IntType()), *joined.columns),
+            key=VIEW_KEY,
+        )
+        self._joined_schema = joined
+        self._next_id = 0
+        self.table = Table(self.schema)
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Full refresh
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Recompute the view from scratch; returns the row count."""
+        join = (
+            MergeJoin(
+                SeqScan(self.left),
+                SeqScan(self.right),
+                self.left_column,
+                self.right_column,
+            )
+            if self.left_column == self.left.schema.key
+            and self.right_column == self.right.schema.key
+            else None
+        )
+        self.table = Table(self.schema)
+        self._next_id = 0
+        if join is not None:
+            rows: Iterator[Row] = join.execute()
+        else:
+            from repro.db.executor import NestedLoopJoin
+
+            rows = NestedLoopJoin(
+                SeqScan(self.left),
+                SeqScan(self.right),
+                self.left_column,
+                self.right_column,
+            ).execute()
+        for row in rows:
+            self._append(row.values)
+        return len(self.table)
+
+    def _append(self, joined_values: tuple[Any, ...]) -> Row:
+        row = Row(self.schema, (self._next_id, *joined_values))
+        self.table.insert(row)
+        self._next_id += 1
+        return row
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def on_left_insert(self, row: Row) -> list[Row]:
+        """Propagate an insert into the left base table.
+
+        Returns:
+            The view rows added.
+        """
+        ri = self.right.schema.column_index(self.right_column)
+        li = self.left.schema.column_index(self.left_column)
+        added = []
+        for rrow in self.right.scan():
+            if rrow.values[ri] == row.values[li]:
+                added.append(self._append(row.values + rrow.values))
+        return added
+
+    def on_right_insert(self, row: Row) -> list[Row]:
+        """Propagate an insert into the right base table."""
+        ri = self.right.schema.column_index(self.right_column)
+        li = self.left.schema.column_index(self.left_column)
+        added = []
+        for lrow in self.left.scan():
+            if lrow.values[li] == row.values[ri]:
+                added.append(self._append(lrow.values + row.values))
+        return added
+
+    def on_left_delete(self, row: Row) -> list[Row]:
+        """Propagate a delete from the left base table.
+
+        Returns:
+            The view rows removed.
+        """
+        key_idx = self.left.schema.key_index
+        # The left row's key appears at offset 1 + key_idx (after view_id).
+        removed = [
+            vrow
+            for vrow in list(self.table.scan())
+            if vrow.values[1 + key_idx] == row.values[key_idx]
+        ]
+        for vrow in removed:
+            self.table.delete(vrow.key)
+        return removed
+
+    def on_right_delete(self, row: Row) -> list[Row]:
+        """Propagate a delete from the right base table."""
+        offset = 1 + len(self.left.schema.columns)
+        key_idx = self.right.schema.key_index
+        removed = [
+            vrow
+            for vrow in list(self.table.scan())
+            if vrow.values[offset + key_idx] == row.values[key_idx]
+        ]
+        for vrow in removed:
+            self.table.delete(vrow.key)
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.table)

@@ -1,0 +1,127 @@
+"""Page geometry: how block, key, pointer and digest widths determine
+index fan-out (formulas 6-7 of the paper; Figures 8-9).
+
+A B+-tree internal node with fan-out ``f`` stores ``f`` child pointers
+and ``f - 1`` separator keys.  Packing that into a block of ``|B|``
+bytes gives::
+
+    (f - 1)·|K| + f·|P| <= |B|        =>   f_B  = ⌊(|B| + |K|) / (|K| + |P|)⌋
+
+The VB-tree additionally stores one signed digest per child::
+
+    (f - 1)·|K| + f·(|P| + |D|) <= |B| =>  f_VB = ⌊(|B| + |K|) / (|K| + |P| + |D|)⌋
+
+Leaves store one entry per tuple — key + tuple pointer (+ tuple digest
+for the VB-tree).  Heights follow by repeatedly dividing the tuple count
+by the leaf capacity and then the fan-out, which is the closed form the
+paper writes as ``H = ⌈log_f (N_r / L)⌉ + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import constants
+from repro.exceptions import PageGeometryError
+
+__all__ = ["PageGeometry"]
+
+
+@dataclass(frozen=True)
+class PageGeometry:
+    """Widths (bytes) that determine node capacities.
+
+    Attributes:
+        block_size: ``|B|`` — node size.
+        key_len: ``|K|`` — search-key width.
+        pointer_len: ``|P|`` — child/tuple pointer width.
+        digest_len: ``|D|`` — signed digest width (0 for a plain B-tree).
+    """
+
+    block_size: int = constants.BLOCK_SIZE
+    key_len: int = constants.KEY_LEN
+    pointer_len: int = constants.POINTER_LEN
+    digest_len: int = constants.DIGEST_LEN
+
+    def __post_init__(self) -> None:
+        if min(self.block_size, self.key_len, self.pointer_len) <= 0:
+            raise PageGeometryError("block, key and pointer widths must be positive")
+        if self.digest_len < 0:
+            raise PageGeometryError("digest width cannot be negative")
+        if self.internal_fanout() < 2:
+            raise PageGeometryError(
+                "geometry does not admit fan-out >= 2: "
+                f"|B|={self.block_size}, |K|={self.key_len}, "
+                f"|P|={self.pointer_len}, |D|={self.digest_len}"
+            )
+
+    # ------------------------------------------------------------------
+    # Fan-out (formula 6 and its B-tree counterpart)
+    # ------------------------------------------------------------------
+
+    def internal_fanout(self) -> int:
+        """Maximum number of children of an internal node."""
+        per_child = self.key_len + self.pointer_len + self.digest_len
+        return (self.block_size + self.key_len) // per_child
+
+    def leaf_capacity(self) -> int:
+        """Maximum number of tuple entries in a leaf node."""
+        per_entry = self.key_len + self.pointer_len + self.digest_len
+        return max(1, self.block_size // per_entry)
+
+    def node_overhead_bytes(self) -> int:
+        """Extra bytes per node relative to the digest-free geometry
+        (the paper's ``f·|D|`` space overhead per node)."""
+        return self.internal_fanout() * self.digest_len
+
+    # ------------------------------------------------------------------
+    # Heights (formulas 7-8)
+    # ------------------------------------------------------------------
+
+    def height_for(self, num_rows: int) -> int:
+        """Height (levels, leaves included) of a fully packed tree.
+
+        A single leaf has height 1; each internal level multiplies
+        capacity by the fan-out.
+        """
+        if num_rows < 0:
+            raise PageGeometryError("row count cannot be negative")
+        if num_rows == 0:
+            return 1
+        leaves = math.ceil(num_rows / self.leaf_capacity())
+        height = 1
+        while leaves > 1:
+            leaves = math.ceil(leaves / self.internal_fanout())
+            height += 1
+        return height
+
+    def envelope_height_for(self, result_rows: int) -> int:
+        """Height of the enveloping subtree for ``result_rows``
+        contiguous tuples in a fully packed tree (formula 8)."""
+        if result_rows <= 0:
+            return 0
+        return self.height_for(result_rows)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    def without_digests(self) -> "PageGeometry":
+        """The plain-B-tree geometry with the same |B|, |K|, |P|."""
+        return PageGeometry(
+            block_size=self.block_size,
+            key_len=self.key_len,
+            pointer_len=self.pointer_len,
+            digest_len=0,
+        )
+
+    @classmethod
+    def btree_default(cls) -> "PageGeometry":
+        """Paper-default geometry for the plain B-tree (no digests)."""
+        return cls(digest_len=0)
+
+    @classmethod
+    def vbtree_default(cls) -> "PageGeometry":
+        """Paper-default geometry for the VB-tree (16-byte digests)."""
+        return cls()

@@ -1,0 +1,66 @@
+"""Row values and row identities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.db.schema import TableSchema
+
+__all__ = ["Row"]
+
+
+@dataclass(frozen=True)
+class Row:
+    """An immutable tuple of column values bound to a schema.
+
+    Rows compare and hash by their values, so result sets can be
+    compared structurally in tests and verification code.
+    """
+
+    schema: TableSchema
+    values: tuple[Any, ...]
+
+    def __init__(self, schema: TableSchema, values: Sequence[Any]) -> None:
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "values", schema.validate_row(values))
+
+    @property
+    def key(self) -> Any:
+        """Primary-key value of this row."""
+        return self.values[self.schema.key_index]
+
+    def __getitem__(self, column: str | int) -> Any:
+        if isinstance(column, int):
+            return self.values[column]
+        return self.values[self.schema.column_index(column)]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Column-name → value mapping."""
+        return dict(zip(self.schema.column_names, self.values))
+
+    def project(self, names: Sequence[str]) -> "Row":
+        """A new row containing only ``names`` (in the given order)."""
+        sub_schema = self.schema.project(names)
+        return Row(sub_schema, tuple(self[n] for n in names))
+
+    def replace(self, **updates: Any) -> "Row":
+        """A copy of the row with some columns replaced."""
+        vals = list(self.values)
+        for name, value in updates.items():
+            vals[self.schema.column_index(name)] = value
+        return Row(self.schema, vals)
+
+    def byte_width(self) -> int:
+        """Nominal stored width of this row (fixed-width column model)."""
+        return self.schema.tuple_width()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cols = ", ".join(f"{n}={v!r}" for n, v in self.as_dict().items())
+        return f"Row({self.schema.name}: {cols})"

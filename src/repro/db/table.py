@@ -1,0 +1,165 @@
+"""Heap tables with a primary-key B+-tree.
+
+A :class:`Table` owns its rows and a clustered B+-tree index on the
+primary key.  The index is the same class the VB-tree builds on, so
+ordered scans, range queries and the page-geometry model behave
+identically with and without authentication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.db.btree import BPlusTree
+from repro.db.expressions import KeyRange, Predicate
+from repro.db.page import PageGeometry
+from repro.db.rows import Row
+from repro.db.schema import TableSchema
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A base table: schema + rows + clustered key index.
+
+    Args:
+        schema: The table schema (must name a key column).
+        geometry: Page geometry for the clustered index; defaults to the
+            plain B-tree geometry (no digests — authentication lives in
+            the VB-tree, not here).
+        index_fanout_override: Test hook forwarded to the B+-tree.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        geometry: PageGeometry | None = None,
+        index_fanout_override: int | None = None,
+    ) -> None:
+        self.schema = schema
+        key_width = schema.key_type.byte_width()
+        base = geometry or PageGeometry.btree_default()
+        self.geometry = PageGeometry(
+            block_size=base.block_size,
+            key_len=key_width,
+            pointer_len=base.pointer_len,
+            digest_len=base.digest_len,
+        )
+        self.index = BPlusTree(
+            geometry=self.geometry, min_fanout_override=index_fanout_override
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any] | Row) -> Row:
+        """Insert one row (validates against the schema).
+
+        Returns:
+            The stored :class:`Row`.
+
+        Raises:
+            DuplicateKeyError: On key collision.
+        """
+        row = values if isinstance(values, Row) else Row(self.schema, values)
+        self.index.insert(row.key, row)
+        return row
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Row]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete(self, key: Any) -> Row:
+        """Delete the row with primary key ``key``.
+
+        Returns:
+            The removed row.
+
+        Raises:
+            KeyNotFoundError: If no such row exists.
+        """
+        row = self.get(key)
+        self.index.delete(key)
+        return row
+
+    def update(self, key: Any, **changes: Any) -> Row:
+        """Replace columns of the row at ``key``.
+
+        Changing the primary key itself is modelled as delete + insert
+        (that is also how the VB-tree treats it).
+        """
+        old = self.get(key)
+        new = old.replace(**changes)
+        if new.key != key:
+            self.index.delete(key)
+            try:
+                self.index.insert(new.key, new)
+            except DuplicateKeyError:
+                self.index.insert(key, old)  # restore, then re-raise
+                raise
+        else:
+            self.index.insert(key, new, overwrite=True)
+        return new
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: Any) -> Row:
+        """Point lookup by primary key.
+
+        Raises:
+            KeyNotFoundError: If no such row exists.
+        """
+        return self.index.get(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.index
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def scan(self) -> Iterator[Row]:
+        """All rows in key order."""
+        for _key, row in self.index.items():
+            yield row
+
+    def range_scan(self, key_range: KeyRange) -> Iterator[Row]:
+        """Rows whose keys fall in ``key_range``, in key order."""
+        if key_range.empty:
+            return
+        for _key, row in self.index.range_items(
+            low=key_range.low,
+            high=key_range.high,
+            low_inclusive=key_range.low_inclusive,
+            high_inclusive=key_range.high_inclusive,
+        ):
+            yield row
+
+    def select(self, predicate: Predicate) -> Iterator[Row]:
+        """Filtered scan; uses the key index when the predicate implies
+        a contiguous key range, otherwise falls back to a full scan."""
+        key_range = predicate.key_range(self.schema.key)
+        rows = self.range_scan(key_range) if key_range is not None else self.scan()
+        for row in rows:
+            if predicate.evaluate(row):
+                yield row
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Table name from the schema."""
+        return self.schema.name
+
+    def data_bytes(self) -> int:
+        """Nominal stored size of all rows (fixed-width model)."""
+        return len(self.index) * self.schema.tuple_width()

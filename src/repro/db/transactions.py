@@ -1,0 +1,148 @@
+"""Transactions with strict two-phase locking.
+
+The paper channels all updates through the central DBMS and relies on
+"a distributed concurrency control mechanism like basic 2PL [3], with
+the central server hosting the master copy".  :class:`Transaction`
+enforces the 2PL discipline over a shared
+:class:`~repro.db.locks.LockManager`: locks accumulate during the
+growing phase and are released only at commit/abort (strict 2PL, so
+there is no shrink-phase re-acquisition to police).
+
+The VB-tree update code (:mod:`repro.core.update`) locks *digest*
+resources through these transactions exactly as Section 3.4 describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Hashable
+
+from repro.db.locks import LockManager, LockMode
+from repro.exceptions import TransactionError
+
+__all__ = ["TxnStatus", "Transaction", "TransactionManager"]
+
+
+class TxnStatus(Enum):
+    """Transaction lifecycle states."""
+
+    ACTIVE = "active"
+    BLOCKED = "blocked"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One transaction; create via :class:`TransactionManager.begin`."""
+
+    txn_id: int
+    manager: "TransactionManager"
+    status: TxnStatus = TxnStatus.ACTIVE
+    _undo_log: list[Callable[[], None]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+
+    def lock_shared(self, resource: Hashable) -> bool:
+        """S-lock ``resource``; returns False if the txn must wait."""
+        return self._lock(resource, LockMode.SHARED)
+
+    def lock_exclusive(self, resource: Hashable) -> bool:
+        """X-lock ``resource``; returns False if the txn must wait."""
+        return self._lock(resource, LockMode.EXCLUSIVE)
+
+    def _lock(self, resource: Hashable, mode: LockMode) -> bool:
+        if self.status is TxnStatus.COMMITTED or self.status is TxnStatus.ABORTED:
+            raise TransactionError(f"txn {self.txn_id} is finished")
+        granted = self.manager.locks.acquire(self.txn_id, resource, mode)
+        if not granted:
+            self.status = TxnStatus.BLOCKED
+        return granted
+
+    def holds(self, resource: Hashable) -> LockMode | None:
+        """Mode held on ``resource`` (None if unlocked)."""
+        return self.manager.locks.mode_held(self.txn_id, resource)
+
+    # ------------------------------------------------------------------
+    # Undo log (used by digest updates so aborts restore old digests)
+    # ------------------------------------------------------------------
+
+    def on_abort(self, undo: Callable[[], None]) -> None:
+        """Register an undo action, run in reverse order on abort."""
+        if self.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
+            raise TransactionError(f"txn {self.txn_id} is finished")
+        self._undo_log.append(undo)
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+
+    def commit(self) -> list[Hashable]:
+        """Commit: release all locks (strict 2PL shrink).
+
+        Returns:
+            Transactions unblocked by the released locks.
+        """
+        if self.status is TxnStatus.ABORTED:
+            raise TransactionError(f"txn {self.txn_id} already aborted")
+        if self.status is TxnStatus.COMMITTED:
+            raise TransactionError(f"txn {self.txn_id} already committed")
+        self.status = TxnStatus.COMMITTED
+        self._undo_log.clear()
+        return self.manager._finish(self)
+
+    def abort(self) -> list[Hashable]:
+        """Abort: run undo actions (newest first), release all locks."""
+        if self.status is TxnStatus.COMMITTED:
+            raise TransactionError(f"txn {self.txn_id} already committed")
+        if self.status is TxnStatus.ABORTED:
+            raise TransactionError(f"txn {self.txn_id} already aborted")
+        for undo in reversed(self._undo_log):
+            undo()
+        self._undo_log.clear()
+        self.status = TxnStatus.ABORTED
+        return self.manager._finish(self)
+
+
+class TransactionManager:
+    """Creates transactions over a shared lock manager."""
+
+    def __init__(self, locks: LockManager | None = None) -> None:
+        self.locks = locks or LockManager()
+        self._ids = itertools.count(1)
+        self._active: dict[int, Transaction] = {}
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        txn = Transaction(txn_id=next(self._ids), manager=self)
+        self._active[txn.txn_id] = txn
+        return txn
+
+    def active_count(self) -> int:
+        """Number of unfinished transactions."""
+        return len(self._active)
+
+    def get(self, txn_id: int) -> Transaction:
+        """Look up an active transaction.
+
+        Raises:
+            TransactionError: If unknown or finished.
+        """
+        try:
+            return self._active[txn_id]
+        except KeyError:
+            raise TransactionError(f"no active txn {txn_id}") from None
+
+    def _finish(self, txn: Transaction) -> list[Hashable]:
+        """Internal: release locks, wake waiters, unregister."""
+        woken = self.locks.release_all(txn.txn_id)
+        self._active.pop(txn.txn_id, None)
+        for txn_id in woken:
+            waiting = self._active.get(txn_id)
+            if waiting is not None and waiting.status is TxnStatus.BLOCKED:
+                waiting.status = TxnStatus.ACTIVE
+        return woken

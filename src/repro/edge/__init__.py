@@ -1,0 +1,30 @@
+"""Edge-computing simulation: central server, edge servers, clients,
+network accounting, adversaries, and replication (Figure 2)."""
+
+from repro.edge.adversary import (
+    DropTuple,
+    ResponseTamper,
+    SpuriousTuple,
+    StaleReplay,
+    ValueTamper,
+)
+from repro.edge.central import CentralServer, ClientConfig, ReplicationMode
+from repro.edge.client import Client
+from repro.edge.edge_server import EdgeResponse, EdgeServer
+from repro.edge.network import Channel, Transfer
+
+__all__ = [
+    "CentralServer",
+    "Channel",
+    "Client",
+    "ClientConfig",
+    "DropTuple",
+    "EdgeResponse",
+    "EdgeServer",
+    "ReplicationMode",
+    "ResponseTamper",
+    "SpuriousTuple",
+    "StaleReplay",
+    "Transfer",
+    "ValueTamper",
+]

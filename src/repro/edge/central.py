@@ -1,0 +1,408 @@
+"""The trusted central DBMS (Figure 2, left).
+
+Owns the master database, the signing key pair, the key ring, and the
+VB-trees; applies all updates (only it can sign digests) and propagates
+replicas to edge servers either eagerly (per update) or lazily (on
+:meth:`CentralServer.propagate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.constants import RSA_BITS
+from repro.core.digests import DigestEngine, DigestPolicy, SigningDigestEngine
+from repro.core.secondary import SecondaryVBTree
+from repro.core.update import AuthenticatedUpdater
+from repro.core.vbtree import VBTree
+from repro.baselines.naive import NaiveStore
+from repro.crypto.keyring import KeyRing
+from repro.crypto.rsa import RSAKeyPair, generate_keypair
+from repro.crypto.signatures import DigestSigner
+from repro.db.mview import MaterializedJoinView
+from repro.db.rows import Row
+from repro.db.schema import Catalog, TableSchema
+from repro.db.table import Table
+from repro.db.transactions import TransactionManager
+from repro.exceptions import ReplicationError, SchemaError
+
+__all__ = ["CentralServer", "ReplicationMode", "ClientConfig"]
+
+
+class ReplicationMode(Enum):
+    """How updates reach the edge servers (Section 3.4)."""
+
+    EAGER = "eager"    # lock-and-update all replicas per transaction
+    LAZY = "lazy"      # periodic propagation; detected via key epochs
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Everything a client needs to verify results from this server."""
+
+    db_name: str
+    policy: DigestPolicy
+    keyring: KeyRing
+
+
+class CentralServer:
+    """The trusted central DBMS.
+
+    Args:
+        db_name: Logical database name (hashed into every digest).
+        rsa_bits: Signing key size (512 keeps simulations fast).
+        seed: Deterministic key generation seed.
+        policy: Digest policy for all VB-trees.
+        replication: Eager or lazy replica maintenance.
+        enable_naive: Also maintain the Naive baseline's per-tuple
+            signature store for every table (needed by the comparison
+            benches; costs one extra signature pass per insert).
+    """
+
+    def __init__(
+        self,
+        db_name: str,
+        rsa_bits: int = RSA_BITS,
+        seed: int | None = None,
+        policy: DigestPolicy = DigestPolicy.FLATTENED,
+        replication: ReplicationMode = ReplicationMode.EAGER,
+        enable_naive: bool = False,
+    ) -> None:
+        self.db_name = db_name
+        self.policy = policy
+        self.replication = replication
+        self.enable_naive = enable_naive
+        self.keyring = KeyRing()
+        self._keypair: RSAKeyPair = generate_keypair(bits=rsa_bits, seed=seed)
+        self.keyring.register(self._keypair.public)
+        self._signer = DigestSigner.from_keypair(
+            self._keypair, epoch=self.keyring.current_epoch
+        )
+        self.catalog = Catalog(db_name)
+        self.tables: dict[str, Table] = {}
+        self.vbtrees: dict[str, VBTree] = {}
+        self.naive_stores: dict[str, NaiveStore] = {}
+        self.views: dict[str, MaterializedJoinView] = {}
+        self._updaters: dict[str, AuthenticatedUpdater] = {}
+        self._secondary_of: dict[str, list[str]] = {}
+        self.txn_manager = TransactionManager()
+        self._edges: list["EdgeServer"] = []
+
+    # ------------------------------------------------------------------
+    # Signing plumbing
+    # ------------------------------------------------------------------
+
+    def _signing_engine(self) -> SigningDigestEngine:
+        engine = DigestEngine(self.db_name, policy=self.policy)
+        return SigningDigestEngine(engine, self._signer)
+
+    @property
+    def public_key(self):
+        """Current public key (current epoch)."""
+        return self._keypair.public
+
+    def client_config(self) -> ClientConfig:
+        """Bundle of verification parameters for clients."""
+        return ClientConfig(
+            db_name=self.db_name, policy=self.policy, keyring=self.keyring
+        )
+
+    def make_client(self, meter=None):
+        """Construct a :class:`~repro.edge.client.Client` wired to this
+        server's key ring and digest parameters."""
+        from repro.edge.client import Client
+
+        return Client(self.client_config(), meter=meter)
+
+    # ------------------------------------------------------------------
+    # Schema / data management
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        schema: TableSchema,
+        rows: Iterable[Sequence[Any]] = (),
+        fanout_override: int | None = None,
+    ) -> Table:
+        """Create a base table, build its VB-tree, seed it with rows."""
+        self.catalog.register(schema)
+        table = Table(schema)
+        for values in rows:
+            table.insert(values)
+        self.tables[schema.name] = table
+        vbt = VBTree.build(
+            schema,
+            table.scan(),
+            self._signing_engine(),
+            fanout_override=fanout_override,
+        )
+        self.vbtrees[schema.name] = vbt
+        self._updaters[schema.name] = AuthenticatedUpdater(vbt)
+        if self.enable_naive:
+            self.naive_stores[schema.name] = NaiveStore.build(
+                schema, table.scan(), self._signing_engine()
+            )
+        return table
+
+    def create_join_view(
+        self,
+        name: str,
+        left: str,
+        right: str,
+        left_column: str,
+        right_column: str,
+        fanout_override: int | None = None,
+    ) -> MaterializedJoinView:
+        """Materialize an equi-join and build a VB-tree over it
+        (Section 3.3's join strategy)."""
+        view = MaterializedJoinView(
+            name,
+            self._table(left),
+            self._table(right),
+            left_column,
+            right_column,
+        )
+        self.catalog.register(view.schema)
+        self.views[name] = view
+        self.tables[name] = view.table
+        vbt = VBTree.build(
+            view.schema,
+            view.table.scan(),
+            self._signing_engine(),
+            fanout_override=fanout_override,
+        )
+        self.vbtrees[name] = vbt
+        self._updaters[name] = AuthenticatedUpdater(vbt)
+        if self.enable_naive:
+            self.naive_stores[name] = NaiveStore.build(
+                view.schema, view.table.scan(), self._signing_engine()
+            )
+        return view
+
+    def create_secondary_index(
+        self,
+        table: str,
+        attribute: str,
+        fanout_override: int | None = None,
+    ) -> str:
+        """Build a secondary VB-tree on ``attribute`` (the paper's
+        "one or more VB-trees" per table; see
+        :mod:`repro.core.secondary`).
+
+        Returns:
+            The index name (``<table>__by_<attribute>``), which edge
+            servers address via
+            :meth:`~repro.edge.edge_server.EdgeServer.secondary_range_query`.
+        """
+        schema = self.catalog.get(table)
+        name = f"{table}__by_{attribute}"
+        if name in self.vbtrees:
+            raise SchemaError(f"secondary index {name!r} already exists")
+        vbt = SecondaryVBTree.build_on(
+            schema,
+            attribute,
+            self._table(table).scan(),
+            self._signing_engine(),
+            fanout_override=fanout_override,
+        )
+        self.vbtrees[name] = vbt
+        self._updaters[name] = AuthenticatedUpdater(vbt)
+        self._secondary_of.setdefault(table, []).append(name)
+        self.propagate(name)
+        return name
+
+    def secondary_index_name(self, table: str, attribute: str) -> str:
+        """Canonical name of a secondary index."""
+        return f"{table}__by_{attribute}"
+
+    def _table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name!r}") from None
+
+    def _vbtree(self, name: str) -> VBTree:
+        try:
+            return self.vbtrees[name]
+        except KeyError:
+            raise SchemaError(f"no VB-tree for {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Updates (Section 3.4 — updates go through the central server)
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, values: Sequence[Any]) -> Row:
+        """Insert one row: base table, VB-tree digests, naive store,
+        join views, and (eager) replica propagation."""
+        tbl = self._table(table)
+        row = tbl.insert(values)
+        txn = self.txn_manager.begin()
+        try:
+            self._updaters[table].insert(row, txn=txn)
+            txn.commit()
+        except Exception:
+            txn.abort()
+            tbl.delete(row.key)
+            raise
+        if table in self.naive_stores:
+            self.naive_stores[table].add(row)
+        for index_name in self._secondary_of.get(table, ()):
+            self._updaters[index_name].insert(row)
+            self._after_update(index_name)
+        self._maintain_views_on_insert(table, row)
+        self._after_update(table)
+        return row
+
+    def delete(self, table: str, key: Any) -> Row:
+        """Delete one row everywhere (table, digests, views, replicas)."""
+        tbl = self._table(table)
+        txn = self.txn_manager.begin()
+        try:
+            row = self._updaters[table].delete(key, txn=txn)
+            txn.commit()
+        except Exception:
+            txn.abort()
+            raise
+        tbl.delete(key)
+        if table in self.naive_stores:
+            self.naive_stores[table].remove(key)
+        for index_name in self._secondary_of.get(table, ()):
+            secondary = self.vbtrees[index_name]
+            self._updaters[index_name].delete(secondary.key_of(row))
+            self._after_update(index_name)
+        self._maintain_views_on_delete(table, row)
+        self._after_update(table)
+        return row
+
+    def _maintain_views_on_insert(self, table: str, row: Row) -> None:
+        for view in self.views.values():
+            added: list[Row] = []
+            if view.left.schema.name == table:
+                added = view.on_left_insert(row)
+            elif view.right.schema.name == table:
+                added = view.on_right_insert(row)
+            if added:
+                updater = self._updaters[view.name]
+                for vrow in added:
+                    updater.insert(vrow)
+                if view.name in self.naive_stores:
+                    for vrow in added:
+                        self.naive_stores[view.name].add(vrow)
+                self._after_update(view.name)
+
+    def _maintain_views_on_delete(self, table: str, row: Row) -> None:
+        for view in self.views.values():
+            removed: list[Row] = []
+            if view.left.schema.name == table:
+                removed = view.on_left_delete(row)
+            elif view.right.schema.name == table:
+                removed = view.on_right_delete(row)
+            if removed:
+                updater = self._updaters[view.name]
+                for vrow in removed:
+                    updater.delete(vrow.key)
+                if view.name in self.naive_stores:
+                    for vrow in removed:
+                        self.naive_stores[view.name].remove(vrow.key)
+                self._after_update(view.name)
+
+    # ------------------------------------------------------------------
+    # Key rotation (Section 3.4's stale-data defence)
+    # ------------------------------------------------------------------
+
+    def rotate_key(self, rsa_bits: int | None = None, seed: int | None = None) -> int:
+        """Generate a new key pair, register a new epoch, and re-sign
+        every digest.  Edge replicas become stale until propagated.
+
+        Returns:
+            The new epoch number.
+        """
+        bits = rsa_bits or self._keypair.bits
+        self._keypair = generate_keypair(bits=bits, seed=seed)
+        self.keyring.register(self._keypair.public)
+        self._signer = DigestSigner.from_keypair(
+            self._keypair, epoch=self.keyring.current_epoch
+        )
+        for name, vbt in list(self.vbtrees.items()):
+            override = (
+                vbt.tree.max_children
+                if vbt.tree.max_children < vbt.geometry.internal_fanout()
+                else None
+            )
+            if isinstance(vbt, SecondaryVBTree):
+                rebuilt: VBTree = SecondaryVBTree.build_on(
+                    vbt.schema,
+                    vbt.attribute,
+                    list(vbt.rows()),
+                    self._signing_engine(),
+                    fanout_override=override,
+                )
+            else:
+                rebuilt = VBTree.build(
+                    vbt.schema,
+                    list(vbt.rows()),
+                    self._signing_engine(),
+                    fanout_override=override,
+                )
+            rebuilt.version = vbt.version + 1
+            self.vbtrees[name] = rebuilt
+            self._updaters[name] = AuthenticatedUpdater(rebuilt)
+        for name, table in self.tables.items():
+            if name in self.naive_stores:
+                self.naive_stores[name] = NaiveStore.build(
+                    table.schema, table.scan(), self._signing_engine()
+                )
+        if self.replication is ReplicationMode.EAGER:
+            self.propagate()
+        return self.keyring.current_epoch
+
+    # ------------------------------------------------------------------
+    # Edge servers & replication
+    # ------------------------------------------------------------------
+
+    def spawn_edge_server(self, name: str):
+        """Create an edge server with replicas of every table."""
+        from repro.edge.edge_server import EdgeServer
+
+        edge = EdgeServer(name=name, central=self)
+        for table in self.vbtrees:
+            naive = self.naive_stores.get(table)
+            edge.receive_replica(
+                table,
+                self.vbtrees[table].clone(),
+                naive.clone() if naive is not None else None,
+            )
+        self._edges.append(edge)
+        return edge
+
+    def propagate(self, table: str | None = None) -> int:
+        """Push fresh replicas to every edge server.
+
+        Returns:
+            Number of replicas shipped.
+        """
+        shipped = 0
+        names = [table] if table else list(self.vbtrees)
+        for name in names:
+            if name not in self.vbtrees:
+                raise ReplicationError(f"no VB-tree for {name!r}")
+            naive = self.naive_stores.get(name)
+            for edge in self._edges:
+                edge.receive_replica(
+                    name,
+                    self.vbtrees[name].clone(),
+                    naive.clone() if naive is not None else None,
+                )
+                shipped += 1
+        return shipped
+
+    def _after_update(self, table: str) -> None:
+        if self.replication is ReplicationMode.EAGER:
+            self.propagate(table)
+
+    @property
+    def edges(self) -> list:
+        """Attached edge servers."""
+        return list(self._edges)

@@ -1,0 +1,66 @@
+"""Trusted DB clients (Figure 2, right).
+
+A client holds the central server's key ring (distributed through an
+authenticated channel, e.g. a PKI — Section 3.2) and verifies every
+result+VO an edge server returns.  It never talks to the central server
+for individual queries — the on-demand property the paper highlights
+over Devanbu et al.'s periodic digest broadcasts.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.baselines.naive import NaiveResult, NaiveVerifier
+from repro.core.digests import DigestEngine
+from repro.core.verify import ResultVerifier, Verdict
+from repro.core.vo import AuthenticatedResult
+from repro.crypto.meter import CostMeter
+from repro.edge.central import ClientConfig
+from repro.edge.edge_server import EdgeResponse
+
+__all__ = ["Client"]
+
+
+class Client:
+    """A verifying client.
+
+    Args:
+        config: Verification parameters from
+            :meth:`~repro.edge.central.CentralServer.client_config`.
+        meter: Optional cost meter; a fresh one is created otherwise, so
+            per-client Cost_h/Cost_v accounting is always available.
+    """
+
+    def __init__(self, config: ClientConfig, meter: CostMeter | None = None) -> None:
+        self.config = config
+        self.meter = meter or CostMeter()
+        engine = DigestEngine(
+            config.db_name, policy=config.policy, meter=self.meter
+        )
+        self._verifier = ResultVerifier(
+            engine, keyring=config.keyring, meter=self.meter
+        )
+        naive_engine = DigestEngine(
+            config.db_name, policy=config.policy, meter=self.meter
+        )
+        self._naive_verifier = NaiveVerifier(
+            naive_engine, keyring=config.keyring, meter=self.meter
+        )
+
+    def verify(
+        self, response: Union[EdgeResponse, AuthenticatedResult]
+    ) -> Verdict:
+        """Verify an edge response (or a bare authenticated result)."""
+        result = (
+            response.result if isinstance(response, EdgeResponse) else response
+        )
+        return self._verifier.verify(result)
+
+    def verify_naive(self, result: NaiveResult) -> bool:
+        """Verify a result produced under the Naive baseline."""
+        return self._naive_verifier.verify(result)
+
+    def cost_snapshot(self) -> dict[str, int]:
+        """Crypto-operation counters accumulated by this client."""
+        return self.meter.snapshot()

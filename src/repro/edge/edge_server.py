@@ -1,0 +1,224 @@
+"""Unsecured edge servers (Figure 2, middle).
+
+An edge server holds replicas of the database + VB-trees and processes
+queries on behalf of the central DBMS, attaching a verification object
+to every result.  It is *unsecured*: a hacker may tamper with the data
+there (Section 3.1) — the :mod:`repro.edge.adversary` module models
+that by mutating replicas or intercepting responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
+
+from repro.baselines.naive import NaiveResult, NaiveStore
+from repro.core.query_auth import QueryAuthenticator
+from repro.core.secondary import SecondaryQueryAuthenticator, SecondaryVBTree
+from repro.core.vbtree import VBTree
+from repro.core.vo import AuthenticatedResult, VOFormat
+from repro.core.wire import result_to_bytes
+from repro.crypto.meter import CostMeter
+from repro.db.expressions import Predicate
+from repro.edge.network import Channel, Transfer
+from repro.exceptions import ReplicationError, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.edge.central import CentralServer
+
+__all__ = ["EdgeServer", "EdgeResponse"]
+
+#: A hook that may rewrite an outgoing result (adversary injection point).
+ResultInterceptor = Callable[[AuthenticatedResult], AuthenticatedResult]
+
+
+@dataclass
+class EdgeResponse:
+    """What the client receives: the result plus transfer accounting."""
+
+    edge_name: str
+    result: AuthenticatedResult
+    wire_bytes: int
+    transfer: Transfer
+
+
+class EdgeServer:
+    """One edge-of-network replica server.
+
+    Args:
+        name: Edge server identifier.
+        central: The central server (used only for key metadata; the
+            edge never holds the private key).
+        channel: Network channel to clients (byte accounting).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        central: "CentralServer",
+        channel: Channel | None = None,
+    ) -> None:
+        self.name = name
+        self.central = central
+        self.channel = channel or Channel()
+        self.meter = CostMeter()
+        self.replicas: dict[str, VBTree] = {}
+        self.naive_replicas: dict[str, NaiveStore] = {}
+        self.replica_versions: dict[str, int] = {}
+        self._interceptors: list[ResultInterceptor] = []
+        self.io_reads_last_query = 0
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def receive_replica(
+        self,
+        table: str,
+        vbtree: VBTree,
+        naive: NaiveStore | None = None,
+    ) -> None:
+        """Install a replica pushed by the central server."""
+        self.replicas[table] = vbtree
+        self.replica_versions[table] = vbtree.version
+        if naive is not None:
+            self.naive_replicas[table] = naive
+
+    def replica(self, table: str) -> VBTree:
+        """The local VB-tree replica for ``table``.
+
+        Raises:
+            ReplicationError: If no replica has been received.
+        """
+        try:
+            return self.replicas[table]
+        except KeyError:
+            raise ReplicationError(
+                f"edge {self.name!r} holds no replica of {table!r}"
+            ) from None
+
+    def staleness(self, table: str) -> int:
+        """Versions behind the central server's VB-tree."""
+        central_version = self.central.vbtrees[table].version
+        return central_version - self.replica_versions.get(table, -1)
+
+    # ------------------------------------------------------------------
+    # Adversary injection
+    # ------------------------------------------------------------------
+
+    def add_interceptor(self, interceptor: ResultInterceptor) -> None:
+        """Register a result-rewriting hook (adversary models)."""
+        self._interceptors.append(interceptor)
+
+    def clear_interceptors(self) -> None:
+        """Remove all result interceptors."""
+        self._interceptors.clear()
+
+    # ------------------------------------------------------------------
+    # Query processing
+    # ------------------------------------------------------------------
+
+    def range_query(
+        self,
+        table: str,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+    ) -> EdgeResponse:
+        """Selection on the primary key, with projection."""
+        vbt = self.replica(table)
+        vbt.tree.reset_io()
+        authenticator = QueryAuthenticator(vbt)
+        result = authenticator.range_query(
+            low=low, high=high, columns=columns, vo_format=vo_format
+        )
+        return self._respond(vbt, result)
+
+    def select(
+        self,
+        table: str,
+        predicate: Predicate,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+    ) -> EdgeResponse:
+        """General selection (key or non-key), with projection."""
+        vbt = self.replica(table)
+        vbt.tree.reset_io()
+        authenticator = QueryAuthenticator(vbt)
+        result = authenticator.select(
+            predicate, columns=columns, vo_format=vo_format
+        )
+        return self._respond(vbt, result)
+
+    def _respond(self, vbt: VBTree, result: AuthenticatedResult) -> EdgeResponse:
+        for interceptor in self._interceptors:
+            result = interceptor(result)
+        self.io_reads_last_query = vbt.tree.io_reads
+        sig_len = self.central.public_key.signature_len
+        payload = result_to_bytes(result, sig_len)
+        transfer = self.channel.send(len(payload))
+        self.meter.count_bytes_sent(len(payload))
+        return EdgeResponse(
+            edge_name=self.name,
+            result=result,
+            wire_bytes=len(payload),
+            transfer=transfer,
+        )
+
+    def secondary_range_query(
+        self,
+        table: str,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+    ) -> EdgeResponse:
+        """Selection ``low <= attribute <= high`` answered from the
+        table's secondary VB-tree (contiguous envelope, small D_S).
+
+        Raises:
+            ReplicationError: If no secondary index on that attribute
+                has been replicated to this edge.
+        """
+        name = self.central.secondary_index_name(table, attribute)
+        vbt = self.replica(name)
+        if not isinstance(vbt, SecondaryVBTree):
+            raise ReplicationError(f"{name!r} is not a secondary index")
+        vbt.tree.reset_io()
+        authenticator = SecondaryQueryAuthenticator(vbt)
+        result = authenticator.range_query(
+            low=low, high=high, columns=columns, vo_format=vo_format
+        )
+        return self._respond(vbt, result)
+
+    # ------------------------------------------------------------------
+    # Naive-baseline query path (for the comparison benches)
+    # ------------------------------------------------------------------
+
+    def naive_range_query(
+        self,
+        table: str,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+    ) -> tuple[NaiveResult, int]:
+        """Same query under the Naive scheme; returns (result, bytes).
+
+        Raises:
+            SchemaError: If the naive store was not enabled centrally.
+        """
+        store = self.naive_replicas.get(table)
+        if store is None:
+            raise SchemaError(
+                f"naive store not replicated for {table!r} "
+                "(construct CentralServer with enable_naive=True)"
+            )
+        vbt = self.replica(table)
+        rows = [row for _k, row in vbt.tree.range_items(low=low, high=high)]
+        result = store.build_result(rows, columns=columns)
+        nbytes = result.wire_size(self.central.public_key.signature_len)
+        self.channel.send(nbytes)
+        self.meter.count_bytes_sent(nbytes)
+        return result, nbytes

@@ -1,0 +1,64 @@
+"""Simulated network channel with byte accounting and a latency model.
+
+The paper's communication-cost analysis (Section 4.2) is in bytes; the
+measured benches need the same unit from the running system.  Every
+edge→client response passes through a :class:`Channel`, which counts
+payload bytes and can convert them into simulated transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.meter import CostMeter, NULL_METER
+
+__all__ = ["Channel", "Transfer"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One recorded transfer."""
+
+    nbytes: int
+    seconds: float
+
+
+@dataclass
+class Channel:
+    """A byte-counting channel between two simulation endpoints.
+
+    Args:
+        bandwidth_bps: Simulated bandwidth in bytes/second (default
+            ~12.5 MB/s, i.e. 100 Mbit — an edge-era WAN link).
+        rtt_seconds: Fixed per-message round-trip overhead.
+        meter: Cost meter receiving ``count_bytes_sent``.
+    """
+
+    bandwidth_bps: float = 12_500_000.0
+    rtt_seconds: float = 0.02
+    meter: CostMeter = field(default_factory=lambda: NULL_METER)
+    transfers: list[Transfer] = field(default_factory=list)
+
+    def send(self, nbytes: int) -> Transfer:
+        """Record shipping ``nbytes``; returns the simulated transfer."""
+        if nbytes < 0:
+            raise ValueError("cannot send negative bytes")
+        seconds = self.rtt_seconds + nbytes / self.bandwidth_bps
+        transfer = Transfer(nbytes=nbytes, seconds=seconds)
+        self.transfers.append(transfer)
+        self.meter.count_bytes_sent(nbytes)
+        return transfer
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes shipped through this channel."""
+        return sum(t.nbytes for t in self.transfers)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated transfer time."""
+        return sum(t.seconds for t in self.transfers)
+
+    def reset(self) -> None:
+        """Forget recorded transfers."""
+        self.transfers.clear()

@@ -1,0 +1,53 @@
+"""One-call demo environment used by the README and the test-suite smoke
+tests.
+
+:func:`quick_setup` wires together a central server with a synthetic
+table, one edge server replica and a verifying client — the minimal
+Figure-2 deployment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.edge.central import CentralServer
+    from repro.edge.client import Client
+    from repro.edge.edge_server import EdgeServer
+
+
+def quick_setup(
+    rows: int = 1000,
+    columns: int = 10,
+    rsa_bits: int = 512,
+    seed: int = 7,
+    table_name: str = "items",
+):
+    """Build a ready-to-query central/edge/client trio.
+
+    Args:
+        rows: Number of synthetic tuples in the demo table.
+        columns: Number of attributes (including the integer key ``id``).
+        rsa_bits: RSA modulus size for the signing key (512 keeps the
+            demo fast; use 1024+ for anything serious).
+        seed: Seed for deterministic data and keys.
+        table_name: Name of the generated table.
+
+    Returns:
+        ``(central, edge, client)`` — a
+        :class:`~repro.edge.central.CentralServer`, an attached
+        :class:`~repro.edge.edge_server.EdgeServer`, and a
+        :class:`~repro.edge.client.Client` that trusts the central
+        server's key ring.
+    """
+    # Imported here to keep `import repro` cheap and cycle-free.
+    from repro.edge.central import CentralServer
+    from repro.workloads.generator import TableSpec, generate_table
+
+    central = CentralServer(db_name="quickstart", rsa_bits=rsa_bits, seed=seed)
+    spec = TableSpec(name=table_name, rows=rows, columns=columns, seed=seed)
+    schema, rows_data = generate_table(spec)
+    central.create_table(schema, rows_data)
+    edge = central.spawn_edge_server("edge-0")
+    client = central.make_client()
+    return central, edge, client

@@ -1,0 +1,123 @@
+"""AST node types for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+__all__ = [
+    "ColumnDef",
+    "CreateIndex",
+    "CreateTable",
+    "CreateView",
+    "SelectStmt",
+    "InsertStmt",
+    "DeleteStmt",
+    "WhereComparison",
+    "WhereAnd",
+    "WhereOr",
+    "WhereNot",
+    "WhereExpr",
+    "Statement",
+]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column in a CREATE TABLE."""
+
+    name: str
+    type_name: str
+    capacity: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE name (cols..., PRIMARY KEY (col))``."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: str
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    """``CREATE INDEX ON table (column)`` — a secondary VB-tree
+    (sort order) on a non-key attribute."""
+
+    table: str
+    column: str
+
+
+@dataclass(frozen=True)
+class CreateView:
+    """``CREATE MATERIALIZED VIEW v AS SELECT * FROM a JOIN b ON a.x = b.y``."""
+
+    name: str
+    left_table: str
+    right_table: str
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class WhereComparison:
+    """``column op literal``."""
+
+    column: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class WhereAnd:
+    """Conjunction of two predicates."""
+
+    left: "WhereExpr"
+    right: "WhereExpr"
+
+
+@dataclass(frozen=True)
+class WhereOr:
+    """Disjunction of two predicates."""
+
+    left: "WhereExpr"
+    right: "WhereExpr"
+
+
+@dataclass(frozen=True)
+class WhereNot:
+    """Negated predicate."""
+
+    inner: "WhereExpr"
+
+
+WhereExpr = Union[WhereComparison, WhereAnd, WhereOr, WhereNot]
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """``SELECT cols FROM table [WHERE ...]`` (``columns=None`` = ``*``)."""
+
+    table: str
+    columns: Optional[tuple[str, ...]]
+    where: Optional[WhereExpr] = None
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """``INSERT INTO table VALUES (...)`` (possibly several tuples)."""
+
+    table: str
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    where: Optional[WhereExpr] = None
+
+
+Statement = Union[CreateTable, CreateView, CreateIndex, SelectStmt, InsertStmt, DeleteStmt]

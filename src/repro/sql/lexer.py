@@ -1,0 +1,126 @@
+"""SQL lexer for the subset the edge simulation speaks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import SQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "BETWEEN", "INSERT",
+    "INTO", "VALUES", "DELETE", "CREATE", "TABLE", "MATERIALIZED", "VIEW",
+    "AS", "JOIN", "ON", "PRIMARY", "KEY", "TRUE", "FALSE", "NULL", "INDEX",
+}
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "*", ".", ";")
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True if this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def is_symbol(self, sym: str) -> bool:
+        """True if this token is the given symbol."""
+        return self.type is TokenType.SYMBOL and self.value == sym
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens (ending with one EOF token).
+
+    Raises:
+        SQLSyntaxError: On unterminated strings or illegal characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if text[j : j + 2] == "''":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit() and _number_ok(tokens)
+        ):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token(TokenType.SYMBOL, sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SQLSyntaxError(f"illegal character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _number_ok(tokens: list[Token]) -> bool:
+    """A leading '-' starts a number only where a value may appear."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    return last.type is TokenType.SYMBOL and last.value in ("(", ",", "=", "<", ">", "<=", ">=", "!=", "<>") or (
+        last.type is TokenType.KEYWORD and last.value in ("BETWEEN", "AND", "OR", "VALUES", "NOT", "WHERE", "ON")
+    )

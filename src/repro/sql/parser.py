@@ -1,0 +1,349 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal)::
+
+    stmt       := create_table | create_view | select | insert | delete
+    create_table := CREATE TABLE ident '(' coldef (',' coldef)*
+                    ',' PRIMARY KEY '(' ident ')' ')'
+    create_view  := CREATE MATERIALIZED VIEW ident AS SELECT '*' FROM
+                    ident JOIN ident ON qual_col '=' qual_col
+    select     := SELECT ('*' | ident (',' ident)*) FROM ident
+                  [WHERE where_or]
+    insert     := INSERT INTO ident VALUES tuple (',' tuple)*
+    delete     := DELETE FROM ident [WHERE where_or]
+    where_or   := where_and (OR where_and)*
+    where_and  := where_not (AND where_not)*
+    where_not  := [NOT] where_prim
+    where_prim := '(' where_or ')'
+                | ident BETWEEN literal AND literal
+                | ident op literal
+    op         := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.ast_nodes import (
+    ColumnDef,
+    CreateIndex,
+    CreateTable,
+    CreateView,
+    DeleteStmt,
+    InsertStmt,
+    SelectStmt,
+    Statement,
+    WhereAnd,
+    WhereComparison,
+    WhereExpr,
+    WhereNot,
+    WhereOr,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+__all__ = ["parse", "parse_many"]
+
+
+def parse(sql: str) -> Statement:
+    """Parse a single SQL statement.
+
+    Raises:
+        SQLSyntaxError: On any lexical or syntactic error.
+    """
+    parser = _Parser(tokenize(sql))
+    stmt = parser.statement()
+    parser.skip_symbol(";")
+    parser.expect_eof()
+    return stmt
+
+
+def parse_many(sql: str) -> list[Statement]:
+    """Parse a ``;``-separated script."""
+    parser = _Parser(tokenize(sql))
+    statements = []
+    while not parser.at_eof():
+        statements.append(parser.statement())
+        if not parser.skip_symbol(";"):
+            break
+    parser.expect_eof()
+    return statements
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().type is TokenType.EOF
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            tok = self.peek()
+            raise SQLSyntaxError(
+                f"unexpected input after statement: {tok.value!r}", tok.position
+            )
+
+    def expect_keyword(self, word: str) -> Token:
+        tok = self.peek()
+        if not tok.is_keyword(word):
+            raise SQLSyntaxError(f"expected {word}, got {tok.value!r}", tok.position)
+        return self.advance()
+
+    def expect_symbol(self, sym: str) -> Token:
+        tok = self.peek()
+        if not tok.is_symbol(sym):
+            raise SQLSyntaxError(f"expected {sym!r}, got {tok.value!r}", tok.position)
+        return self.advance()
+
+    def skip_symbol(self, sym: str) -> bool:
+        if self.peek().is_symbol(sym):
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.type is not TokenType.IDENT:
+            raise SQLSyntaxError(
+                f"expected identifier, got {tok.value!r}", tok.position
+            )
+        return self.advance().value
+
+    # -- statements ------------------------------------------------------
+
+    def statement(self) -> Statement:
+        tok = self.peek()
+        if tok.is_keyword("SELECT"):
+            return self.select()
+        if tok.is_keyword("INSERT"):
+            return self.insert()
+        if tok.is_keyword("DELETE"):
+            return self.delete()
+        if tok.is_keyword("CREATE"):
+            return self.create()
+        raise SQLSyntaxError(f"unknown statement start {tok.value!r}", tok.position)
+
+    def create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.peek().is_keyword("TABLE"):
+            return self.create_table()
+        if self.peek().is_keyword("MATERIALIZED"):
+            return self.create_view()
+        if self.peek().is_keyword("INDEX"):
+            return self.create_index()
+        tok = self.peek()
+        raise SQLSyntaxError(
+            f"expected TABLE, INDEX or MATERIALIZED VIEW, got {tok.value!r}",
+            tok.position,
+        )
+
+    def create_index(self) -> CreateIndex:
+        self.expect_keyword("INDEX")
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_symbol("(")
+        column = self.expect_ident()
+        self.expect_symbol(")")
+        return CreateIndex(table=table, column=column)
+
+    def create_table(self) -> CreateTable:
+        self.expect_keyword("TABLE")
+        name = self.expect_ident()
+        self.expect_symbol("(")
+        columns: list[ColumnDef] = []
+        primary_key: Optional[str] = None
+        while True:
+            if self.peek().is_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                self.expect_symbol("(")
+                primary_key = self.expect_ident()
+                self.expect_symbol(")")
+            else:
+                col_name = self.expect_ident()
+                tok = self.peek()
+                if tok.type is TokenType.IDENT or tok.type is TokenType.KEYWORD:
+                    type_name = self.advance().value
+                else:
+                    raise SQLSyntaxError(
+                        f"expected a type name, got {tok.value!r}", tok.position
+                    )
+                capacity = None
+                if self.skip_symbol("("):
+                    cap_tok = self.peek()
+                    if cap_tok.type is not TokenType.NUMBER:
+                        raise SQLSyntaxError(
+                            f"expected capacity, got {cap_tok.value!r}",
+                            cap_tok.position,
+                        )
+                    capacity = int(self.advance().value)
+                    self.expect_symbol(")")
+                columns.append(ColumnDef(col_name, type_name, capacity))
+            if not self.skip_symbol(","):
+                break
+        self.expect_symbol(")")
+        if primary_key is None:
+            raise SQLSyntaxError("CREATE TABLE needs a PRIMARY KEY clause", 0)
+        return CreateTable(name=name, columns=tuple(columns), primary_key=primary_key)
+
+    def create_view(self) -> CreateView:
+        self.expect_keyword("MATERIALIZED")
+        self.expect_keyword("VIEW")
+        name = self.expect_ident()
+        self.expect_keyword("AS")
+        self.expect_keyword("SELECT")
+        self.expect_symbol("*")
+        self.expect_keyword("FROM")
+        left = self.expect_ident()
+        self.expect_keyword("JOIN")
+        right = self.expect_ident()
+        self.expect_keyword("ON")
+        lt, lc = self.qualified_column()
+        self.expect_symbol("=")
+        rt, rc = self.qualified_column()
+        if lt == right and rt == left:  # written in the other order
+            lt, lc, rt, rc = rt, rc, lt, lc
+        if lt != left or rt != right:
+            raise SQLSyntaxError(
+                "ON clause must reference the two joined tables", 0
+            )
+        return CreateView(
+            name=name,
+            left_table=left,
+            right_table=right,
+            left_column=lc,
+            right_column=rc,
+        )
+
+    def qualified_column(self) -> tuple[str, str]:
+        table = self.expect_ident()
+        self.expect_symbol(".")
+        column = self.expect_ident()
+        return table, column
+
+    def select(self) -> SelectStmt:
+        self.expect_keyword("SELECT")
+        columns: Optional[tuple[str, ...]]
+        if self.skip_symbol("*"):
+            columns = None
+        else:
+            names = [self.expect_ident()]
+            while self.skip_symbol(","):
+                names.append(self.expect_ident())
+            columns = tuple(names)
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.peek().is_keyword("WHERE"):
+            self.advance()
+            where = self.where_or()
+        return SelectStmt(table=table, columns=columns, where=where)
+
+    def insert(self) -> InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        self.expect_keyword("VALUES")
+        rows = [self.value_tuple()]
+        while self.skip_symbol(","):
+            rows.append(self.value_tuple())
+        return InsertStmt(table=table, rows=tuple(rows))
+
+    def value_tuple(self) -> tuple[Any, ...]:
+        self.expect_symbol("(")
+        values = [self.literal()]
+        while self.skip_symbol(","):
+            values.append(self.literal())
+        self.expect_symbol(")")
+        return tuple(values)
+
+    def delete(self) -> DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.peek().is_keyword("WHERE"):
+            self.advance()
+            where = self.where_or()
+        return DeleteStmt(table=table, where=where)
+
+    # -- WHERE clauses ----------------------------------------------------
+
+    def where_or(self) -> WhereExpr:
+        left = self.where_and()
+        while self.peek().is_keyword("OR"):
+            self.advance()
+            left = WhereOr(left, self.where_and())
+        return left
+
+    def where_and(self) -> WhereExpr:
+        left = self.where_not()
+        while self.peek().is_keyword("AND"):
+            self.advance()
+            left = WhereAnd(left, self.where_not())
+        return left
+
+    def where_not(self) -> WhereExpr:
+        if self.peek().is_keyword("NOT"):
+            self.advance()
+            return WhereNot(self.where_not())
+        return self.where_primary()
+
+    def where_primary(self) -> WhereExpr:
+        if self.skip_symbol("("):
+            inner = self.where_or()
+            self.expect_symbol(")")
+            return inner
+        column = self.expect_ident()
+        if self.peek().is_keyword("BETWEEN"):
+            self.advance()
+            low = self.literal()
+            self.expect_keyword("AND")
+            high = self.literal()
+            return WhereAnd(
+                WhereComparison(column, ">=", low),
+                WhereComparison(column, "<=", high),
+            )
+        tok = self.peek()
+        if tok.type is not TokenType.SYMBOL or tok.value not in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            raise SQLSyntaxError(
+                f"expected comparison operator, got {tok.value!r}", tok.position
+            )
+        op = self.advance().value
+        if op == "<>":
+            op = "!="
+        return WhereComparison(column, op, self.literal())
+
+    def literal(self) -> Any:
+        tok = self.peek()
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            return float(tok.value) if "." in tok.value else int(tok.value)
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return tok.value
+        if tok.is_keyword("TRUE"):
+            self.advance()
+            return True
+        if tok.is_keyword("FALSE"):
+            self.advance()
+            return False
+        if tok.is_keyword("NULL"):
+            self.advance()
+            return None
+        raise SQLSyntaxError(f"expected a literal, got {tok.value!r}", tok.position)

@@ -1,0 +1,13 @@
+"""Synthetic data and query workloads for tests, examples and benches."""
+
+from repro.workloads.generator import TableSpec, generate_rows, generate_table
+from repro.workloads.queries import QueryWorkload, RangeQuery, range_for_selectivity
+
+__all__ = [
+    "QueryWorkload",
+    "RangeQuery",
+    "TableSpec",
+    "generate_rows",
+    "generate_table",
+    "range_for_selectivity",
+]

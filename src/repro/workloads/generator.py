@@ -1,0 +1,86 @@
+"""Synthetic table generation for tests, examples and benchmarks.
+
+Tables follow the paper's evaluation setup: an integer key plus
+fixed-width attribute columns, with sizes chosen so the default tuple
+is ~200 bytes across 10 attributes (Table 1 / Figure 10)."""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Any
+
+from repro.db.schema import Column, TableSchema
+from repro.db.types import IntType, VarcharType
+from repro.exceptions import SchemaError
+
+__all__ = ["TableSpec", "generate_table", "generate_rows"]
+
+_ALPHABET = string.ascii_lowercase + string.digits
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Parameters of a synthetic table.
+
+    Attributes:
+        name: Table name.
+        rows: ``N_r`` — number of tuples.
+        columns: ``N_c`` — number of columns including the key.
+        attr_size: Width of each non-key VARCHAR attribute in bytes
+            (the paper's 20-byte default).
+        key_start: First key value.
+        key_step: Gap between consecutive keys (a step > 1 leaves holes
+            so tests can query guaranteed-empty ranges).
+        seed: PRNG seed for deterministic payloads.
+    """
+
+    name: str = "synthetic"
+    rows: int = 1000
+    columns: int = 10
+    attr_size: int = 20
+    key_start: int = 0
+    key_step: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.columns < 2:
+            raise SchemaError("need rows >= 0 and columns >= 2 (key + payload)")
+        if self.attr_size < 1 or self.key_step < 1:
+            raise SchemaError("attr_size and key_step must be positive")
+
+
+def _schema_for(spec: TableSpec) -> TableSchema:
+    columns = [Column("id", IntType())]
+    columns.extend(
+        Column(f"a{i}", VarcharType(capacity=spec.attr_size))
+        for i in range(1, spec.columns)
+    )
+    return TableSchema(spec.name, tuple(columns), key="id")
+
+
+def generate_rows(spec: TableSpec, schema: TableSchema | None = None) -> list[tuple[Any, ...]]:
+    """Deterministic row tuples for ``spec`` (not yet validated Rows)."""
+    schema = schema or _schema_for(spec)
+    rng = random.Random(spec.seed)
+    rows = []
+    for i in range(spec.rows):
+        key = spec.key_start + i * spec.key_step
+        payload = tuple(
+            "".join(rng.choices(_ALPHABET, k=spec.attr_size))
+            for _ in range(spec.columns - 1)
+        )
+        rows.append((key, *payload))
+    return rows
+
+
+def generate_table(spec: TableSpec) -> tuple[TableSchema, list[tuple[Any, ...]]]:
+    """Schema + rows for ``spec``.
+
+    Returns:
+        ``(schema, rows)`` ready for
+        :meth:`repro.edge.central.CentralServer.create_table`.
+    """
+    schema = _schema_for(spec)
+    return schema, generate_rows(spec, schema)

@@ -1,0 +1,75 @@
+"""Selectivity-targeted query workloads.
+
+The paper's evaluation sweeps the *selectivity factor* ``Q_r / N_r``
+from 0 to 100 %.  :func:`range_for_selectivity` converts a selectivity
+into a concrete key range against a generated table, and
+:class:`QueryWorkload` produces batches of such queries for the
+benches."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.generator import TableSpec
+
+__all__ = ["range_for_selectivity", "QueryWorkload", "RangeQuery"]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One key-range query with its expected result cardinality."""
+
+    low: int
+    high: int
+    expected_rows: int
+
+
+def range_for_selectivity(
+    spec: TableSpec, selectivity: float, offset_rows: int = 0
+) -> RangeQuery:
+    """Key range selecting ``selectivity`` of the table's rows.
+
+    Args:
+        spec: The generated table's parameters.
+        selectivity: Fraction of rows to select, in [0, 1].
+        offset_rows: Start the range this many rows into the table
+            (wrapped so the range always fits).
+
+    Returns:
+        A :class:`RangeQuery` whose bounds select exactly
+        ``round(selectivity * rows)`` tuples.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError(f"selectivity out of [0,1]: {selectivity}")
+    want = round(spec.rows * selectivity)
+    if want == 0:
+        # A range between two keys (exploits key_step holes if any, else
+        # an empty slice below the first key).
+        low = spec.key_start - 2
+        return RangeQuery(low=low, high=low, expected_rows=0)
+    max_offset = spec.rows - want
+    offset = min(offset_rows, max_offset)
+    low = spec.key_start + offset * spec.key_step
+    high = spec.key_start + (offset + want - 1) * spec.key_step
+    return RangeQuery(low=low, high=high, expected_rows=want)
+
+
+@dataclass
+class QueryWorkload:
+    """A reproducible stream of range queries at a fixed selectivity."""
+
+    spec: TableSpec
+    selectivity: float
+    seed: int = 0
+
+    def queries(self, count: int) -> Iterator[RangeQuery]:
+        """Yield ``count`` queries at random offsets."""
+        rng = random.Random(self.seed)
+        want = round(self.spec.rows * self.selectivity)
+        max_offset = max(0, self.spec.rows - want)
+        for _ in range(count):
+            yield range_for_selectivity(
+                self.spec, self.selectivity, rng.randint(0, max_offset)
+            )

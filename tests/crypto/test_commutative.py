@@ -1,0 +1,174 @@
+"""Property-based and unit tests for the commutative digest combinators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.commutative import (
+    AdditiveSetHash,
+    ExponentialCommutativeHash,
+    MultiplicativeSetHash,
+    get_commutative_hash,
+    pow_by_repeated_squaring,
+)
+from repro.crypto.meter import CostMeter
+from repro.exceptions import CryptoError
+
+ALL_SCHEMES = ["exp2k", "mult-prime", "add2k"]
+
+digest_values = st.integers(min_value=1, max_value=2**128 - 1)
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def scheme(request):
+    return get_commutative_hash(request.param)
+
+
+class TestRepeatedSquaring:
+    @given(
+        st.integers(min_value=0, max_value=2**64),
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=1, max_value=2**64),
+    )
+    @settings(max_examples=200)
+    def test_matches_builtin_pow(self, base, exp, mod):
+        assert pow_by_repeated_squaring(base, exp, mod) == pow(base, exp, mod)
+
+    def test_paper_example_g16(self):
+        # The paper's example: g^16 computed with 4 squarings.
+        n = 1 << 128
+        assert pow_by_repeated_squaring(3, 16, n) == pow(3, 16, n)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(CryptoError):
+            pow_by_repeated_squaring(2, 3, 0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(CryptoError):
+            pow_by_repeated_squaring(2, -1, 7)
+
+
+class TestAlgebra:
+    """The invariants every combinator must satisfy."""
+
+    @given(st.lists(digest_values, min_size=1, max_size=8), st.randoms())
+    @settings(max_examples=60)
+    def test_commutativity(self, values, rnd):
+        for scheme in (
+            ExponentialCommutativeHash(),
+            MultiplicativeSetHash(),
+            AdditiveSetHash(),
+        ):
+            shuffled = list(values)
+            rnd.shuffle(shuffled)
+            assert scheme.combine(values) == scheme.combine(shuffled)
+
+    @given(st.lists(digest_values, min_size=0, max_size=6), digest_values)
+    @settings(max_examples=60)
+    def test_fold_extends_combine(self, values, extra):
+        for scheme in (
+            ExponentialCommutativeHash(),
+            MultiplicativeSetHash(),
+            AdditiveSetHash(),
+        ):
+            assert scheme.fold(scheme.combine(values), extra) == scheme.combine(
+                values + [extra]
+            )
+
+    def test_empty_set_is_fold_identity(self, scheme):
+        assert scheme.combine([]) == scheme.empty()
+        v = scheme.digest_of_bytes(b"x")
+        assert scheme.fold(scheme.empty(), v) == scheme.combine([v])
+
+    def test_digest_of_bytes_deterministic(self, scheme):
+        assert scheme.digest_of_bytes(b"hello") == scheme.digest_of_bytes(b"hello")
+
+    def test_digest_of_bytes_discriminates(self, scheme):
+        assert scheme.digest_of_bytes(b"hello") != scheme.digest_of_bytes(b"hellp")
+
+    def test_digest_in_range(self, scheme):
+        d = scheme.digest_of_bytes(b"abc")
+        assert 0 < d < getattr(scheme, "modulus")
+
+    def test_rejects_nonpositive_values(self, scheme):
+        with pytest.raises(CryptoError):
+            scheme.fold(scheme.empty(), 0)
+        with pytest.raises(CryptoError):
+            scheme.combine([-5])
+
+
+class TestExponentialScheme:
+    def test_matches_paper_formula(self):
+        """combine({x1,x2}) must literally equal g^(x1*x2) mod 2^k (odd-forced)."""
+        h = ExponentialCommutativeHash(bits=64, generator=3)
+        x1, x2 = 7, 11
+        assert h.combine([x1, x2]) == pow(3, x1 * x2, 1 << 64)
+
+    def test_even_values_forced_odd(self):
+        h = ExponentialCommutativeHash(bits=64)
+        assert h.combine([6]) == h.combine([7])  # 6|1 == 7
+
+    def test_digests_always_odd(self):
+        h = ExponentialCommutativeHash()
+        for i in range(50):
+            assert h.digest_of_bytes(str(i).encode()) % 2 == 1
+
+    def test_incremental_insert_property(self):
+        """The property the paper exploits for cheap inserts."""
+        h = ExponentialCommutativeHash()
+        tuples = [h.digest_of_bytes(f"t{i}".encode()) for i in range(10)]
+        node_digest = h.combine(tuples)
+        new_tuple = h.digest_of_bytes(b"t-new")
+        assert h.fold(node_digest, new_tuple) == h.combine(tuples + [new_tuple])
+
+    def test_reference_pow_path_agrees(self):
+        fast = ExponentialCommutativeHash(use_builtin_pow=True)
+        slow = ExponentialCommutativeHash(use_builtin_pow=False)
+        vals = [fast.digest_of_bytes(str(i).encode()) for i in range(5)]
+        assert fast.combine(vals) == slow.combine(vals)
+
+    def test_digest_len_matches_bits(self):
+        assert ExponentialCommutativeHash(bits=128).digest_len == 16
+        assert ExponentialCommutativeHash(bits=256).digest_len == 32
+
+    def test_rejects_even_generator(self):
+        with pytest.raises(CryptoError):
+            ExponentialCommutativeHash(generator=4)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(CryptoError):
+            ExponentialCommutativeHash(bits=4)
+
+    def test_collision_smoke(self):
+        """No collisions among a few thousand distinct inputs."""
+        h = ExponentialCommutativeHash()
+        seen = {h.digest_of_bytes(str(i).encode()) for i in range(4096)}
+        assert len(seen) == 4096
+
+
+class TestMetering:
+    def test_hash_and_combine_counted(self):
+        meter = CostMeter()
+        h = ExponentialCommutativeHash(meter=meter)
+        a = h.digest_of_bytes(b"aaa")
+        b = h.digest_of_bytes(b"bbbb")
+        h.combine([a, b])
+        assert meter.hashes == 2
+        assert meter.combines == 2
+        assert meter.bytes_hashed == 7
+
+    def test_fold_counts_one_combine(self):
+        meter = CostMeter()
+        h = AdditiveSetHash(meter=meter)
+        h.fold(h.empty(), 5)
+        assert meter.combines == 1
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_lookup(self, name):
+        assert get_commutative_hash(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(CryptoError):
+            get_commutative_hash("rot13")

@@ -1,0 +1,57 @@
+"""Tests for the base one-way hash wrappers."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.hashing import (
+    Md5Hash,
+    Sha1Hash,
+    Sha256Hash,
+    get_base_hash,
+)
+from repro.exceptions import CryptoError
+
+
+class TestHashWrappers:
+    @pytest.mark.parametrize(
+        "cls,name,length",
+        [(Sha256Hash, "sha256", 32), (Sha1Hash, "sha1", 20), (Md5Hash, "md5", 16)],
+    )
+    def test_metadata(self, cls, name, length):
+        h = cls()
+        assert h.name == name
+        assert h.digest_len == length
+
+    def test_sha256_matches_hashlib(self):
+        data = b"the quick brown fox"
+        assert Sha256Hash().digest_bytes(data) == hashlib.sha256(data).digest()
+
+    def test_md5_matches_hashlib(self):
+        data = b"legacy"
+        assert Md5Hash().digest_bytes(data) == hashlib.md5(data).digest()
+
+    def test_digest_int_consistent_with_bytes(self):
+        h = Sha256Hash()
+        data = b"abc"
+        assert h.digest_int(data) == int.from_bytes(h.digest_bytes(data), "big")
+
+    def test_empty_input(self):
+        assert Sha256Hash().digest_bytes(b"") == hashlib.sha256(b"").digest()
+
+    def test_deterministic(self):
+        h = Sha1Hash()
+        assert h.digest_bytes(b"x") == h.digest_bytes(b"x")
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sha256", "SHA1", "Md5"])
+    def test_case_insensitive_lookup(self, name):
+        assert get_base_hash(name).name == name.lower()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CryptoError):
+            get_base_hash("blake9")
+
+    def test_fresh_instances(self):
+        assert get_base_hash("sha256") is not get_base_hash("sha256")

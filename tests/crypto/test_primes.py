@@ -1,0 +1,107 @@
+"""Tests for Miller-Rabin primality and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import (
+    SMALL_PRIMES,
+    generate_prime,
+    is_probable_prime,
+    miller_rabin,
+    next_probable_prime,
+)
+from repro.exceptions import KeyGenerationError
+
+KNOWN_PRIMES = [
+    2, 3, 5, 7, 11, 101, 997, 7919, 104729,
+    2_147_483_647,            # Mersenne prime 2^31 - 1
+    (1 << 61) - 1,            # Mersenne prime 2^61 - 1
+    32_416_190_071,
+]
+
+KNOWN_COMPOSITES = [
+    1, 4, 9, 15, 100, 561, 1105, 1729,        # Carmichael numbers included
+    2465, 2821, 6601, 8911, 41041, 62745,
+    252_601, 294_409, 56_052_361,
+    (1 << 61) - 3,
+    7919 * 104729,
+]
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes_accepted(self, p):
+        assert miller_rabin(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites_rejected(self, c):
+        assert not miller_rabin(c)
+
+    def test_zero_and_negatives(self):
+        assert not miller_rabin(0)
+        assert not miller_rabin(-7)
+
+    def test_agrees_with_trial_division_below_10000(self):
+        def slow_prime(n):
+            return n >= 2 and all(n % d for d in range(2, int(n**0.5) + 1))
+
+        for n in range(10_000):
+            assert miller_rabin(n) == slow_prime(n), n
+
+    def test_large_prime_beyond_deterministic_bound(self):
+        # 2^89 - 1 is a Mersenne prime above the deterministic witness bound.
+        p = (1 << 89) - 1
+        assert miller_rabin(p, rng=random.Random(0))
+        assert not miller_rabin(p + 2, rng=random.Random(0))
+
+    def test_is_probable_prime_alias(self):
+        assert is_probable_prime(104729)
+        assert not is_probable_prime(104730)
+
+
+class TestNextProbablePrime:
+    def test_small_values(self):
+        assert next_probable_prime(0) == 2
+        assert next_probable_prime(2) == 3
+        assert next_probable_prime(3) == 5
+        assert next_probable_prime(13) == 17
+
+    def test_skips_composites(self):
+        assert next_probable_prime(24) == 29
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50)
+    def test_result_is_prime_and_greater(self, n):
+        p = next_probable_prime(n)
+        assert p > n
+        assert miller_rabin(p)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(42)
+        for bits in (16, 64, 128, 256):
+            p = generate_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert miller_rabin(p)
+
+    def test_top_two_bits_set(self):
+        p = generate_prime(64, rng=random.Random(1))
+        assert (p >> 62) & 0b11 == 0b11
+
+    def test_deterministic_with_seeded_rng(self):
+        p1 = generate_prime(96, rng=random.Random(5))
+        p2 = generate_prime(96, rng=random.Random(5))
+        assert p1 == p2
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(KeyGenerationError):
+            generate_prime(4)
+
+    def test_small_primes_table_is_correct(self):
+        assert SMALL_PRIMES[0] == 2
+        assert SMALL_PRIMES[-1] == 997
+        assert all(miller_rabin(p) for p in SMALL_PRIMES)

@@ -1,0 +1,282 @@
+"""Unit and property-based tests for the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.btree import BPlusTree
+from repro.db.page import PageGeometry
+from repro.exceptions import DatabaseError, DuplicateKeyError, KeyNotFoundError
+
+
+def small_tree(fanout=4) -> BPlusTree:
+    return BPlusTree(min_fanout_override=fanout)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        t = small_tree()
+        assert len(t) == 0
+        assert t.height() == 1
+        assert list(t.items()) == []
+        assert 5 not in t
+
+    def test_insert_get(self):
+        t = small_tree()
+        t.insert(1, "a")
+        t.insert(2, "b")
+        assert t.get(1) == "a"
+        assert t.get(2) == "b"
+        assert len(t) == 2
+
+    def test_get_missing(self):
+        t = small_tree()
+        t.insert(1, "a")
+        with pytest.raises(KeyNotFoundError):
+            t.get(99)
+
+    def test_duplicate_insert_rejected(self):
+        t = small_tree()
+        t.insert(1, "a")
+        with pytest.raises(DuplicateKeyError):
+            t.insert(1, "b")
+        assert t.get(1) == "a"
+
+    def test_overwrite(self):
+        t = small_tree()
+        t.insert(1, "a")
+        t.insert(1, "b", overwrite=True)
+        assert t.get(1) == "b"
+        assert len(t) == 1
+
+    def test_items_sorted(self):
+        t = small_tree()
+        for k in [5, 3, 8, 1, 9, 2, 7]:
+            t.insert(k, str(k))
+        assert [k for k, _ in t.items()] == [1, 2, 3, 5, 7, 8, 9]
+
+    def test_delete(self):
+        t = small_tree()
+        for k in range(10):
+            t.insert(k, k)
+        t.delete(5)
+        assert 5 not in t
+        assert len(t) == 9
+        with pytest.raises(KeyNotFoundError):
+            t.delete(5)
+
+    def test_delete_to_empty(self):
+        t = small_tree()
+        for k in range(20):
+            t.insert(k, k)
+        for k in range(20):
+            t.delete(k)
+        assert len(t) == 0
+        t.validate()
+        t.insert(1, "back")  # still usable
+        assert t.get(1) == "back"
+
+    def test_string_keys(self):
+        t = small_tree()
+        for name in ["pear", "apple", "fig", "mango"]:
+            t.insert(name, name.upper())
+        assert [k for k, _ in t.items()] == ["apple", "fig", "mango", "pear"]
+
+
+class TestSplitsAndHeight:
+    def test_splits_create_height(self):
+        t = small_tree(fanout=4)
+        for k in range(100):
+            t.insert(k, k)
+        assert t.height() >= 3
+        t.validate()
+
+    def test_geometry_drives_capacity(self):
+        g = PageGeometry(block_size=128, key_len=8, pointer_len=4, digest_len=0)
+        t = BPlusTree(geometry=g)
+        assert t.max_children == (128 + 8) // 12
+        assert t.leaf_capacity == 128 // 12
+
+    def test_height_close_to_analytic(self):
+        """The built tree's height matches the fully-packed analytic
+        height within 1 level (splits leave nodes ~half full)."""
+        g = PageGeometry(block_size=256, key_len=8, pointer_len=4, digest_len=0)
+        t = BPlusTree(geometry=g)
+        n = 5000
+        for k in range(n):
+            t.insert(k, None)
+        analytic = g.height_for(n)
+        assert analytic <= t.height() <= analytic + 1
+
+    def test_fanout_override_validation(self):
+        with pytest.raises(DatabaseError):
+            BPlusTree(min_fanout_override=2)
+
+
+class TestRangeScans:
+    @pytest.fixture
+    def tree(self):
+        t = small_tree()
+        for k in range(0, 100, 2):  # even keys 0..98
+            t.insert(k, k * 10)
+        return t
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range_items())) == 50
+
+    def test_closed_range(self, tree):
+        items = list(tree.range_items(10, 20))
+        assert [k for k, _ in items] == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        items = list(tree.range_items(10, 20, low_inclusive=False, high_inclusive=False))
+        assert [k for k, _ in items] == [12, 14, 16, 18]
+
+    def test_bounds_between_keys(self, tree):
+        items = list(tree.range_items(9, 15))
+        assert [k for k, _ in items] == [10, 12, 14]
+
+    def test_open_low(self, tree):
+        assert [k for k, _ in tree.range_items(high=6)] == [0, 2, 4, 6]
+
+    def test_open_high(self, tree):
+        assert [k for k, _ in tree.range_items(low=94)] == [94, 96, 98]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_items(11, 11)) == []
+
+    def test_range_beyond_keys(self, tree):
+        assert list(tree.range_items(1000, 2000)) == []
+
+
+class TestTraceAndPaths:
+    def test_insert_trace_path(self):
+        t = small_tree()
+        for k in range(50):
+            trace = t.insert(k, k)
+            assert trace.path[0] is t.root or len(trace.path) >= 1
+            assert trace.modified
+
+    def test_split_flag(self):
+        t = small_tree(fanout=3)
+        saw_split = False
+        for k in range(30):
+            trace = t.insert(k, k)
+            if trace.created:
+                assert trace.split
+                saw_split = True
+        assert saw_split
+
+    def test_delete_trace_freed(self):
+        t = small_tree(fanout=3)
+        for k in range(9):
+            t.insert(k, k)
+        freed_any = False
+        for k in range(9):
+            trace = t.delete(k)
+            freed_any = freed_any or bool(trace.freed)
+        assert freed_any
+
+    def test_path_to_leaf(self):
+        t = small_tree(fanout=3)
+        for k in range(30):
+            t.insert(k, k)
+        leaf = t.find_leaf(17)
+        path = t.path_to(leaf)
+        assert path[0] is t.root
+        assert path[-1] is leaf
+        assert len(path) == t.height()
+
+    def test_io_accounting(self):
+        t = small_tree(fanout=3)
+        for k in range(100):
+            t.insert(k, k)
+        t.reset_io()
+        t.get(50)
+        assert t.io_reads == t.height()
+
+
+class TestInvariantValidation:
+    def test_validate_accepts_good_tree(self):
+        t = small_tree()
+        for k in random.Random(0).sample(range(1000), 300):
+            t.insert(k, k)
+        t.validate()
+
+    def test_validate_catches_corruption(self):
+        t = small_tree()
+        for k in range(50):
+            t.insert(k, k)
+        leaf = t.find_leaf(10)
+        leaf.keys.reverse()
+        with pytest.raises(DatabaseError):
+            t.validate()
+
+
+@st.composite
+def operation_sequences(draw):
+    """Random interleavings of inserts and deletes over a small key space."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    ops = []
+    for _ in range(n):
+        key = draw(st.integers(min_value=0, max_value=60))
+        kind = draw(st.sampled_from(["insert", "delete"]))
+        ops.append((kind, key))
+    return ops
+
+
+class TestPropertyBased:
+    @given(operation_sequences(), st.integers(min_value=3, max_value=8))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference_dict(self, ops, fanout):
+        """The tree agrees with a dict + sorted() reference model after
+        every operation, and invariants hold throughout."""
+        tree = BPlusTree(min_fanout_override=fanout)
+        model: dict[int, int] = {}
+        for kind, key in ops:
+            if kind == "insert":
+                if key in model:
+                    with pytest.raises(DuplicateKeyError):
+                        tree.insert(key, key)
+                else:
+                    tree.insert(key, key)
+                    model[key] = key
+            else:
+                if key in model:
+                    tree.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        tree.delete(key)
+        tree.validate()
+        assert [k for k, _ in tree.items()] == sorted(model)
+        assert len(tree) == len(model)
+
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=1, max_size=300, unique=True),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_range_scan_matches_filter(self, keys, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = BPlusTree(min_fanout_override=5)
+        for k in keys:
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range_items(low, high)]
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert got == expected
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=200, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_then_delete_all_returns_empty(self, keys):
+        tree = BPlusTree(min_fanout_override=4)
+        for k in keys:
+            tree.insert(k, str(k))
+        for k in keys:
+            tree.delete(k)
+        tree.validate()
+        assert len(tree) == 0
+        assert list(tree.items()) == []

@@ -1,0 +1,200 @@
+"""Tests for the lock manager and 2PL transactions."""
+
+import pytest
+
+from repro.db.locks import LockManager, LockMode
+from repro.db.transactions import TransactionManager, TxnStatus
+from repro.exceptions import DeadlockError, LockError, TransactionError
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.acquire("t1", "r", LockMode.SHARED)
+        assert lm.acquire("t2", "r", LockMode.SHARED)
+        assert set(lm.holders("r")) == {"t1", "t2"}
+
+    def test_exclusive_conflicts(self):
+        lm = LockManager()
+        assert lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        assert not lm.acquire("t2", "r", LockMode.SHARED)
+        assert lm.is_waiting("t2")
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        assert lm.acquire("t1", "r", LockMode.SHARED)
+        assert not lm.acquire("t2", "r", LockMode.EXCLUSIVE)
+
+    def test_release_grants_waiter(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        lm.acquire("t2", "r", LockMode.SHARED)
+        woken = lm.release("t1", "r")
+        assert woken == ["t2"]
+        assert lm.mode_held("t2", "r") is LockMode.SHARED
+
+    def test_fifo_ordering(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        lm.acquire("t2", "r", LockMode.EXCLUSIVE)
+        lm.acquire("t3", "r", LockMode.EXCLUSIVE)
+        assert lm.release("t1", "r") == ["t2"]
+        assert lm.release("t2", "r") == ["t3"]
+
+    def test_fifo_fairness_blocks_overtake(self):
+        """A new shared request must queue behind a waiting exclusive."""
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.SHARED)
+        lm.acquire("t2", "r", LockMode.EXCLUSIVE)  # waits
+        assert not lm.acquire("t3", "r", LockMode.SHARED)  # must not overtake
+
+    def test_reacquire_is_noop(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.SHARED)
+        assert lm.acquire("t1", "r", LockMode.SHARED)
+        assert lm.acquire("t1", "r", LockMode.SHARED)
+
+    def test_x_covers_s(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        assert lm.acquire("t1", "r", LockMode.SHARED)
+        assert lm.mode_held("t1", "r") is LockMode.EXCLUSIVE
+
+    def test_upgrade_alone_succeeds(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.SHARED)
+        assert lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        assert lm.mode_held("t1", "r") is LockMode.EXCLUSIVE
+
+    def test_upgrade_waits_for_other_readers(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.SHARED)
+        lm.acquire("t2", "r", LockMode.SHARED)
+        assert not lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        woken = lm.release("t2", "r")
+        assert woken == ["t1"]
+        assert lm.mode_held("t1", "r") is LockMode.EXCLUSIVE
+
+    def test_release_unheld_raises(self):
+        lm = LockManager()
+        with pytest.raises(LockError):
+            lm.release("t1", "r")
+
+    def test_release_all(self):
+        lm = LockManager()
+        lm.acquire("t1", "a", LockMode.SHARED)
+        lm.acquire("t1", "b", LockMode.EXCLUSIVE)
+        lm.acquire("t2", "b", LockMode.SHARED)
+        woken = lm.release_all("t1")
+        assert woken == ["t2"]
+        assert lm.held_by("t1") == set()
+
+    def test_release_all_drops_queued_requests(self):
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        lm.acquire("t2", "r", LockMode.SHARED)
+        lm.release_all("t2")
+        assert not lm.is_waiting("t2")
+        # t1 release should wake nobody.
+        assert lm.release("t1", "r") == []
+
+
+class TestDeadlockDetection:
+    def test_two_party_deadlock(self):
+        lm = LockManager()
+        lm.acquire("t1", "a", LockMode.EXCLUSIVE)
+        lm.acquire("t2", "b", LockMode.EXCLUSIVE)
+        assert not lm.acquire("t1", "b", LockMode.SHARED)  # t1 waits on t2
+        with pytest.raises(DeadlockError):
+            lm.acquire("t2", "a", LockMode.SHARED)  # closes the cycle
+
+    def test_three_party_cycle(self):
+        lm = LockManager()
+        lm.acquire("t1", "a", LockMode.EXCLUSIVE)
+        lm.acquire("t2", "b", LockMode.EXCLUSIVE)
+        lm.acquire("t3", "c", LockMode.EXCLUSIVE)
+        assert not lm.acquire("t1", "b", LockMode.EXCLUSIVE)
+        assert not lm.acquire("t2", "c", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            lm.acquire("t3", "a", LockMode.EXCLUSIVE)
+
+    def test_upgrade_deadlock(self):
+        """Two readers both trying to upgrade deadlock each other."""
+        lm = LockManager()
+        lm.acquire("t1", "r", LockMode.SHARED)
+        lm.acquire("t2", "r", LockMode.SHARED)
+        assert not lm.acquire("t1", "r", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            lm.acquire("t2", "r", LockMode.EXCLUSIVE)
+
+    def test_no_false_positive(self):
+        lm = LockManager()
+        lm.acquire("t1", "a", LockMode.EXCLUSIVE)
+        lm.acquire("t2", "b", LockMode.EXCLUSIVE)
+        assert not lm.acquire("t2", "a", LockMode.SHARED)  # chain, no cycle
+        lm.release_all("t1")
+        assert lm.mode_held("t2", "a") is LockMode.SHARED
+
+
+class TestTransactions:
+    def test_commit_releases_locks(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        assert t1.lock_exclusive("r")
+        t2 = tm.begin()
+        assert not t2.lock_shared("r")
+        assert t2.status is TxnStatus.BLOCKED
+        t1.commit()
+        assert t2.status is TxnStatus.ACTIVE
+        assert t2.holds("r") is LockMode.SHARED
+
+    def test_finished_txn_rejects_operations(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.commit()
+        with pytest.raises(TransactionError):
+            t1.lock_shared("r")
+        with pytest.raises(TransactionError):
+            t1.commit()
+        with pytest.raises(TransactionError):
+            t1.abort()
+
+    def test_abort_runs_undo_in_reverse(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        log = []
+        t1.on_abort(lambda: log.append("first"))
+        t1.on_abort(lambda: log.append("second"))
+        t1.abort()
+        assert log == ["second", "first"]
+
+    def test_commit_skips_undo(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        log = []
+        t1.on_abort(lambda: log.append("undo"))
+        t1.commit()
+        assert log == []
+
+    def test_active_count_and_get(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        assert tm.active_count() == 1
+        assert tm.get(t1.txn_id) is t1
+        t1.commit()
+        assert tm.active_count() == 0
+        with pytest.raises(TransactionError):
+            tm.get(t1.txn_id)
+
+    def test_deadlock_propagates(self):
+        tm = TransactionManager()
+        t1, t2 = tm.begin(), tm.begin()
+        t1.lock_exclusive("a")
+        t2.lock_exclusive("b")
+        t1.lock_exclusive("b")
+        with pytest.raises(DeadlockError):
+            t2.lock_exclusive("a")
+        # victim aborts; t1 gets the lock
+        t2.abort()
+        assert t1.status is TxnStatus.ACTIVE
+        assert t1.holds("b") is LockMode.EXCLUSIVE

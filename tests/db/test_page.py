@@ -1,0 +1,105 @@
+"""Tests for page geometry — formulas (6)-(8) and Figures 8-9 inputs."""
+
+import pytest
+
+from repro.db.page import PageGeometry
+from repro.exceptions import PageGeometryError
+
+
+class TestFanout:
+    def test_paper_default_btree(self):
+        """|B|=4096, |K|=16, |P|=4: f_B = (4096+16)/20 = 205."""
+        g = PageGeometry.btree_default()
+        assert g.internal_fanout() == 205
+
+    def test_paper_default_vbtree(self):
+        """|B|=4096, |K|=16, |P|=4, |D|=16: f_VB = 4112/36 = 114."""
+        g = PageGeometry.vbtree_default()
+        assert g.internal_fanout() == 114
+
+    def test_vbtree_fanout_below_btree(self):
+        for log_k in range(0, 9):
+            k = 2**log_k
+            b = PageGeometry(key_len=k, digest_len=0)
+            vb = PageGeometry(key_len=k, digest_len=16)
+            assert vb.internal_fanout() < b.internal_fanout()
+
+    def test_fanout_decreases_with_key_length(self):
+        fanouts = [
+            PageGeometry(key_len=2**i).internal_fanout() for i in range(0, 9)
+        ]
+        assert fanouts == sorted(fanouts, reverse=True)
+
+    def test_leaf_capacity(self):
+        g = PageGeometry.vbtree_default()
+        assert g.leaf_capacity() == 4096 // (16 + 4 + 16)
+
+    def test_node_overhead(self):
+        g = PageGeometry.vbtree_default()
+        assert g.node_overhead_bytes() == g.internal_fanout() * 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(PageGeometryError):
+            PageGeometry(block_size=0)
+        with pytest.raises(PageGeometryError):
+            PageGeometry(digest_len=-1)
+        with pytest.raises(PageGeometryError):
+            PageGeometry(block_size=8, key_len=16, pointer_len=4)
+
+
+class TestHeight:
+    def test_single_leaf(self):
+        g = PageGeometry.btree_default()
+        assert g.height_for(0) == 1
+        assert g.height_for(1) == 1
+        assert g.height_for(g.leaf_capacity()) == 1
+
+    def test_two_levels(self):
+        g = PageGeometry.btree_default()
+        assert g.height_for(g.leaf_capacity() + 1) == 2
+
+    def test_million_rows_paper_defaults(self):
+        """At 1M rows the B-tree and VB-tree heights differ by <= 1
+        (the paper's 'no material difference' claim, Figure 9)."""
+        b = PageGeometry.btree_default().height_for(1_000_000)
+        vb = PageGeometry.vbtree_default().height_for(1_000_000)
+        assert abs(vb - b) <= 1
+        assert 2 <= b <= 4
+
+    def test_height_monotone_in_rows(self):
+        g = PageGeometry.vbtree_default()
+        heights = [g.height_for(n) for n in (1, 10**2, 10**4, 10**6, 10**8)]
+        assert heights == sorted(heights)
+
+    def test_height_monotone_in_key_len(self):
+        heights = [
+            PageGeometry(key_len=2**i).height_for(10**6) for i in range(0, 9)
+        ]
+        assert heights == sorted(heights)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(PageGeometryError):
+            PageGeometry().height_for(-1)
+
+
+class TestEnvelopeHeight:
+    def test_zero_results(self):
+        assert PageGeometry().envelope_height_for(0) == 0
+
+    def test_small_result_single_leaf(self):
+        g = PageGeometry.vbtree_default()
+        assert g.envelope_height_for(1) == 1
+        assert g.envelope_height_for(g.leaf_capacity()) == 1
+
+    def test_envelope_below_tree_height(self):
+        g = PageGeometry.vbtree_default()
+        assert g.envelope_height_for(1000) <= g.height_for(1_000_000)
+
+
+class TestDerivedGeometries:
+    def test_without_digests(self):
+        vb = PageGeometry.vbtree_default()
+        b = vb.without_digests()
+        assert b.digest_len == 0
+        assert b.block_size == vb.block_size
+        assert b.internal_fanout() > vb.internal_fanout()

@@ -1,0 +1,207 @@
+"""Tests for the heap table and the relational operators."""
+
+import pytest
+
+from repro.db.executor import (
+    Filter,
+    IndexRangeScan,
+    MergeJoin,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    execute_to_list,
+)
+from repro.db.expressions import AlwaysTrue, Comparison, between
+from repro.db.rows import Row
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.types import IntType, VarcharType
+from repro.exceptions import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    PlanningError,
+)
+
+
+@pytest.fixture
+def users():
+    schema = TableSchema(
+        "users",
+        (
+            Column("id", IntType()),
+            Column("name", VarcharType(capacity=20)),
+            Column("dept", IntType()),
+        ),
+        key="id",
+    )
+    table = Table(schema, index_fanout_override=4)
+    for i in range(20):
+        table.insert((i, f"user{i}", i % 3))
+    return table
+
+
+@pytest.fixture
+def depts():
+    schema = TableSchema(
+        "depts",
+        (Column("dept_id", IntType()), Column("title", VarcharType(capacity=20))),
+        key="dept_id",
+    )
+    table = Table(schema)
+    for i, title in enumerate(["eng", "ops", "sales"]):
+        table.insert((i, title))
+    return table
+
+
+class TestTable:
+    def test_insert_get_len(self, users):
+        assert len(users) == 20
+        assert users.get(7)["name"] == "user7"
+        assert 7 in users
+        assert 99 not in users
+
+    def test_duplicate_key(self, users):
+        with pytest.raises(DuplicateKeyError):
+            users.insert((7, "dup", 0))
+
+    def test_delete(self, users):
+        removed = users.delete(3)
+        assert removed["name"] == "user3"
+        assert 3 not in users
+        with pytest.raises(KeyNotFoundError):
+            users.delete(3)
+
+    def test_update_in_place(self, users):
+        updated = users.update(4, name="renamed")
+        assert updated["name"] == "renamed"
+        assert users.get(4)["name"] == "renamed"
+
+    def test_update_key_change(self, users):
+        users.update(4, id=100)
+        assert 4 not in users
+        assert users.get(100)["name"] == "user4"
+
+    def test_update_key_conflict_restores(self, users):
+        with pytest.raises(DuplicateKeyError):
+            users.update(4, id=5)
+        assert users.get(4)["name"] == "user4"  # unchanged
+
+    def test_scan_order(self, users):
+        keys = [row.key for row in users.scan()]
+        assert keys == list(range(20))
+
+    def test_select_uses_key_range(self, users):
+        rows = list(users.select(between("id", 5, 8)))
+        assert [r.key for r in rows] == [5, 6, 7, 8]
+
+    def test_select_non_key(self, users):
+        rows = list(users.select(Comparison("dept", "=", 1)))
+        assert all(r["dept"] == 1 for r in rows)
+        assert len(rows) == 7  # ids 1,4,7,10,13,16,19
+
+    def test_data_bytes(self, users):
+        assert users.data_bytes() == 20 * users.schema.tuple_width()
+
+    def test_insert_many(self, users):
+        n = users.insert_many([(100 + i, f"u{i}", 0) for i in range(5)])
+        assert n == 5
+        assert len(users) == 25
+
+
+class TestScansAndFilters:
+    def test_seq_scan(self, users):
+        rows = execute_to_list(SeqScan(users))
+        assert len(rows) == 20
+
+    def test_index_range_scan(self, users):
+        plan = IndexRangeScan(users, between("id", 3, 6))
+        assert [r.key for r in plan.execute()] == [3, 4, 5, 6]
+
+    def test_index_scan_requires_range(self, users):
+        plan = IndexRangeScan(users, Comparison("id", "!=", 5))
+        with pytest.raises(PlanningError):
+            list(plan.execute())
+
+    def test_filter(self, users):
+        plan = Filter(SeqScan(users), Comparison("dept", "=", 0))
+        rows = execute_to_list(plan)
+        assert all(r["dept"] == 0 for r in rows)
+
+    def test_explain_renders_tree(self, users):
+        plan = Filter(SeqScan(users), Comparison("dept", "=", 0))
+        text = plan.explain()
+        assert "Filter" in text and "SeqScan(users)" in text
+
+
+class TestProject:
+    def test_project_columns(self, users):
+        plan = Project(SeqScan(users), ("name",))
+        rows = execute_to_list(plan)
+        assert rows[0].schema.column_names == ("name",)
+        assert rows[0]["name"] == "user0"
+
+    def test_project_reorders(self, users):
+        plan = Project(SeqScan(users), ("dept", "id"))
+        assert execute_to_list(plan)[1].values == (1 % 3, 1)
+
+    def test_unknown_column_rejected(self, users):
+        with pytest.raises(PlanningError):
+            Project(SeqScan(users), ("ghost",))
+
+
+class TestJoins:
+    def test_nested_loop_join(self, users, depts):
+        plan = NestedLoopJoin(SeqScan(users), SeqScan(depts), "dept", "dept_id")
+        rows = execute_to_list(plan)
+        assert len(rows) == 20
+        by_id = {r["id"]: r for r in rows}
+        assert by_id[4]["title"] == "ops"  # dept 1
+
+    def test_merge_join_matches_nested_loop(self, users, depts):
+        nl = execute_to_list(
+            NestedLoopJoin(SeqScan(users), SeqScan(depts), "id", "dept_id")
+        )
+        mj = execute_to_list(
+            MergeJoin(SeqScan(users), SeqScan(depts), "id", "dept_id")
+        )
+        assert sorted(r.values for r in nl) == sorted(r.values for r in mj)
+
+    def test_merge_join_duplicates(self):
+        schema_a = TableSchema(
+            "a", (Column("k", IntType()), Column("v", IntType())), key="k"
+        )
+        schema_b = TableSchema(
+            "b", (Column("k2", IntType()), Column("w", IntType())), key="k2"
+        )
+        a = Table(schema_a)
+        b = Table(schema_b)
+        # join on non-key columns with duplicates
+        a.insert((1, 7))
+        a.insert((2, 7))
+        b.insert((1, 7))
+        b.insert((2, 7))
+        rows = execute_to_list(MergeJoin(SeqScan(a), SeqScan(b), "v", "w"))
+        assert len(rows) == 4  # 2x2 duplicate group
+
+    def test_join_schema_collision_renamed(self, users):
+        other = Table(
+            TableSchema(
+                "extra",
+                (Column("id", IntType()), Column("score", IntType())),
+                key="id",
+            )
+        )
+        other.insert((1, 50))
+        plan = NestedLoopJoin(SeqScan(users), SeqScan(other), "id", "id")
+        rows = execute_to_list(plan)
+        assert len(rows) == 1
+        assert "extra_id" in rows[0].schema.column_names
+
+    def test_join_empty_side(self, users):
+        empty = Table(
+            TableSchema(
+                "e", (Column("dept_id", IntType()),), key="dept_id"
+            )
+        )
+        plan = NestedLoopJoin(SeqScan(users), SeqScan(empty), "dept", "dept_id")
+        assert execute_to_list(plan) == []

@@ -1,0 +1,140 @@
+"""Tests for the column type system."""
+
+import pytest
+
+from repro.db.types import (
+    BlobType,
+    BoolType,
+    FloatType,
+    IntType,
+    VarcharType,
+    type_from_name,
+)
+from repro.exceptions import SchemaError, TypeMismatchError
+
+
+class TestIntType:
+    def test_accepts_ints(self):
+        t = IntType()
+        assert t.validate(42) == 42
+        assert t.validate(-(2**63)) == -(2**63)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            IntType().validate(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            IntType().validate(1.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(TypeMismatchError):
+            IntType().validate(2**63)
+
+    def test_width(self):
+        assert IntType().byte_width() == 8
+
+    def test_orderable(self):
+        assert IntType().orderable
+
+
+class TestFloatType:
+    def test_accepts_and_coerces(self):
+        t = FloatType()
+        assert t.validate(1.5) == 1.5
+        assert t.validate(2) == 2.0
+        assert isinstance(t.validate(2), float)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            FloatType().validate(False)
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            FloatType().validate("1.0")
+
+    def test_width(self):
+        assert FloatType().byte_width() == 8
+
+
+class TestBoolType:
+    def test_accepts_bool(self):
+        assert BoolType().validate(True) is True
+
+    def test_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            BoolType().validate(1)
+
+    def test_width(self):
+        assert BoolType().byte_width() == 1
+
+
+class TestVarcharType:
+    def test_accepts_within_capacity(self):
+        assert VarcharType(capacity=5).validate("abcde") == "abcde"
+
+    def test_rejects_too_long(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType(capacity=3).validate("abcd")
+
+    def test_utf8_length_counts_bytes(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType(capacity=3).validate("héé")  # 5 utf-8 bytes
+
+    def test_rejects_non_str(self):
+        with pytest.raises(TypeMismatchError):
+            VarcharType().validate(b"bytes")
+
+    def test_fixed_width_is_capacity(self):
+        assert VarcharType(capacity=20).byte_width() == 20
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SchemaError):
+            VarcharType(capacity=0)
+
+    def test_str_rendering(self):
+        assert str(VarcharType(capacity=7)) == "VARCHAR(7)"
+
+
+class TestBlobType:
+    def test_accepts_bytes(self):
+        assert BlobType(capacity=4).validate(b"\x00\x01") == b"\x00\x01"
+
+    def test_accepts_bytearray(self):
+        assert BlobType(capacity=4).validate(bytearray(b"ab")) == b"ab"
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            BlobType().validate("text")
+
+    def test_rejects_oversize(self):
+        with pytest.raises(TypeMismatchError):
+            BlobType(capacity=2).validate(b"abc")
+
+    def test_not_orderable(self):
+        assert not BlobType().orderable
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("INT", IntType),
+            ("integer", IntType),
+            ("FLOAT", FloatType),
+            ("double", FloatType),
+            ("bool", BoolType),
+            ("VARCHAR", VarcharType),
+            ("BLOB", BlobType),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(type_from_name(name), cls)
+
+    def test_capacity_passthrough(self):
+        assert type_from_name("varchar", 12).capacity == 12
+        assert type_from_name("blob", 99).capacity == 99
+
+    def test_unknown_name(self):
+        with pytest.raises(SchemaError):
+            type_from_name("GEOMETRY")

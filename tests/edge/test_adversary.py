@@ -1,0 +1,122 @@
+"""Adversary-model tests: what the mechanism detects, and the one
+documented boundary it does not."""
+
+import pytest
+
+from repro.edge.adversary import (
+    DropTuple,
+    ResponseTamper,
+    SpuriousTuple,
+    StaleReplay,
+    ValueTamper,
+)
+from repro.edge.central import CentralServer, ReplicationMode
+from repro.workloads.generator import TableSpec, generate_table
+
+DB = "advdb"
+
+
+@pytest.fixture
+def setup():
+    server = CentralServer(db_name=DB, rsa_bits=512, seed=21)
+    schema, rows = generate_table(TableSpec(name="t", rows=120, columns=5, seed=4))
+    server.create_table(schema, rows, fanout_override=6)
+    edge = server.spawn_edge_server("compromised")
+    client = server.make_client()
+    return server, edge, client
+
+
+class TestDetectedAttacks:
+    def test_at_rest_value_tamper_detected(self, setup):
+        _server, edge, client = setup
+        ValueTamper(table="t", key=50, column="a1", new_value="evil").apply(edge)
+        resp = edge.range_query("t", low=40, high=60)
+        verdict = client.verify(resp)
+        assert not verdict.ok
+
+    def test_tamper_outside_query_range_not_flagged(self, setup):
+        """Tampering is only visible in results that cover the tuple —
+        queries elsewhere still verify."""
+        _server, edge, client = setup
+        ValueTamper(table="t", key=50, column="a1", new_value="evil").apply(edge)
+        resp = edge.range_query("t", low=80, high=100)
+        assert client.verify(resp).ok
+
+    def test_spurious_tuple_detected(self, setup):
+        _server, edge, client = setup
+        SpuriousTuple(table="t", row_values=(1000, "f", "a", "k", "e")).apply(edge)
+        resp = edge.range_query("t", low=990, high=1010)
+        assert len(resp.result.rows) == 1  # the fake tuple is returned
+        assert not client.verify(resp).ok
+
+    def test_in_flight_response_tamper_detected(self, setup):
+        _server, edge, client = setup
+        ResponseTamper(row_index=0, column_index=1, new_value="evil").install(edge)
+        resp = edge.range_query("t", low=0, high=30)
+        assert not client.verify(resp).ok
+
+    def test_drop_without_cover_detected(self, setup):
+        _server, edge, client = setup
+        DropTuple(table="t", index=2, cover=False).install(edge)
+        resp = edge.range_query("t", low=0, high=30)
+        assert not client.verify(resp).ok
+
+    def test_stale_replay_detected_after_rotation(self):
+        server = CentralServer(
+            db_name=DB,
+            rsa_bits=512,
+            seed=22,
+            replication=ReplicationMode.LAZY,
+        )
+        schema, rows = generate_table(TableSpec(name="t", rows=60, columns=4))
+        server.create_table(schema, rows, fanout_override=6)
+        stale_edge = server.spawn_edge_server("stale")
+        client = server.make_client()
+
+        # Before rotation: the stale edge's data verifies fine.
+        assert client.verify(stale_edge.range_query("t", low=0, high=10)).ok
+
+        server.rotate_key(seed=23)       # epoch 1; epoch 0 expires at t=0
+        server.keyring.tick()            # time moves past the validity window
+
+        assert StaleReplay(table="t").is_stale(stale_edge)
+        verdict = client.verify(stale_edge.range_query("t", low=0, high=10))
+        assert not verdict.ok
+        assert "stale" in verdict.reason
+
+        # A freshly propagated edge verifies again under the new epoch.
+        server.propagate()
+        assert client.verify(stale_edge.range_query("t", low=0, high=10)).ok
+
+
+class TestTrustModelBoundary:
+    def test_drop_with_cover_passes(self, setup):
+        """The documented boundary (Section 3.1): a *malicious* edge
+        that re-covers dropped tuples with their signed digests defeats
+        completeness checking.  The paper assumes edges don't do this."""
+        _server, edge, client = setup
+        DropTuple(table="t", index=2, cover=True).install(edge)
+        resp = edge.range_query("t", low=0, high=30)
+        assert len(resp.result.rows) == 30  # one of 31 dropped
+        assert client.verify(resp).ok       # and yet it verifies
+
+    def test_drop_with_cover_on_projected_query_passes(self, setup):
+        _server, edge, client = setup
+        DropTuple(table="t", index=0, cover=True).install(edge)
+        resp = edge.range_query("t", low=0, high=30, columns=("id", "a1"))
+        assert client.verify(resp).ok
+
+
+class TestAdversaryErrors:
+    def test_value_tamper_missing_key(self, setup):
+        from repro.exceptions import EdgeError
+
+        _server, edge, _client = setup
+        with pytest.raises(EdgeError):
+            ValueTamper(table="t", key=99999, column="a1", new_value="x").apply(edge)
+
+    def test_interceptors_clearable(self, setup):
+        _server, edge, client = setup
+        ResponseTamper(row_index=0, column_index=1, new_value="evil").install(edge)
+        edge.clear_interceptors()
+        assert client.verify(edge.range_query("t", low=0, high=10)).ok

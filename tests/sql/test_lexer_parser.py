@@ -1,0 +1,205 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.ast_nodes import (
+    CreateTable,
+    CreateView,
+    DeleteStmt,
+    InsertStmt,
+    SelectStmt,
+    WhereAnd,
+    WhereComparison,
+    WhereNot,
+    WhereOr,
+)
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse, parse_many
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "myTable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.25")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.25"]
+
+    def test_negative_number_after_comparison(self):
+        tokens = tokenize("x < -5")
+        assert tokens[2].value == "-5"
+        assert tokens[2].type is TokenType.NUMBER
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n x")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "x"]
+
+    def test_symbols(self):
+        tokens = tokenize("<= >= != <> = ( ) , * .")
+        assert [t.value for t in tokens[:-1]] == [
+            "<=", ">=", "!=", "<>", "=", "(", ")", ",", "*", ".",
+        ]
+
+    def test_illegal_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestParseSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM items")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.columns is None
+        assert stmt.table == "items"
+        assert stmt.where is None
+
+    def test_columns(self):
+        stmt = parse("SELECT id, name FROM items")
+        assert stmt.columns == ("id", "name")
+
+    def test_where_comparison(self):
+        stmt = parse("SELECT * FROM t WHERE id = 5")
+        assert stmt.where == WhereComparison("id", "=", 5)
+
+    def test_where_between(self):
+        stmt = parse("SELECT * FROM t WHERE id BETWEEN 2 AND 8")
+        assert stmt.where == WhereAnd(
+            WhereComparison("id", ">=", 2), WhereComparison("id", "<=", 8)
+        )
+
+    def test_where_and_or_precedence(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR.
+        assert isinstance(stmt.where, WhereOr)
+        assert isinstance(stmt.where.right, WhereAnd)
+
+    def test_where_parentheses(self):
+        stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, WhereAnd)
+        assert isinstance(stmt.where.left, WhereOr)
+
+    def test_where_not(self):
+        stmt = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, WhereNot)
+
+    def test_neq_normalized(self):
+        stmt = parse("SELECT * FROM t WHERE a <> 1")
+        assert stmt.where == WhereComparison("a", "!=", 1)
+
+    def test_string_and_bool_literals(self):
+        stmt = parse("SELECT * FROM t WHERE name = 'bob' AND ok = TRUE")
+        assert stmt.where.left.value == "bob"
+        assert stmt.where.right.value is True
+
+    def test_float_literal(self):
+        stmt = parse("SELECT * FROM t WHERE price < 9.5")
+        assert stmt.where.value == 9.5
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t extra")
+
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT *")
+
+
+class TestParseInsertDelete:
+    def test_insert_single(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a', 2.5)")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.rows == ((1, "a", 2.5),)
+
+    def test_insert_multi(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert stmt.rows == ((1, "a"), (2, "b"))
+
+    def test_insert_negative_number(self):
+        stmt = parse("INSERT INTO t VALUES (-5, 'x')")
+        assert stmt.rows[0][0] == -5
+
+    def test_insert_null(self):
+        stmt = parse("INSERT INTO t VALUES (1, NULL)")
+        assert stmt.rows[0][1] is None
+
+    def test_delete_with_where(self):
+        stmt = parse("DELETE FROM t WHERE id > 10")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where == WhereComparison("id", ">", 10)
+
+    def test_delete_without_where(self):
+        stmt = parse("DELETE FROM t")
+        assert stmt.where is None
+
+
+class TestParseCreate:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE users (id INT, name VARCHAR(20), age INT, "
+            "PRIMARY KEY (id))"
+        )
+        assert isinstance(stmt, CreateTable)
+        assert stmt.primary_key == "id"
+        assert stmt.columns[1].type_name == "VARCHAR"
+        assert stmt.columns[1].capacity == 20
+
+    def test_create_table_requires_primary_key(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("CREATE TABLE t (id INT)")
+
+    def test_create_view(self):
+        stmt = parse(
+            "CREATE MATERIALIZED VIEW ov AS SELECT * FROM orders "
+            "JOIN customers ON orders.cid = customers.cid"
+        )
+        assert isinstance(stmt, CreateView)
+        assert stmt.left_table == "orders"
+        assert stmt.right_column == "cid"
+
+    def test_create_view_reversed_on_clause(self):
+        stmt = parse(
+            "CREATE MATERIALIZED VIEW ov AS SELECT * FROM orders "
+            "JOIN customers ON customers.cid = orders.oid"
+        )
+        assert stmt.left_column == "oid"
+        assert stmt.right_column == "cid"
+
+    def test_create_view_bad_tables(self):
+        with pytest.raises(SQLSyntaxError):
+            parse(
+                "CREATE MATERIALIZED VIEW ov AS SELECT * FROM a "
+                "JOIN b ON c.x = d.y"
+            )
+
+
+class TestParseMany:
+    def test_script(self):
+        stmts = parse_many(
+            "CREATE TABLE t (id INT, PRIMARY KEY (id)); "
+            "INSERT INTO t VALUES (1); "
+            "SELECT * FROM t"
+        )
+        assert len(stmts) == 3
+
+    def test_trailing_semicolon_ok(self):
+        assert len(parse_many("SELECT * FROM t;")) == 1

@@ -1,0 +1,59 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20,
+            height=6,
+            title="demo",
+        )
+        assert "demo" in out
+        assert "* up" in out and "o down" in out
+        assert out.count("\n") >= 8
+
+    def test_extremes_labelled(self):
+        out = ascii_plot([0, 10], {"s": [5.0, 1_500_000.0]}, width=12, height=4)
+        assert "1.5M" in out
+        assert "5" in out
+
+    def test_flat_series(self):
+        out = ascii_plot([0, 1], {"flat": [7, 7]}, width=8, height=3)
+        assert "*" in out  # no division-by-zero on zero span
+
+    def test_single_point(self):
+        out = ascii_plot([5], {"p": [9]})
+        assert "*" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"bad": [1]})
+
+    def test_empty(self):
+        assert ascii_plot([], {}) == "(empty plot)"
+
+    def test_marks_land_where_expected(self):
+        out = ascii_plot([0, 1], {"s": [0, 10]}, width=10, height=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        # max value mark on the top row, min on the bottom row.
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_figure_series_renders(self):
+        """Smoke: a real paper series renders without error."""
+        from repro.analysis.communication import fig10_series
+
+        rows = fig10_series(5, selectivities=(0.0, 0.25, 0.5, 0.75, 1.0))
+        xs = [r[0] for r in rows]
+        out = ascii_plot(
+            xs,
+            {"Naive": [r[1] for r in rows], "VB-tree": [r[2] for r in rows]},
+            title="Figure 10(b)",
+        )
+        assert "Naive" in out and "VB-tree" in out

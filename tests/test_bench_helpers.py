@@ -1,0 +1,38 @@
+"""Tests for the benchmark series/formatting helpers."""
+
+import csv
+import os
+
+from repro.bench.series import format_table, results_dir, write_csv
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(1_500_000.0,), (1234.0,), (0.123,), (0.0,)])
+        assert "1.50M" in text
+        assert "1,234" in text
+        assert "0.123" in text
+
+    def test_strings_pass_through(self):
+        assert "hello" in format_table(["x"], [("hello",)])
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.series.results_dir", lambda: str(tmp_path)
+        )
+        path = write_csv("unit_test_series", ["x", "y"], [(1, 2), (3, 4)])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+    def test_results_dir_exists(self):
+        assert os.path.isdir(results_dir())
+        assert results_dir().endswith(os.path.join("benchmarks", "results"))

@@ -1,0 +1,103 @@
+"""Tests for the synthetic table and query workload generators."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.workloads.generator import TableSpec, generate_rows, generate_table
+from repro.workloads.queries import QueryWorkload, range_for_selectivity
+
+
+class TestTableGenerator:
+    def test_shape(self):
+        schema, rows = generate_table(TableSpec(rows=50, columns=5))
+        assert schema.num_columns == 5
+        assert len(rows) == 50
+        assert schema.key == "id"
+
+    def test_deterministic(self):
+        spec = TableSpec(rows=20, seed=9)
+        assert generate_rows(spec) == generate_rows(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_rows(TableSpec(rows=20, seed=1))
+        b = generate_rows(TableSpec(rows=20, seed=2))
+        assert a != b
+
+    def test_key_step_leaves_holes(self):
+        _schema, rows = generate_table(TableSpec(rows=10, key_step=3))
+        keys = [r[0] for r in rows]
+        assert keys == list(range(0, 30, 3))
+
+    def test_attr_size_respected(self):
+        schema, rows = generate_table(TableSpec(rows=5, attr_size=7))
+        assert all(len(v) == 7 for r in rows for v in r[1:])
+        assert schema.columns[1].type.capacity == 7
+
+    def test_rows_validate_against_schema(self):
+        from repro.db.table import Table
+
+        schema, rows = generate_table(TableSpec(rows=30))
+        table = Table(schema)
+        table.insert_many(rows)
+        assert len(table) == 30
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSpec(columns=1)
+        with pytest.raises(SchemaError):
+            TableSpec(attr_size=0)
+        with pytest.raises(SchemaError):
+            TableSpec(key_step=0)
+
+
+class TestSelectivityRanges:
+    def test_exact_cardinality(self):
+        spec = TableSpec(rows=100)
+        for sel in (0.01, 0.2, 0.5, 1.0):
+            q = range_for_selectivity(spec, sel)
+            assert q.expected_rows == round(100 * sel)
+            keys = set(range(spec.rows))
+            hit = [k for k in keys if q.low <= k <= q.high]
+            assert len(hit) == q.expected_rows
+
+    def test_zero_selectivity_selects_nothing(self):
+        spec = TableSpec(rows=100)
+        q = range_for_selectivity(spec, 0.0)
+        assert q.expected_rows == 0
+        assert not any(q.low <= k <= q.high for k in range(100))
+
+    def test_with_key_step(self):
+        spec = TableSpec(rows=50, key_step=4)
+        q = range_for_selectivity(spec, 0.5)
+        keys = [spec.key_start + i * 4 for i in range(50)]
+        hit = [k for k in keys if q.low <= k <= q.high]
+        assert len(hit) == 25
+
+    def test_offset(self):
+        spec = TableSpec(rows=100)
+        q0 = range_for_selectivity(spec, 0.1, offset_rows=0)
+        q1 = range_for_selectivity(spec, 0.1, offset_rows=50)
+        assert q0.low != q1.low
+        assert q1.expected_rows == q0.expected_rows == 10
+
+    def test_offset_clamped(self):
+        spec = TableSpec(rows=100)
+        q = range_for_selectivity(spec, 0.9, offset_rows=99)
+        assert q.expected_rows == 90  # clamped to fit
+
+    def test_out_of_range_selectivity(self):
+        with pytest.raises(ValueError):
+            range_for_selectivity(TableSpec(rows=10), 1.2)
+
+
+class TestQueryWorkload:
+    def test_reproducible(self):
+        spec = TableSpec(rows=100)
+        w1 = list(QueryWorkload(spec, 0.2, seed=5).queries(10))
+        w2 = list(QueryWorkload(spec, 0.2, seed=5).queries(10))
+        assert w1 == w2
+
+    def test_all_queries_hit_cardinality(self):
+        spec = TableSpec(rows=200)
+        for q in QueryWorkload(spec, 0.25, seed=1).queries(20):
+            assert q.expected_rows == 50
