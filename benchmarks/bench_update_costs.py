@@ -108,6 +108,49 @@ def test_insert_fold_vs_recompute_opcounts(benchmark):
     assert results["flattened"]["combines"] < results["nested"]["combines"]
 
 
+def test_propagation_cost_end_to_end(benchmark):
+    """End-to-end write-path cost under eager delta replication: one
+    insert at the central server through to N edge replicas, reporting
+    replication bytes and simulated transfer seconds per edge count."""
+    import time
+
+    from repro.edge.central import CentralServer
+    from repro.workloads.generator import TableSpec, generate_table
+
+    series = []
+    for n_edges in (1, 2, 4, 8):
+        central = CentralServer(db_name="propbench", rsa_bits=512, seed=55)
+        schema, data = generate_table(
+            TableSpec(name="t", rows=1_000, columns=5, seed=3)
+        )
+        central.create_table(schema, data)
+        edges = [central.spawn_edge_server(f"e{i}") for i in range(n_edges)]
+        for edge in edges:
+            edge.replication_channel.reset()
+        t0 = time.perf_counter()
+        central.insert("t", (10_000_000, *["p"] * 4))
+        elapsed = time.perf_counter() - t0
+        total_bytes = sum(
+            e.replication_channel.total_bytes for e in edges
+        )
+        total_seconds = sum(
+            e.replication_channel.total_seconds for e in edges
+        )
+        series.append(
+            (n_edges, total_bytes, round(total_seconds, 4), round(elapsed, 4))
+        )
+    emit(
+        "End-to-end propagation: one insert -> N edges (eager deltas)",
+        "update_propagation_cost",
+        ["edges", "replication bytes", "simulated transfer s", "wall s"],
+        series,
+    )
+    # Per-edge cost is flat: total bytes scale linearly with edge count.
+    per_edge = [b / n for n, b, _s, _w in series]
+    assert max(per_edge) < 1.5 * min(per_edge)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
 @pytest.mark.parametrize("range_size", [1, 16, 64])
 def test_delete_range_measured(benchmark, range_size):
     """Range deletes: recompute cost grows with the deleted range."""

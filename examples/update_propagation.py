@@ -104,10 +104,11 @@ def replication() -> None:
     central.insert("t", (5000, "xx", "yy", "zz"))
     central.insert("t", (5001, "aa", "bb", "cc"))
     for edge in edges:
-        print(f"  {edge.name}: staleness={edge.staleness('t')} versions")
+        print(f"  {edge.name}: staleness={edge.staleness('t')} LSNs behind")
 
     shipped = central.propagate()
-    print(f"  propagate(): {shipped} replicas shipped")
+    print(f"  propagate(): {shipped} transfers shipped (coalesced delta "
+          "batches; snapshots only on bootstrap/gap/rotation)")
     for edge in edges:
         resp = edge.range_query("t", 5000, 5001)
         verdict = client.verify(resp)

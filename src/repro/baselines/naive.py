@@ -142,6 +142,23 @@ class NaiveStore:
             signed_tuple=signed_tuple, signed_attrs=signed_attrs
         )
 
+    def install_signed(
+        self,
+        key: Any,
+        signed_tuple: SignedDigest,
+        signed_attrs: tuple[SignedDigest, ...],
+    ) -> None:
+        """Install centrally-signed digests for ``key`` without signing.
+
+        Replica-side counterpart of :meth:`add`: edge servers cannot
+        sign, so delta replication ships the central server's signatures
+        (identical to what :meth:`add` would produce — raw RSA signing
+        is deterministic) and installs them here.
+        """
+        self._auth[key] = NaiveTupleAuth(
+            signed_tuple=signed_tuple, signed_attrs=signed_attrs
+        )
+
     def remove(self, key: Any) -> None:
         """Drop a deleted row's digests."""
         self._auth.pop(key, None)

@@ -1,0 +1,303 @@
+"""Replica deltas — log-shipping replacement for clone propagation.
+
+The paper's Section 3.4 observes that an update touches only the
+root-to-leaf digest path, yet the seed implementation shipped a full
+VB-tree clone to every edge server on every mutation (O(tree × edges)
+bytes per changed row).  This module defines the **ReplicaDelta**: a
+structured, signed, wire-serializable record of one (or a coalesced
+batch of) mutation(s) that an edge server can apply to its replica in
+O(path) work — see DESIGN.md section 6 for the protocol.
+
+A delta carries everything the edge needs and nothing it could forge:
+
+* the tuple operations (inserted row values with their centrally-signed
+  tuple/attribute digests; deleted search keys);
+* the re-signed digest material of every VB-tree node the mutation
+  touched (the root-to-leaf fold path, or the dirty set of a
+  split/merge), addressed by stable node id;
+* the ids of nodes freed by structural changes;
+* a per-table, monotonically increasing **log sequence number** (LSN)
+  range and the key epoch, both bound under the central server's
+  signature over the serialized body.
+
+Tree *structure* is never shipped: B+-tree mutation is deterministic
+(same geometry, same node-id counter — see
+:meth:`repro.db.btree.BPlusTree.clone`), so the edge replays the tuple
+operations against its own tree and the resulting splits/frees match
+the central server's byte-for-byte.  The signed node digests then
+overwrite the edge's stale entries; the edge never computes — and could
+never sign — a digest itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Sequence
+
+from repro.core.digests import TupleDigests
+from repro.core.vbtree import NodeAuth, TupleAuth, VBTree
+from repro.crypto.signatures import SignedDigest
+from repro.db.rows import Row
+from repro.exceptions import ReplicaDeltaError
+
+__all__ = [
+    "DeltaOpKind",
+    "TupleOp",
+    "NodeDigestUpdate",
+    "ReplicaDelta",
+    "delta_digest",
+    "coalesce",
+    "apply_delta",
+]
+
+#: Bit width of the signed delta-body digest.  240 bits keeps the
+#: signing payload (digest · 2^16 + epoch) comfortably below any RSA
+#: modulus of >= 264 bits, including the 512-bit simulation keys.
+_DELTA_DIGEST_BITS = 240
+
+
+class DeltaOpKind(Enum):
+    """One tuple-level mutation inside a delta."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class TupleOp:
+    """One tuple operation.
+
+    For an INSERT the op carries the row values plus the central
+    server's signed digest material (the edge cannot sign).  For a
+    DELETE it carries only the tree search key — digests of removed
+    tuples are dropped, not recomputed.
+
+    Attributes:
+        kind: INSERT or DELETE.
+        values: Row values in schema column order (INSERT only).
+        key: Tree search key (DELETE only; may be a composite tuple for
+            secondary VB-trees).
+        attribute_values: Unsigned attribute digest values (INSERT).
+        tuple_value: Unsigned tuple digest value (INSERT).
+        signed_tuple: Signature over ``tuple_value`` (INSERT).
+        signed_attrs: Per-attribute signatures (INSERT).
+    """
+
+    kind: DeltaOpKind
+    values: tuple[Any, ...] | None = None
+    key: Any = None
+    attribute_values: tuple[int, ...] | None = None
+    tuple_value: int | None = None
+    signed_tuple: SignedDigest | None = None
+    signed_attrs: tuple[SignedDigest, ...] | None = None
+
+    @classmethod
+    def insert(cls, row: Row, auth: TupleAuth) -> "TupleOp":
+        """Build an INSERT op from a row and its signed digest material."""
+        return cls(
+            kind=DeltaOpKind.INSERT,
+            values=tuple(row.values),
+            attribute_values=auth.digests.attribute_values,
+            tuple_value=auth.digests.tuple_value,
+            signed_tuple=auth.signed_tuple,
+            signed_attrs=auth.signed_attrs,
+        )
+
+    @classmethod
+    def delete(cls, key: Any) -> "TupleOp":
+        """Build a DELETE op for the tuple at ``key``."""
+        return cls(kind=DeltaOpKind.DELETE, key=key)
+
+
+@dataclass(frozen=True)
+class NodeDigestUpdate:
+    """Re-signed digest material for one VB-tree node, by node id."""
+
+    node_id: int
+    value: int
+    signed: SignedDigest
+    display: int
+    signed_display: SignedDigest
+
+    @classmethod
+    def from_auth(cls, node_id: int, auth: NodeAuth) -> "NodeDigestUpdate":
+        """Snapshot a node's current :class:`NodeAuth`."""
+        return cls(
+            node_id=node_id,
+            value=auth.value,
+            signed=auth.signed,
+            display=auth.display,
+            signed_display=auth.signed_display,
+        )
+
+    def to_auth(self) -> NodeAuth:
+        """The :class:`NodeAuth` to install on a replica."""
+        return NodeAuth(
+            value=self.value,
+            signed=self.signed,
+            display=self.display,
+            signed_display=self.signed_display,
+        )
+
+
+@dataclass(frozen=True)
+class ReplicaDelta:
+    """A signed unit of replication: one mutation, or a coalesced batch.
+
+    Attributes:
+        table: VB-tree name (base table, join view, or secondary index).
+        lsn_first: First log sequence number covered (== ``lsn_last``
+            for a single-mutation delta).
+        lsn_last: Last log sequence number covered.
+        epoch: Key epoch all contained signatures were produced under.
+        base_version: Replica tree version this delta applies on top of.
+        new_version: Tree version after application.
+        structural: True if any covered mutation split or freed nodes.
+        ops: Tuple operations in application order.
+        node_updates: Final signed digest state of every touched node.
+        freed_nodes: Node ids removed by structural changes.
+        signature: Central server's signature over the serialized body
+            (``None`` until sealed by the replicator).
+    """
+
+    table: str
+    lsn_first: int
+    lsn_last: int
+    epoch: int
+    base_version: int
+    new_version: int
+    structural: bool
+    ops: tuple[TupleOp, ...]
+    node_updates: tuple[NodeDigestUpdate, ...]
+    freed_nodes: tuple[int, ...]
+    signature: SignedDigest | None = None
+
+
+def delta_digest(body: bytes) -> int:
+    """Digest of a serialized delta body, as an integer small enough to
+    sign under any simulation RSA key (see ``_DELTA_DIGEST_BITS``)."""
+    raw = hashlib.sha256(body).digest()
+    return int.from_bytes(raw, "big") >> (256 - _DELTA_DIGEST_BITS)
+
+
+def coalesce(deltas: Sequence[ReplicaDelta]) -> ReplicaDelta:
+    """Merge a contiguous run of deltas into one batch delta.
+
+    Tuple operations are concatenated in order; node digest updates are
+    last-writer-wins per node id (node ids are never reused, so a freed
+    node can never reappear); freed sets accumulate.  The result is
+    **unsigned** — the replicator re-signs the batch as a unit.
+
+    Raises:
+        ReplicaDeltaError: If the sequence is empty, spans tables or
+            epochs, or has non-contiguous LSNs/versions.
+    """
+    if not deltas:
+        raise ReplicaDeltaError("cannot coalesce an empty delta sequence")
+    first = deltas[0]
+    ops: list[TupleOp] = []
+    updates: dict[int, NodeDigestUpdate] = {}
+    freed: set[int] = set()
+    structural = False
+    prev: ReplicaDelta | None = None
+    for delta in deltas:
+        if delta.table != first.table:
+            raise ReplicaDeltaError(
+                f"cannot coalesce across tables "
+                f"({first.table!r} vs {delta.table!r})"
+            )
+        if delta.epoch != first.epoch:
+            raise ReplicaDeltaError("cannot coalesce across key epochs")
+        if prev is not None and (
+            delta.lsn_first != prev.lsn_last + 1
+            or delta.base_version != prev.new_version
+        ):
+            raise ReplicaDeltaError(
+                f"non-contiguous deltas: {prev.lsn_last} -> {delta.lsn_first}"
+            )
+        ops.extend(delta.ops)
+        freed.update(delta.freed_nodes)
+        for update in delta.node_updates:
+            updates[update.node_id] = update
+        structural = structural or delta.structural
+        prev = delta
+    assert prev is not None
+    final_updates = tuple(
+        u for u in updates.values() if u.node_id not in freed
+    )
+    return ReplicaDelta(
+        table=first.table,
+        lsn_first=first.lsn_first,
+        lsn_last=prev.lsn_last,
+        epoch=first.epoch,
+        base_version=first.base_version,
+        new_version=prev.new_version,
+        structural=structural,
+        ops=tuple(ops),
+        node_updates=final_updates,
+        freed_nodes=tuple(sorted(freed)),
+    )
+
+
+def apply_delta(vbt: VBTree, delta: ReplicaDelta) -> None:
+    """Apply a (already authenticated) delta to a replica VB-tree.
+
+    Tuple operations replay against the replica's own B+-tree — the
+    deterministic mutation reproduces the central server's structural
+    changes — then the signed node digests overwrite the touched nodes'
+    auth entries and freed nodes' entries are dropped.  LSN / signature
+    checks live in :meth:`repro.edge.edge_server.EdgeServer.apply_delta`;
+    this function only enforces version continuity so a delta can never
+    be applied twice or out of order even when called directly.
+
+    Application is **not** atomic across a multi-op batch: an op that
+    fails (only possible when the replica has already diverged from the
+    central tree) leaves earlier ops applied and the version not
+    advanced.  That replica is unusable for further deltas by
+    construction — the central server replaces it wholesale with a
+    snapshot (:meth:`repro.edge.central.CentralServer._sync_replica`).
+
+    Raises:
+        ReplicaDeltaError: On version mismatch or a tuple op that does
+            not apply cleanly (replica divergence — resync via snapshot).
+    """
+    if delta.base_version != vbt.version:
+        raise ReplicaDeltaError(
+            f"delta for {delta.table!r} expects replica version "
+            f"{delta.base_version}, replica is at {vbt.version}"
+        )
+    for op in delta.ops:
+        try:
+            if op.kind is DeltaOpKind.INSERT:
+                assert op.values is not None
+                row = Row(vbt.schema, op.values)
+                key = vbt.key_of(row)
+                vbt.tree.insert(key, row)
+                vbt.install_tuple_auth(
+                    key,
+                    TupleAuth(
+                        digests=TupleDigests(
+                            attribute_values=tuple(op.attribute_values or ()),
+                            tuple_value=op.tuple_value or 0,
+                        ),
+                        signed_tuple=op.signed_tuple,  # type: ignore[arg-type]
+                        signed_attrs=tuple(op.signed_attrs or ()),
+                    ),
+                )
+            else:
+                vbt.tree.delete(op.key)
+                vbt.drop_tuple_auth(op.key)
+        except ReplicaDeltaError:
+            raise
+        except Exception as exc:
+            raise ReplicaDeltaError(
+                f"delta op {op.kind.value} failed on replica of "
+                f"{delta.table!r}: {exc}"
+            ) from exc
+    for node_id in delta.freed_nodes:
+        vbt.drop_node_auth(node_id)
+    for update in delta.node_updates:
+        vbt.install_node_auth(update.node_id, update.to_auth())
+    vbt.version = delta.new_version

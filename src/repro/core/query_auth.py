@@ -30,7 +30,7 @@ from repro.core.vo import (
     VOEntryKind,
     VOFormat,
 )
-from repro.db.expressions import KeyRange, Predicate
+from repro.db.expressions import Predicate
 from repro.db.rows import Row
 from repro.db.transactions import Transaction
 from repro.exceptions import LockError, VOFormatError
@@ -73,7 +73,6 @@ class QueryAuthenticator:
         txn: Transaction | None = None,
     ) -> AuthenticatedResult:
         """Selection on the primary key: ``low <= key <= high``."""
-        key_range = KeyRange(low=low, high=high)
         rows = [
             row
             for _k, row in self.vbtree.tree.range_items(

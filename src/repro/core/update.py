@@ -8,7 +8,10 @@ FLATTENED policy this is the paper's cheap fold::
 
     D_N' = h(D_N, D_T)     (one modular multiplication per node)
 
-X-locking "each digest in turn only as it is being modified".  Under
+Path X-locks are acquired up front (a denied lock must leave the tree
+untouched so the replication log stays consistent) but, following the
+paper, each digest's lock is released "only as it is being modified" —
+right after its fold — under short insert locks.  Under
 the NESTED policy ancestors must be recomputed from their children
 (an explicit cost the update benches quantify).  Splits force digest
 recomputation for the affected nodes either way.
@@ -28,11 +31,12 @@ root-signature schemes like [5].
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
+from repro.core.delta import NodeDigestUpdate, ReplicaDelta, TupleOp
 from repro.core.digests import DigestPolicy
 from repro.core.vbtree import VBTree
-from repro.db.btree import _Node
+from repro.db.btree import MutationTrace, _Node
 from repro.db.rows import Row
 from repro.db.transactions import Transaction
 from repro.exceptions import LockError
@@ -59,6 +63,55 @@ class AuthenticatedUpdater:
     def __init__(self, vbtree: VBTree, short_insert_locks: bool = True) -> None:
         self.vbtree = vbtree
         self.short_insert_locks = short_insert_locks
+        #: FIFO queue of deltas emitted by mutations (unsigned; the
+        #: replicator assigns LSNs and seals them).  A queue, not a
+        #: slot: one logical update can mutate a tree several times —
+        #: e.g. view maintenance inserting every joined row — and each
+        #: mutation's delta must be recorded, in order.
+        self._pending_deltas: list[ReplicaDelta] = []
+
+    def take_delta(self) -> ReplicaDelta | None:
+        """Pop the oldest pending delta (None if none)."""
+        if not self._pending_deltas:
+            return None
+        return self._pending_deltas.pop(0)
+
+    def take_deltas(self) -> list[ReplicaDelta]:
+        """Drain all pending deltas, oldest first."""
+        deltas, self._pending_deltas = self._pending_deltas, []
+        return deltas
+
+    def _emit_delta(
+        self,
+        op: TupleOp,
+        trace: MutationTrace,
+        touched: Iterable[_Node],
+        base_version: int,
+    ) -> ReplicaDelta:
+        """Record the mutation as an (unsigned) :class:`ReplicaDelta`."""
+        vbt = self.vbtree
+        freed_ids = {n.node_id for n in trace.freed}
+        updates: dict[int, NodeDigestUpdate] = {}
+        for node in touched:
+            if node.node_id in freed_ids or node.node_id in updates:
+                continue
+            updates[node.node_id] = NodeDigestUpdate.from_auth(
+                node.node_id, vbt.node_auth(node)
+            )
+        delta = ReplicaDelta(
+            table=vbt.table_name,
+            lsn_first=0,
+            lsn_last=0,
+            epoch=vbt.signing.signer.epoch,
+            base_version=base_version,
+            new_version=vbt.version,
+            structural=bool(trace.split or trace.freed),
+            ops=(op,),
+            node_updates=tuple(updates.values()),
+            freed_nodes=tuple(sorted(freed_ids)),
+        )
+        self._pending_deltas.append(delta)
+        return delta
 
     # ------------------------------------------------------------------
     # Insert
@@ -67,39 +120,61 @@ class AuthenticatedUpdater:
     def insert(self, row: Row, txn: Transaction | None = None) -> None:
         """Insert ``row`` and maintain digests along the path.
 
+        All path X-locks are acquired *before* the tree is mutated: a
+        denied lock must leave the tree untouched, or the mutation
+        would be invisible to the replication log and replicas would
+        silently diverge.  (The paper describes acquiring each digest
+        lock as it is modified; we keep its *release* discipline — under
+        short locks each digest is released right after its fold — but
+        front-load acquisition for failure atomicity.)
+
         Raises:
-            DuplicateKeyError: On key collision (no digests are touched).
-            LockError: If a digest X-lock cannot be granted immediately.
+            DuplicateKeyError: On key collision (nothing is touched).
+            LockError: If a digest X-lock cannot be granted immediately
+                (nothing is touched).
         """
         vbt = self.vbtree
-        trace, auth = vbt.raw_insert(row)
+        base_version = vbt.version
+        key = vbt.key_of(row)
+        path = vbt.tree.path_to(vbt.tree.find_leaf(key))
         acquired: list[tuple[str, str, int]] = []
+        self._lock_nodes(txn, path, exclusive=True, acquired=acquired)
+        try:
+            trace, auth = vbt.raw_insert(row)
+        except Exception:
+            self._release_all(txn, acquired)
+            raise
+        touched: list[_Node]
         try:
             if trace.split or trace.freed:
-                # Structural change: recompute digests of all dirty nodes.
-                self._lock_nodes(txn, trace.path, exclusive=True, acquired=acquired)
-                vbt.recompute_dirty(trace)
+                # Structural change: also X-lock the nodes the split
+                # created (including a new root) before recomputing
+                # their digests.  These are fresh node ids no other
+                # transaction can hold, so the grants cannot fail.
+                self._lock_nodes(
+                    txn, trace.created, exclusive=True, acquired=acquired
+                )
+                touched = vbt.recompute_dirty(trace)
             elif vbt.policy is DigestPolicy.FLATTENED:
                 # The paper's incremental path: fold the tuple digest
-                # into each node digest from the root down, X-locking
-                # "each digest in turn only as it is being modified".
+                # into each node digest from the root down, releasing
+                # each digest's lock right after it is modified.
                 for node in trace.path:
-                    self._with_node_xlock(
-                        txn,
-                        node,
-                        lambda n=node: self._fold(n, auth.digests.tuple_value),
-                    )
+                    self._fold(node, auth.digests.tuple_value)
+                    if self.short_insert_locks:
+                        self._release_node(txn, node, acquired)
+                touched = list(trace.path)
             else:
                 # NESTED: the leaf digest changes, so every ancestor must
                 # be recomputed from its children.
-                self._lock_nodes(txn, trace.path, exclusive=True, acquired=acquired)
                 for node in reversed(trace.path):
                     vbt.recompute_node(node)
+                touched = list(trace.path)
         finally:
-            if self.short_insert_locks and txn is not None:
-                for resource in acquired:
-                    txn.manager.locks.release(txn.txn_id, resource)
+            if self.short_insert_locks:
+                self._release_all(txn, acquired)
         vbt.version += 1
+        self._emit_delta(TupleOp.insert(row, auth), trace, touched, base_version)
 
     def _fold(self, node: _Node, tuple_value: int) -> None:
         vbt = self.vbtree
@@ -121,13 +196,15 @@ class AuthenticatedUpdater:
             The removed row.
         """
         vbt = self.vbtree
+        base_version = vbt.version
         leaf = vbt.tree.find_leaf(key)
         path = vbt.tree.path_to(leaf)
         self._lock_nodes(txn, path, exclusive=True)
         row = vbt.tree.get(key)
         trace, _auth = vbt.raw_delete(key)
-        vbt.recompute_dirty(trace)
+        touched = vbt.recompute_dirty(trace)
         vbt.version += 1
+        self._emit_delta(TupleOp.delete(key), trace, touched, base_version)
         return row
 
     def delete_range(
@@ -170,19 +247,22 @@ class AuthenticatedUpdater:
             if acquired is not None and not already_held:
                 acquired.append(resource)
 
-    def _with_node_xlock(
-        self, txn: Transaction | None, node: _Node, action
-    ) -> None:
-        """X-lock one digest, run ``action``, optionally release
-        immediately (the paper's short insert locks)."""
+    def _release_all(self, txn: Transaction | None, acquired: list) -> None:
+        """Release every lock this operation acquired (and only those)."""
         if txn is None:
-            action()
+            return
+        for resource in acquired:
+            txn.manager.locks.release(txn.txn_id, resource)
+        acquired.clear()
+
+    def _release_node(
+        self, txn: Transaction | None, node: _Node, acquired: list
+    ) -> None:
+        """Release one node's digest lock if this operation acquired it
+        (the paper's short insert locks: held only while modified)."""
+        if txn is None:
             return
         resource = digest_resource(self.vbtree.table_name, node.node_id)
-        if not txn.lock_exclusive(resource):
-            raise LockError(f"insert blocked acquiring X-lock on {resource!r}")
-        try:
-            action()
-        finally:
-            if self.short_insert_locks:
-                txn.manager.locks.release(txn.txn_id, resource)
+        if resource in acquired:
+            txn.manager.locks.release(txn.txn_id, resource)
+            acquired.remove(resource)

@@ -372,6 +372,33 @@ class VBTree:
     # Replication
     # ------------------------------------------------------------------
 
+    def install_tuple_auth(self, key: Any, auth: TupleAuth) -> None:
+        """Install centrally-signed tuple digest material on a replica.
+
+        Replica-side counterpart of :meth:`_store_tuple`: edge servers
+        cannot sign, so delta application ships the central server's
+        :class:`TupleAuth` over the wire and installs it verbatim (see
+        :func:`repro.core.delta.apply_delta`).
+        """
+        self._tuple_auth[key] = auth
+
+    def drop_tuple_auth(self, key: Any) -> None:
+        """Remove a deleted tuple's digest material (replica side)."""
+        self._tuple_auth.pop(key, None)
+
+    def install_node_auth(self, node_id: int, auth: NodeAuth) -> None:
+        """Install centrally-signed node digest material by node id.
+
+        Node ids are stable across replicas (see :meth:`clone` and the
+        deterministic-mutation argument in DESIGN.md section 6), so a
+        delta can address nodes it re-signed without shipping structure.
+        """
+        self._node_auth[node_id] = auth
+
+    def drop_node_auth(self, node_id: int) -> None:
+        """Forget the digest material of a freed node (replica side)."""
+        self._node_auth.pop(node_id, None)
+
     def clone(self) -> "VBTree":
         """Replica copy for distribution to an edge server.
 

@@ -24,6 +24,12 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.delta import (
+    DeltaOpKind,
+    NodeDigestUpdate,
+    ReplicaDelta,
+    TupleOp,
+)
 from repro.core.digests import DigestPolicy
 from repro.core.vo import (
     AuthenticatedResult,
@@ -41,9 +47,17 @@ from repro.crypto.encoding import (
     encode_values,
 )
 from repro.crypto.signatures import SignedDigest
-from repro.exceptions import VOFormatError
+from repro.exceptions import EncodingError, ReplicaDeltaError, VOFormatError
 
-__all__ = ["result_to_bytes", "result_from_bytes", "wire_breakdown"]
+__all__ = [
+    "result_to_bytes",
+    "result_from_bytes",
+    "wire_breakdown",
+    "delta_body_bytes",
+    "delta_to_bytes",
+    "delta_from_bytes",
+    "snapshot_to_bytes",
+]
 
 _FORMAT_TAGS = {VOFormat.FLAT_SET: 0, VOFormat.STRUCTURED: 1}
 _FORMAT_FROM_TAG = {v: k for k, v in _FORMAT_TAGS.items()}
@@ -238,3 +252,262 @@ def wire_breakdown(result: AuthenticatedResult, sig_len: int) -> dict[str, int]:
         "header": header,
         "total": total,
     }
+
+
+# ---------------------------------------------------------------------------
+# Replica deltas (DESIGN.md section 6) — replication bytes are measured
+# with the same encoding primitives as query VOs, so clone-vs-delta
+# comparisons are apples-to-apples.
+# ---------------------------------------------------------------------------
+
+_OP_TAGS = {DeltaOpKind.INSERT: 0, DeltaOpKind.DELETE: 1}
+_OP_FROM_TAG = {v: k for k, v in _OP_TAGS.items()}
+
+# Tree search keys are scalars for primary VB-trees but composite
+# ``(attribute, primary key)`` tuples for secondary VB-trees.
+_KEY_SCALAR = 0
+_KEY_COMPOSITE = 1
+
+
+def _encode_key(key: Any) -> bytes:
+    if isinstance(key, tuple):
+        return bytes([_KEY_COMPOSITE]) + encode_values(key)
+    return bytes([_KEY_SCALAR]) + encode_value(key)
+
+
+def _decode_key(data: bytes, offset: int) -> tuple[Any, int]:
+    flag = data[offset]
+    offset += 1
+    if flag == _KEY_COMPOSITE:
+        values, offset = decode_values(data, offset)
+        return tuple(values), offset
+    if flag == _KEY_SCALAR:
+        return decode_value(data, offset)
+    raise EncodingError(f"unknown key flag {flag}")
+
+
+def _encode_tuple_op(op: TupleOp, sig_len: int) -> bytes:
+    out = [bytes([_OP_TAGS[op.kind]])]
+    if op.kind is DeltaOpKind.INSERT:
+        if (
+            op.values is None
+            or op.attribute_values is None
+            or op.tuple_value is None
+            or op.signed_tuple is None
+            or op.signed_attrs is None
+        ):
+            raise ReplicaDeltaError("insert op missing digest material")
+        out.append(encode_values(op.values))
+        out.append(encode_values(op.attribute_values))
+        out.append(encode_value(op.tuple_value))
+        out.append(op.signed_tuple.to_bytes(sig_len))
+        out.append(encode_uint(len(op.signed_attrs)))
+        for signed in op.signed_attrs:
+            out.append(signed.to_bytes(sig_len))
+    else:
+        out.append(_encode_key(op.key))
+    return b"".join(out)
+
+
+def _decode_tuple_op(
+    data: bytes, offset: int, sig_len: int
+) -> tuple[TupleOp, int]:
+    kind = _OP_FROM_TAG.get(data[offset])
+    if kind is None:
+        raise EncodingError(f"unknown delta op tag {data[offset]}")
+    offset += 1
+    if kind is DeltaOpKind.DELETE:
+        key, offset = _decode_key(data, offset)
+        return TupleOp.delete(key), offset
+    values, offset = decode_values(data, offset)
+    attr_values, offset = decode_values(data, offset)
+    tuple_value, offset = decode_value(data, offset)
+    signed_tuple = SignedDigest.from_bytes(
+        data[offset : offset + sig_len + 2], sig_len
+    )
+    offset += sig_len + 2
+    attr_count, offset = decode_uint(data, offset)
+    signed_attrs = []
+    for _ in range(attr_count):
+        signed_attrs.append(
+            SignedDigest.from_bytes(data[offset : offset + sig_len + 2], sig_len)
+        )
+        offset += sig_len + 2
+    op = TupleOp(
+        kind=DeltaOpKind.INSERT,
+        values=tuple(values),
+        attribute_values=tuple(attr_values),
+        tuple_value=tuple_value,
+        signed_tuple=signed_tuple,
+        signed_attrs=tuple(signed_attrs),
+    )
+    return op, offset
+
+
+def _encode_node_update(update: NodeDigestUpdate, sig_len: int) -> bytes:
+    return (
+        encode_uint(update.node_id)
+        + encode_value(update.value)
+        + update.signed.to_bytes(sig_len)
+        + encode_value(update.display)
+        + update.signed_display.to_bytes(sig_len)
+    )
+
+
+def _decode_node_update(
+    data: bytes, offset: int, sig_len: int
+) -> tuple[NodeDigestUpdate, int]:
+    node_id, offset = decode_uint(data, offset)
+    value, offset = decode_value(data, offset)
+    signed = SignedDigest.from_bytes(data[offset : offset + sig_len + 2], sig_len)
+    offset += sig_len + 2
+    display, offset = decode_value(data, offset)
+    signed_display = SignedDigest.from_bytes(
+        data[offset : offset + sig_len + 2], sig_len
+    )
+    offset += sig_len + 2
+    return (
+        NodeDigestUpdate(
+            node_id=node_id,
+            value=value,
+            signed=signed,
+            display=display,
+            signed_display=signed_display,
+        ),
+        offset,
+    )
+
+
+def delta_body_bytes(delta: ReplicaDelta, sig_len: int) -> bytes:
+    """Serialize a delta's signed portion (everything but the signature).
+
+    The LSN range, epoch and versions are inside the body, so the
+    central server's signature binds them — a replayed or renumbered
+    delta cannot carry a valid signature.
+    """
+    parts = [
+        encode_uint(sig_len),
+        encode_value(delta.table),
+        encode_uint(delta.lsn_first),
+        encode_uint(delta.lsn_last),
+        encode_uint(delta.epoch),
+        encode_uint(delta.base_version),
+        encode_uint(delta.new_version),
+        bytes([1 if delta.structural else 0]),
+        encode_uint(len(delta.ops)),
+    ]
+    for op in delta.ops:
+        parts.append(_encode_tuple_op(op, sig_len))
+    parts.append(encode_uint(len(delta.node_updates)))
+    for update in delta.node_updates:
+        parts.append(_encode_node_update(update, sig_len))
+    parts.append(encode_uint(len(delta.freed_nodes)))
+    for node_id in delta.freed_nodes:
+        parts.append(encode_uint(node_id))
+    return b"".join(parts)
+
+
+def delta_to_bytes(delta: ReplicaDelta, sig_len: int) -> bytes:
+    """Serialize a sealed delta: body followed by the body signature.
+
+    Raises:
+        ReplicaDeltaError: If the delta has not been signed.
+    """
+    if delta.signature is None:
+        raise ReplicaDeltaError("cannot serialize an unsigned delta")
+    return delta_body_bytes(delta, sig_len) + delta.signature.to_bytes(sig_len)
+
+
+def delta_from_bytes(data: bytes) -> ReplicaDelta:
+    """Parse the serialization produced by :func:`delta_to_bytes`.
+
+    Parsing performs **no** authentication; callers must verify the
+    signature over :func:`delta_body_bytes` of the parsed delta (the
+    encoding is canonical, so re-serializing reproduces the body).
+    """
+    sig_len, offset = decode_uint(data, 0)
+    table, offset = decode_value(data, offset)
+    lsn_first, offset = decode_uint(data, offset)
+    lsn_last, offset = decode_uint(data, offset)
+    epoch, offset = decode_uint(data, offset)
+    base_version, offset = decode_uint(data, offset)
+    new_version, offset = decode_uint(data, offset)
+    structural = bool(data[offset])
+    offset += 1
+    op_count, offset = decode_uint(data, offset)
+    ops = []
+    for _ in range(op_count):
+        op, offset = _decode_tuple_op(data, offset, sig_len)
+        ops.append(op)
+    update_count, offset = decode_uint(data, offset)
+    updates = []
+    for _ in range(update_count):
+        update, offset = _decode_node_update(data, offset, sig_len)
+        updates.append(update)
+    freed_count, offset = decode_uint(data, offset)
+    freed = []
+    for _ in range(freed_count):
+        node_id, offset = decode_uint(data, offset)
+        freed.append(node_id)
+    signature = SignedDigest.from_bytes(
+        data[offset : offset + sig_len + 2], sig_len
+    )
+    offset += sig_len + 2
+    if offset != len(data):
+        raise EncodingError(f"{len(data) - offset} trailing delta bytes")
+    return ReplicaDelta(
+        table=table,
+        lsn_first=lsn_first,
+        lsn_last=lsn_last,
+        epoch=epoch,
+        base_version=base_version,
+        new_version=new_version,
+        structural=structural,
+        ops=tuple(ops),
+        node_updates=tuple(updates),
+        freed_nodes=tuple(freed),
+        signature=signature,
+    )
+
+
+def snapshot_to_bytes(vbtree, sig_len: int) -> bytes:
+    """Serialize a full VB-tree replica: the snapshot-transfer wire cost.
+
+    This is what a full resync (edge bootstrap, log gap, key rotation)
+    ships, and what the seed's per-update clone propagation effectively
+    shipped on *every* mutation — the honest baseline for
+    ``benchmarks/bench_replication.py``.  Layout: header, pre-order node
+    structure, per-row values + signed tuple digests, per-node signed
+    digests.
+    """
+    parts = [
+        encode_uint(sig_len),
+        encode_value(vbtree.table_name),
+        encode_uint(vbtree.version),
+    ]
+    nodes = list(vbtree.tree.walk_nodes())
+    parts.append(encode_uint(len(nodes)))
+    for node in nodes:
+        parts.append(encode_uint(node.node_id))
+        parts.append(bytes([1 if node.is_leaf else 0]))
+        parts.append(encode_uint(len(node.keys)))
+        if not node.is_leaf:
+            for child in node.children:
+                parts.append(encode_uint(child.node_id))
+        auth = vbtree.node_auth(node)
+        parts.append(encode_value(auth.value))
+        parts.append(auth.signed.to_bytes(sig_len))
+        parts.append(encode_value(auth.display))
+        parts.append(auth.signed_display.to_bytes(sig_len))
+    parts.append(encode_uint(len(vbtree.tree)))
+    for key, row in vbtree.tree.items():
+        parts.append(_encode_key(key))
+        parts.append(encode_values(row.values))
+        auth = vbtree.tuple_auth(key)
+        parts.append(encode_values(auth.digests.attribute_values))
+        parts.append(encode_value(auth.digests.tuple_value))
+        parts.append(auth.signed_tuple.to_bytes(sig_len))
+        parts.append(encode_uint(len(auth.signed_attrs)))
+        for signed in auth.signed_attrs:
+            parts.append(signed.to_bytes(sig_len))
+    return b"".join(parts)

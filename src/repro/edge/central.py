@@ -1,9 +1,12 @@
 """The trusted central DBMS (Figure 2, left).
 
 Owns the master database, the signing key pair, the key ring, and the
-VB-trees; applies all updates (only it can sign digests) and propagates
-replicas to edge servers either eagerly (per update) or lazily (on
-:meth:`CentralServer.propagate`).
+VB-trees; applies all updates (only it can sign digests) and replicates
+them to edge servers as signed **deltas** over a per-table log
+(DESIGN.md section 6): eager mode pushes each delta as it commits, lazy
+mode coalesces the pending log into batches on
+:meth:`CentralServer.propagate`, and a full snapshot ships only on edge
+bootstrap, log gap, or key rotation.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.core.digests import DigestEngine, DigestPolicy, SigningDigestEngine
 from repro.core.secondary import SecondaryVBTree
 from repro.core.update import AuthenticatedUpdater
 from repro.core.vbtree import VBTree
+from repro.core.wire import snapshot_to_bytes
 from repro.baselines.naive import NaiveStore
 from repro.crypto.keyring import KeyRing
 from repro.crypto.rsa import RSAKeyPair, generate_keypair
@@ -26,7 +30,13 @@ from repro.db.rows import Row
 from repro.db.schema import Catalog, TableSchema
 from repro.db.table import Table
 from repro.db.transactions import TransactionManager
-from repro.exceptions import ReplicationError, SchemaError
+from repro.edge.replication import Replicator
+from repro.exceptions import (
+    DeltaGapError,
+    ReplicaDeltaError,
+    ReplicationError,
+    SchemaError,
+)
 
 __all__ = ["CentralServer", "ReplicationMode", "ClientConfig"]
 
@@ -34,8 +44,8 @@ __all__ = ["CentralServer", "ReplicationMode", "ClientConfig"]
 class ReplicationMode(Enum):
     """How updates reach the edge servers (Section 3.4)."""
 
-    EAGER = "eager"    # lock-and-update all replicas per transaction
-    LAZY = "lazy"      # periodic propagation; detected via key epochs
+    EAGER = "eager"    # push each signed delta per transaction
+    LAZY = "lazy"      # deltas accumulate; edges pull coalesced batches
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,8 @@ class CentralServer:
         enable_naive: Also maintain the Naive baseline's per-tuple
             signature store for every table (needed by the comparison
             benches; costs one extra signature pass per insert).
+        max_log_entries: Per-table delta-log retention; edges that fall
+            further behind than this resync via full snapshot.
     """
 
     def __init__(
@@ -69,11 +81,13 @@ class CentralServer:
         policy: DigestPolicy = DigestPolicy.FLATTENED,
         replication: ReplicationMode = ReplicationMode.EAGER,
         enable_naive: bool = False,
+        max_log_entries: int = 1024,
     ) -> None:
         self.db_name = db_name
         self.policy = policy
         self.replication = replication
         self.enable_naive = enable_naive
+        self.replicator = Replicator(max_log_entries=max_log_entries)
         self.keyring = KeyRing()
         self._keypair: RSAKeyPair = generate_keypair(bits=rsa_bits, seed=seed)
         self.keyring.register(self._keypair.public)
@@ -354,6 +368,11 @@ class CentralServer:
                 self.naive_stores[name] = NaiveStore.build(
                     table.schema, table.scan(), self._signing_engine()
                 )
+        # Every signature in every log entry is now obsolete: consume an
+        # LSN barrier per table so laggard edges detect the gap and
+        # resync via snapshot (their epoch check catches it too).
+        for name in self.vbtrees:
+            self.replicator.log_for(name).barrier()
         if self.replication is ReplicationMode.EAGER:
             self.propagate()
         return self.keyring.current_epoch
@@ -363,44 +382,120 @@ class CentralServer:
     # ------------------------------------------------------------------
 
     def spawn_edge_server(self, name: str):
-        """Create an edge server with replicas of every table."""
+        """Create an edge server, bootstrapping every table's replica
+        via a snapshot transfer."""
         from repro.edge.edge_server import EdgeServer
 
         edge = EdgeServer(name=name, central=self)
         for table in self.vbtrees:
-            naive = self.naive_stores.get(table)
-            edge.receive_replica(
-                table,
-                self.vbtrees[table].clone(),
-                naive.clone() if naive is not None else None,
-            )
+            self._ship_snapshot(edge, table)
         self._edges.append(edge)
         return edge
 
-    def propagate(self, table: str | None = None) -> int:
-        """Push fresh replicas to every edge server.
+    def propagate(self, table: str | None = None, force_snapshot: bool = False) -> int:
+        """Bring every edge server up to date.
+
+        Edges with pending log entries receive them as one coalesced,
+        signed delta batch; edges that cannot catch up from the log
+        (no replica yet, log gap, or key rotation) receive a full
+        snapshot.  With ``force_snapshot`` every edge receives a
+        snapshot regardless — the seed's clone-shipping behaviour, kept
+        as the comparison baseline for ``bench_replication``.
 
         Returns:
-            Number of replicas shipped.
+            Number of transfers shipped (deltas + snapshots).
         """
         shipped = 0
         names = [table] if table else list(self.vbtrees)
+        memo: dict = {}
         for name in names:
             if name not in self.vbtrees:
                 raise ReplicationError(f"no VB-tree for {name!r}")
-            naive = self.naive_stores.get(name)
             for edge in self._edges:
-                edge.receive_replica(
-                    name,
-                    self.vbtrees[name].clone(),
-                    naive.clone() if naive is not None else None,
-                )
-                shipped += 1
+                if force_snapshot:
+                    self._ship_snapshot(edge, name)
+                    shipped += 1
+                else:
+                    shipped += self._sync_replica(edge, name, memo)
         return shipped
 
+    def _sync_replica(self, edge, table: str, memo: dict | None = None) -> int:
+        """Catch one edge's replica of ``table`` up; returns transfers
+        shipped (0 when already current).
+
+        ``memo`` caches sealed batch payloads per (table, cursor) for
+        the duration of one propagation sweep: edges at the same cursor
+        receive byte-identical batches, so the coalesce + signature
+        runs once, not once per edge.
+        """
+        sig_len = self.public_key.signature_len
+        needs_snapshot = (
+            table not in edge.replicas
+            or edge.replica_epochs.get(table) != self.keyring.current_epoch
+        )
+        if not needs_snapshot:
+            cursor = edge.replica_lsns.get(table, 0)
+            key = (table, cursor)
+            try:
+                if memo is not None and key in memo:
+                    payload = memo[key]
+                else:
+                    payload = self.replicator.batch_since(
+                        table, cursor, self._signer, sig_len
+                    )
+                    if memo is not None:
+                        memo[key] = payload
+            except DeltaGapError:
+                needs_snapshot = True
+            else:
+                if payload is None:
+                    return 0
+                edge.replication_channel.send(len(payload), kind="delta")
+                try:
+                    edge.apply_delta(table, payload)
+                except ReplicaDeltaError:
+                    # The replica rejected or choked on a delta the log
+                    # says it should accept — it has diverged (at-rest
+                    # tampering, partial batch application, ...).  Heal
+                    # it with a full snapshot; one bad edge must never
+                    # wedge replication for the others or fail the
+                    # central write.  Two transfers went out: the
+                    # failed delta and the healing snapshot.
+                    self._ship_snapshot(edge, table)
+                    return 2
+                return 1
+        if needs_snapshot:
+            self._ship_snapshot(edge, table)
+        return 1
+
+    def _ship_snapshot(self, edge, table: str) -> None:
+        """Full replica transfer: the bootstrap / gap / rotation path."""
+        vbt = self.vbtrees[table]
+        naive = self.naive_stores.get(table)
+        nbytes = len(snapshot_to_bytes(vbt, self.public_key.signature_len))
+        edge.replication_channel.send(nbytes, kind="snapshot")
+        edge.receive_replica(
+            table,
+            vbt.clone(),
+            naive.clone() if naive is not None else None,
+            lsn=self.replicator.log_for(table).last_lsn,
+            epoch=self.keyring.current_epoch,
+        )
+
     def _after_update(self, table: str) -> None:
+        """Record every pending delta in the log; push when eager.
+
+        Draining the whole queue matters: one logical update can emit
+        several deltas (view maintenance inserts one row per joined
+        tuple before this runs once)."""
+        for delta in self._updaters[table].take_deltas():
+            self.replicator.record(
+                table, delta, self._signer, self.public_key.signature_len
+            )
         if self.replication is ReplicationMode.EAGER:
-            self.propagate(table)
+            memo: dict = {}
+            for edge in self._edges:
+                self._sync_replica(edge, table, memo)
 
     @property
     def edges(self) -> list:

@@ -13,15 +13,24 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
 
 from repro.baselines.naive import NaiveResult, NaiveStore
+from repro.core.delta import DeltaOpKind, ReplicaDelta, apply_delta, delta_digest
 from repro.core.query_auth import QueryAuthenticator
 from repro.core.secondary import SecondaryQueryAuthenticator, SecondaryVBTree
 from repro.core.vbtree import VBTree
 from repro.core.vo import AuthenticatedResult, VOFormat
-from repro.core.wire import result_to_bytes
+from repro.core.wire import delta_body_bytes, delta_from_bytes, result_to_bytes
+from repro.crypto.signatures import DigestVerifier
 from repro.crypto.meter import CostMeter
 from repro.db.expressions import Predicate
 from repro.edge.network import Channel, Transfer
-from repro.exceptions import ReplicationError, SchemaError
+from repro.exceptions import (
+    DeltaGapError,
+    DeltaTamperError,
+    ReplicationError,
+    SchemaError,
+    StaleDeltaError,
+    StaleKeyError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.edge.central import CentralServer
@@ -57,14 +66,22 @@ class EdgeServer:
         name: str,
         central: "CentralServer",
         channel: Channel | None = None,
+        replication_channel: Channel | None = None,
     ) -> None:
         self.name = name
         self.central = central
         self.channel = channel or Channel()
+        #: Central→edge channel: replica deltas and snapshot transfers
+        #: are byte-accounted here, separately from query responses.
+        self.replication_channel = replication_channel or Channel()
         self.meter = CostMeter()
         self.replicas: dict[str, VBTree] = {}
         self.naive_replicas: dict[str, NaiveStore] = {}
         self.replica_versions: dict[str, int] = {}
+        #: Last applied log sequence number per table (delta cursor).
+        self.replica_lsns: dict[str, int] = {}
+        #: Key epoch each replica's signatures were produced under.
+        self.replica_epochs: dict[str, int] = {}
         self._interceptors: list[ResultInterceptor] = []
         self.io_reads_last_query = 0
 
@@ -77,12 +94,110 @@ class EdgeServer:
         table: str,
         vbtree: VBTree,
         naive: NaiveStore | None = None,
+        lsn: int = 0,
+        epoch: int | None = None,
     ) -> None:
-        """Install a replica pushed by the central server."""
+        """Install a full replica (snapshot transfer) pushed by the
+        central server, resetting the table's delta cursor to ``lsn``."""
         self.replicas[table] = vbtree
         self.replica_versions[table] = vbtree.version
+        self.replica_lsns[table] = lsn
+        self.replica_epochs[table] = (
+            epoch if epoch is not None else self.central.keyring.current_epoch
+        )
         if naive is not None:
             self.naive_replicas[table] = naive
+
+    def apply_delta(self, table: str, payload: bytes) -> ReplicaDelta:
+        """Authenticate and apply one wire-serialized replica delta.
+
+        The full check sequence (DESIGN.md section 6): parse, verify the
+        central server's signature over the body under the delta's
+        claimed key epoch (via the key ring, so expired epochs are
+        rejected too), match the epoch against the replica's, then
+        enforce LSN contiguity before any mutation.  A delta that fails
+        any of these *wire checks* leaves the replica untouched.  A
+        delta that fails mid-*application* (replica divergence — e.g.
+        at-rest tampering changed the tree underneath) can leave the
+        replica partially mutated; the cursor does not advance, and the
+        central server heals such replicas with a snapshot resync (see
+        :meth:`CentralServer._sync_replica`).
+
+        Returns:
+            The applied delta.
+
+        Raises:
+            ReplicationError: If no replica of ``table`` exists.
+            DeltaTamperError: Malformed payload, bad signature, or
+                unknown/expired key epoch.
+            StaleDeltaError: Replayed delta (at or below the cursor).
+            DeltaGapError: Out-of-order delta or epoch change — the
+                edge must resync via snapshot.
+        """
+        vbt = self.replica(table)
+        try:
+            delta = delta_from_bytes(payload)
+        except Exception as exc:
+            raise DeltaTamperError(
+                f"delta for {table!r} does not parse: {exc}"
+            ) from exc
+        if delta.table != table:
+            raise DeltaTamperError(
+                f"delta addressed to {delta.table!r}, applied to {table!r}"
+            )
+        if delta.signature is None:
+            raise DeltaTamperError("delta carries no signature")
+        try:
+            public_key = self.central.keyring.public_key_for(delta.epoch)
+        except StaleKeyError as exc:
+            raise DeltaTamperError(
+                f"delta epoch {delta.epoch} rejected: {exc}"
+            ) from exc
+        sig_len = public_key.signature_len
+        body = delta_body_bytes(delta, sig_len)
+        verifier = DigestVerifier(public_key, meter=self.meter)
+        if not verifier.verify_value(delta.signature, delta_digest(body)):
+            raise DeltaTamperError(
+                f"delta signature over {table!r} body does not verify"
+            )
+        cursor = self.replica_lsns.get(table, 0)
+        if delta.lsn_last <= cursor:
+            raise StaleDeltaError(
+                f"replayed delta lsn {delta.lsn_first}..{delta.lsn_last} "
+                f"(cursor {cursor}) rejected"
+            )
+        if delta.lsn_first != cursor + 1:
+            raise DeltaGapError(
+                f"delta lsn {delta.lsn_first} does not extend cursor "
+                f"{cursor}; snapshot resync required"
+            )
+        if delta.epoch != self.replica_epochs.get(table):
+            raise DeltaGapError(
+                f"delta epoch {delta.epoch} != replica epoch "
+                f"{self.replica_epochs.get(table)}; snapshot resync required"
+            )
+        apply_delta(vbt, delta)
+        self.replica_lsns[table] = delta.lsn_last
+        self.replica_versions[table] = delta.new_version
+        self._maintain_naive(table, delta)
+        return delta
+
+    def _maintain_naive(self, table: str, delta: ReplicaDelta) -> None:
+        """Keep the naive baseline replica in step with an applied delta
+        (the delta's tuple signatures are exactly what the naive store
+        holds — see :class:`repro.baselines.naive.NaiveStore`)."""
+        naive = self.naive_replicas.get(table)
+        if naive is None:
+            return
+        for op in delta.ops:
+            if op.kind is DeltaOpKind.INSERT:
+                assert op.values is not None and op.signed_tuple is not None
+                key = op.values[naive.schema.key_index]
+                naive.install_signed(
+                    key, op.signed_tuple, tuple(op.signed_attrs or ())
+                )
+            else:
+                naive.remove(op.key)
 
     def replica(self, table: str) -> VBTree:
         """The local VB-tree replica for ``table``.
@@ -98,9 +213,18 @@ class EdgeServer:
             ) from None
 
     def staleness(self, table: str) -> int:
-        """Versions behind the central server's VB-tree."""
-        central_version = self.central.vbtrees[table].version
-        return central_version - self.replica_versions.get(table, -1)
+        """Log sequence numbers behind the central server's delta log.
+
+        Key rotation consumes an LSN barrier per table, so a replica
+        that missed a rotation reports as stale even though no tuple
+        changed.  A table the central server never logged falls back to
+        the version difference (bootstrap edge case).
+        """
+        log = self.central.replicator.logs.get(table)
+        if log is None:
+            central_version = self.central.vbtrees[table].version
+            return central_version - self.replica_versions.get(table, -1)
+        return log.last_lsn - self.replica_lsns.get(table, 0)
 
     # ------------------------------------------------------------------
     # Adversary injection

@@ -17,10 +17,20 @@ __all__ = ["Channel", "Transfer"]
 
 @dataclass(frozen=True)
 class Transfer:
-    """One recorded transfer."""
+    """One recorded transfer.
+
+    Attributes:
+        nbytes: Payload size.
+        seconds: Simulated transfer time.
+        kind: What was shipped — ``"payload"`` (query responses),
+            ``"delta"`` (replica deltas) or ``"snapshot"`` (full replica
+            transfers), so replication traffic can be broken out from
+            query traffic on a shared channel.
+    """
 
     nbytes: int
     seconds: float
+    kind: str = "payload"
 
 
 @dataclass
@@ -39,12 +49,12 @@ class Channel:
     meter: CostMeter = field(default_factory=lambda: NULL_METER)
     transfers: list[Transfer] = field(default_factory=list)
 
-    def send(self, nbytes: int) -> Transfer:
+    def send(self, nbytes: int, kind: str = "payload") -> Transfer:
         """Record shipping ``nbytes``; returns the simulated transfer."""
         if nbytes < 0:
             raise ValueError("cannot send negative bytes")
         seconds = self.rtt_seconds + nbytes / self.bandwidth_bps
-        transfer = Transfer(nbytes=nbytes, seconds=seconds)
+        transfer = Transfer(nbytes=nbytes, seconds=seconds, kind=kind)
         self.transfers.append(transfer)
         self.meter.count_bytes_sent(nbytes)
         return transfer
@@ -53,6 +63,13 @@ class Channel:
     def total_bytes(self) -> int:
         """Total bytes shipped through this channel."""
         return sum(t.nbytes for t in self.transfers)
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        """Total bytes shipped, broken down by transfer kind."""
+        out: dict[str, int] = {}
+        for t in self.transfers:
+            out[t.kind] = out.get(t.kind, 0) + t.nbytes
+        return out
 
     @property
     def total_seconds(self) -> float:

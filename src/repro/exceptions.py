@@ -35,6 +35,10 @@ __all__ = [
     "PlanningError",
     "EdgeError",
     "ReplicationError",
+    "ReplicaDeltaError",
+    "DeltaGapError",
+    "StaleDeltaError",
+    "DeltaTamperError",
 ]
 
 
@@ -179,3 +183,25 @@ class EdgeError(ReproError):
 
 class ReplicationError(EdgeError):
     """Replica propagation failed or diverged."""
+
+
+class ReplicaDeltaError(ReplicationError):
+    """A replica delta could not be built, serialized, or applied
+    (see DESIGN.md section 6 for the delta replication protocol)."""
+
+
+class DeltaGapError(ReplicaDeltaError):
+    """A delta's LSN range does not extend the replica's log cursor —
+    an intermediate delta is missing (out-of-order delivery or log
+    truncation).  The edge must resync via a full snapshot."""
+
+
+class StaleDeltaError(ReplicaDeltaError):
+    """A delta at or below the replica's log cursor was offered again
+    (duplicate delivery or a replay attack); it is rejected without
+    touching the replica, which makes delta application idempotent."""
+
+
+class DeltaTamperError(ReplicaDeltaError):
+    """A delta failed authentication: bad signature over the body,
+    unknown/expired key epoch, or a body that does not parse."""

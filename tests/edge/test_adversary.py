@@ -107,6 +107,176 @@ class TestTrustModelBoundary:
         assert client.verify(resp).ok
 
 
+class TestDeltaAdversary:
+    """Attacks on the replication wire (DESIGN.md section 6): a
+    tampered, forged, replayed, or out-of-order ReplicaDelta must be
+    rejected by the edge, and a forged delta must never yield a
+    verifying query result."""
+
+    def _server_with_edge(self, replication=ReplicationMode.LAZY):
+        server = CentralServer(
+            db_name=DB, rsa_bits=512, seed=29, replication=replication
+        )
+        schema, rows = generate_table(TableSpec(name="t", rows=80, columns=4))
+        server.create_table(schema, rows, fanout_override=6)
+        edge = server.spawn_edge_server("victim")
+        return server, edge, server.make_client()
+
+    def test_tampered_delta_payload_rejected(self):
+        from repro.exceptions import ReplicaDeltaError
+
+        server, edge, client = self._server_with_edge()
+        server.insert("t", (9001, "a", "b", "c"))
+        payload = bytearray(
+            server.replicator.log_for("t").entries_since(0)[0].payload
+        )
+        payload[len(payload) // 2] ^= 0xFF  # flip a bit mid-body
+        with pytest.raises(ReplicaDeltaError):
+            edge.apply_delta("t", bytes(payload))
+        # The replica is untouched: queries still verify, without the row.
+        resp = edge.range_query("t", low=9001, high=9001)
+        assert resp.result.rows == []
+        assert client.verify(resp).ok
+
+    def test_forged_delta_rejected_no_verifying_result(self):
+        """A hacker who cannot sign fabricates a delta inserting a
+        tuple with garbage signatures; the edge rejects it outright."""
+        import random
+
+        from repro.core.delta import (
+            DeltaOpKind,
+            NodeDigestUpdate,
+            ReplicaDelta,
+            TupleOp,
+        )
+        from repro.core.wire import delta_body_bytes
+        from repro.crypto.signatures import SignedDigest
+        from repro.db.rows import Row
+        from repro.exceptions import DeltaTamperError
+
+        server, edge, client = self._server_with_edge()
+        vbt = edge.replica("t")
+        rng = random.Random(5)
+        fake_sig = lambda: SignedDigest(signature=rng.getrandbits(256), epoch=0)
+        row = Row(vbt.schema, (6666, "f", "a", "ke"))
+        engine = vbt.signing.engine
+        digests = engine.tuple_digests("t", row)
+        forged = ReplicaDelta(
+            table="t",
+            lsn_first=1,
+            lsn_last=1,
+            epoch=0,
+            base_version=vbt.version,
+            new_version=vbt.version + 1,
+            structural=False,
+            ops=(
+                TupleOp(
+                    kind=DeltaOpKind.INSERT,
+                    values=tuple(row.values),
+                    attribute_values=digests.attribute_values,
+                    tuple_value=digests.tuple_value,
+                    signed_tuple=fake_sig(),
+                    signed_attrs=tuple(fake_sig() for _ in row.values),
+                ),
+            ),
+            node_updates=(
+                NodeDigestUpdate(
+                    node_id=vbt.tree.root.node_id,
+                    value=1,
+                    signed=fake_sig(),
+                    display=1,
+                    signed_display=fake_sig(),
+                ),
+            ),
+            freed_nodes=(),
+            signature=fake_sig(),
+        )
+        sig_len = server.public_key.signature_len
+        payload = delta_body_bytes(forged, sig_len) + forged.signature.to_bytes(
+            sig_len
+        )
+        with pytest.raises(DeltaTamperError):
+            edge.apply_delta("t", payload)
+        resp = edge.range_query("t", low=6666, high=6666)
+        assert resp.result.rows == []
+        assert client.verify(resp).ok
+
+    def test_forcibly_applied_forged_delta_fails_client_verification(self):
+        """Even if a hacker bypasses the edge's wire checks and mutates
+        the replica with forged digests, the client catches it — the
+        security invariant does not rest on the edge behaving."""
+        import random
+
+        from repro.core.delta import apply_delta
+        from repro.core.delta import DeltaOpKind, ReplicaDelta, TupleOp
+        from repro.crypto.signatures import SignedDigest
+        from repro.db.rows import Row
+
+        server, edge, client = self._server_with_edge()
+        vbt = edge.replica("t")
+        rng = random.Random(7)
+        fake_sig = lambda: SignedDigest(signature=rng.getrandbits(256), epoch=0)
+        row = Row(vbt.schema, (6666, "f", "a", "ke"))
+        digests = vbt.signing.engine.tuple_digests("t", row)
+        forged = ReplicaDelta(
+            table="t",
+            lsn_first=1,
+            lsn_last=1,
+            epoch=0,
+            base_version=vbt.version,
+            new_version=vbt.version + 1,
+            structural=False,
+            ops=(
+                TupleOp(
+                    kind=DeltaOpKind.INSERT,
+                    values=tuple(row.values),
+                    attribute_values=digests.attribute_values,
+                    tuple_value=digests.tuple_value,
+                    signed_tuple=fake_sig(),
+                    signed_attrs=tuple(fake_sig() for _ in row.values),
+                ),
+            ),
+            node_updates=(),
+            freed_nodes=(),
+        )
+        apply_delta(vbt, forged)  # bypasses EdgeServer.apply_delta checks
+        resp = edge.range_query("t", low=6666, high=6666)
+        assert len(resp.result.rows) == 1  # the forged tuple is served
+        assert not client.verify(resp).ok  # and the client rejects it
+
+    def test_replayed_delta_rejected(self):
+        from repro.exceptions import StaleDeltaError
+
+        server, edge, _client = self._server_with_edge()
+        server.insert("t", (9001, "a", "b", "c"))
+        payload = server.replicator.log_for("t").entries_since(0)[0].payload
+        edge.apply_delta("t", payload)
+        with pytest.raises(StaleDeltaError):
+            edge.apply_delta("t", payload)
+        edge.replica("t").audit()
+
+    def test_out_of_order_delta_rejected(self):
+        from repro.exceptions import DeltaGapError
+
+        server, edge, _client = self._server_with_edge()
+        server.insert("t", (9001, "a", "b", "c"))
+        server.insert("t", (9002, "a", "b", "c"))
+        entries = server.replicator.log_for("t").entries_since(0)
+        with pytest.raises(DeltaGapError):
+            edge.apply_delta("t", entries[1].payload)
+
+    def test_old_epoch_delta_rejected_after_rotation(self):
+        from repro.exceptions import ReplicaDeltaError
+
+        server, edge, _client = self._server_with_edge()
+        server.insert("t", (9001, "a", "b", "c"))
+        old_payload = server.replicator.log_for("t").entries_since(0)[0].payload
+        server.rotate_key(seed=30)
+        server.keyring.tick()
+        with pytest.raises(ReplicaDeltaError):
+            edge.apply_delta("t", old_payload)
+
+
 class TestAdversaryErrors:
     def test_value_tamper_missing_key(self, setup):
         from repro.exceptions import EdgeError
