@@ -1,0 +1,179 @@
+"""Fan-out scaling: sync time and replication bytes vs. edge count.
+
+The fan-out engine (DESIGN.md section 7) delivers signed delta batches
+through per-edge transport links with bounded in-flight windows.  This
+bench sweeps the edge count (1..32) under eager and lazy replication,
+measuring wall-clock sync time and total replication bytes for a fixed
+update batch, and runs a slow-edge scenario demonstrating that the
+write path is not blocked by one wedged edge.  Series are written as
+JSON (``benchmarks/results/fanout_scale.json``) in the same shape
+``bench_replication.py`` uses, plus the usual CSV.
+"""
+
+import json
+import os
+import time
+
+from repro.bench.series import emit, results_dir
+from repro.edge.central import CentralServer, ReplicationMode
+from repro.workloads.generator import TableSpec, generate_table
+
+EDGE_COUNTS = (1, 2, 4, 8, 16, 32)
+UPDATES = 8
+ROWS = 300
+
+
+def _deployment(n_edges: int, replication: ReplicationMode, **kwargs):
+    central = CentralServer(
+        db_name="fanoutbench",
+        rsa_bits=512,
+        seed=505,
+        replication=replication,
+        **kwargs,
+    )
+    spec = TableSpec(name="items", rows=ROWS, columns=5, seed=12)
+    schema, data = generate_table(spec)
+    central.create_table(schema, data)
+    edges = [central.spawn_edge_server(f"edge-{i}") for i in range(n_edges)]
+    return central, edges
+
+
+def _run_updates(central) -> None:
+    for i in range(UPDATES):
+        central.insert("items", (50_000 + i, *["uu"] * 4))
+
+
+def _sync_cost(n_edges: int, replication: ReplicationMode) -> dict:
+    central, edges = _deployment(n_edges, replication)
+    for edge in edges:
+        edge.replication_channel.reset()
+    start = time.perf_counter()
+    _run_updates(central)
+    if replication is ReplicationMode.LAZY:
+        central.propagate("items")
+    elapsed = time.perf_counter() - start
+    total_bytes = sum(e.replication_channel.total_bytes for e in edges)
+    sim_seconds = sum(e.replication_channel.total_seconds for e in edges)
+    assert all(central.staleness(e, "items") == 0 for e in edges)
+    return {
+        "edges": n_edges,
+        "mode": replication.value,
+        "updates": UPDATES,
+        "sync_seconds": elapsed,
+        "sim_transfer_seconds": sim_seconds,
+        "replication_bytes": total_bytes,
+        "bytes_per_edge": total_bytes // n_edges,
+    }
+
+
+def test_fanout_scaling(benchmark):
+    """Bytes and time vs. edge count, eager vs. lazy."""
+    series = [
+        _sync_cost(n, mode)
+        for mode in (ReplicationMode.EAGER, ReplicationMode.LAZY)
+        for n in EDGE_COUNTS
+    ]
+    emit(
+        "Replication fan-out: sync cost vs edge count (eager vs lazy)",
+        "fanout_scale",
+        ["mode", "edges", "sync s", "bytes total", "bytes/edge"],
+        [
+            (s["mode"], s["edges"], round(s["sync_seconds"], 3),
+             s["replication_bytes"], s["bytes_per_edge"])
+            for s in series
+        ],
+    )
+    path = os.path.join(results_dir(), "fanout_scale.json")
+    with open(path, "w") as fh:
+        json.dump({"series": series}, fh, indent=2)
+    print(f"[json series written to {os.path.relpath(path)}]")
+
+    # Per-edge replication cost is flat as the fleet grows (each edge
+    # receives the same O(path) deltas), so total bytes scale linearly.
+    for mode in ("eager", "lazy"):
+        rows = [s for s in series if s["mode"] == mode]
+        smallest, largest = rows[0], rows[-1]
+        ratio = largest["bytes_per_edge"] / smallest["bytes_per_edge"]
+        assert 0.5 < ratio < 2.0, f"{mode}: per-edge bytes not flat ({ratio:.2f}x)"
+    # Lazy coalescing ships fewer bytes per edge than eager's per-update
+    # pushes at every fleet size.
+    for n in EDGE_COUNTS:
+        eager = next(s for s in series if s["mode"] == "eager" and s["edges"] == n)
+        lazy = next(s for s in series if s["mode"] == "lazy" and s["edges"] == n)
+        assert lazy["bytes_per_edge"] < eager["bytes_per_edge"]
+
+    benchmark.pedantic(
+        _sync_cost, args=(4, ReplicationMode.EAGER), rounds=1, iterations=1
+    )
+
+
+def test_slow_edge_does_not_block_writes(benchmark):
+    """One frame-holding (slow) edge: the write path and the healthy
+    edges proceed at full speed; the slow edge absorbs at most the
+    in-flight window and heals after the fault clears."""
+    n_edges = 8
+    central, edges = _deployment(
+        n_edges, ReplicationMode.EAGER, fanout_window=4
+    )
+    slow = edges[-1]
+    link = central.fanout.peer(slow.name).transport
+    link.faults.hold = True
+
+    start = time.perf_counter()
+    _run_updates(central)
+    slow_elapsed = time.perf_counter() - start
+    healthy = edges[:-1]
+    assert all(central.staleness(e, "items") == 0 for e in healthy)
+    assert central.staleness(slow, "items") > 0
+    assert link.queued_frames <= 4
+
+    # Clear the fault: the slow edge catches up (delta or snapshot).
+    link.faults.clear()
+    start = time.perf_counter()
+    central.propagate("items")
+    heal_elapsed = time.perf_counter() - start
+    assert central.staleness(slow, "items") == 0
+
+    # Reference run without any fault, same fleet size.
+    central2, _edges2 = _deployment(
+        n_edges, ReplicationMode.EAGER, fanout_window=4
+    )
+    start = time.perf_counter()
+    _run_updates(central2)
+    clean_elapsed = time.perf_counter() - start
+
+    emit(
+        "Slow-edge scenario: write-path wall time (8 edges, window 4)",
+        "fanout_slow_edge",
+        ["scenario", "seconds"],
+        [
+            ("all edges healthy", round(clean_elapsed, 3)),
+            ("one slow edge", round(slow_elapsed, 3)),
+            ("healing the slow edge", round(heal_elapsed, 3)),
+        ],
+    )
+    path = os.path.join(results_dir(), "fanout_slow_edge.json")
+    with open(path, "w") as fh:
+        json.dump(
+            {
+                "series": [
+                    {"scenario": "clean", "seconds": clean_elapsed},
+                    {"scenario": "slow_edge", "seconds": slow_elapsed},
+                    {"scenario": "heal", "seconds": heal_elapsed},
+                ]
+            },
+            fh,
+            indent=2,
+        )
+    print(f"[json series written to {os.path.relpath(path)}]")
+
+    # The wedged edge must not make the write path materially slower —
+    # if anything it is faster, since frames to it are skipped once the
+    # window fills.  Allow generous head-room for timer noise.
+    assert slow_elapsed < clean_elapsed * 3
+
+    def fresh_run():
+        central3, _ = _deployment(4, ReplicationMode.EAGER)
+        _run_updates(central3)
+
+    benchmark.pedantic(fresh_run, rounds=1, iterations=1)

@@ -109,4 +109,4 @@ def test_lazy_batch_amortizes(benchmark, n_updates):
         f"\n[lazy batch] {n_updates} updates -> {batch_bytes} B "
         f"({per_update:.0f} B/update)"
     )
-    assert edge.staleness("items") == 0
+    assert central.staleness(edge, "items") == 0

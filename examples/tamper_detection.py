@@ -94,7 +94,7 @@ def main() -> None:
           f"{client.verify(stale_edge.range_query('accounts', 0, 10)).ok}")
     central.rotate_key(seed=100)   # new epoch; replicas NOT propagated (lazy)
     central.keyring.tick()         # validity window of the old key lapses
-    print(f"edge staleness: {StaleReplay(table='accounts').is_stale(stale_edge)}")
+    print(f"edge staleness: {StaleReplay(table='accounts').is_stale(central, stale_edge)}")
     verdict = client.verify(stale_edge.range_query("accounts", 0, 10))
     print(f"after rotation: verified={verdict.ok}  [{verdict.reason}]")
     assert not verdict.ok

@@ -104,7 +104,7 @@ def replication() -> None:
     central.insert("t", (5000, "xx", "yy", "zz"))
     central.insert("t", (5001, "aa", "bb", "cc"))
     for edge in edges:
-        print(f"  {edge.name}: staleness={edge.staleness('t')} LSNs behind")
+        print(f"  {edge.name}: staleness={central.staleness(edge, 't')} LSNs behind")
 
     shipped = central.propagate()
     print(f"  propagate(): {shipped} transfers shipped (coalesced delta "

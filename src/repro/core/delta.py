@@ -256,8 +256,9 @@ def apply_delta(vbt: VBTree, delta: ReplicaDelta) -> None:
     fails (only possible when the replica has already diverged from the
     central tree) leaves earlier ops applied and the version not
     advanced.  That replica is unusable for further deltas by
-    construction — the central server replaces it wholesale with a
-    snapshot (:meth:`repro.edge.central.CentralServer._sync_replica`).
+    construction — the edge nacks, and the central server's fan-out
+    engine replaces it wholesale with a snapshot
+    (:class:`repro.edge.fanout.FanoutEngine`).
 
     Raises:
         ReplicaDeltaError: On version mismatch or a tuple op that does

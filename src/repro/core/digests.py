@@ -47,6 +47,7 @@ __all__ = [
     "DigestPolicy",
     "DigestEngine",
     "SigningDigestEngine",
+    "VerifyOnlyDigestEngine",
     "TupleDigests",
 ]
 
@@ -239,3 +240,56 @@ class SigningDigestEngine:
         )
         signed_tuple = self.signer.sign(digests.tuple_value)
         return digests, signed_tuple, signed_attrs
+
+
+class _PublicOnlySigner:
+    """The shape of a :class:`~repro.crypto.signatures.DigestSigner`
+    minus the ability to sign — what an edge replica is allowed to hold."""
+
+    def __init__(self, public_key, epoch: int) -> None:
+        self.public_key = public_key
+        self.epoch = epoch
+
+    def sign(self, value: int):
+        from repro.exceptions import SignatureError
+
+        raise SignatureError(
+            "edge servers hold no private key and cannot sign digests"
+        )
+
+
+class VerifyOnlyDigestEngine:
+    """Drop-in for :class:`SigningDigestEngine` on *unsecured* replicas.
+
+    Edge-side VB-trees need the digest engine (for geometry, audits, and
+    adversary modelling) and the public key of the epoch their material
+    was signed under — but must never hold the private key.  Before the
+    transport refactor, replica clones shared the central server's full
+    :class:`SigningDigestEngine`, private key included; reconstructing
+    replicas from serialized snapshots installs one of these instead.
+    """
+
+    def __init__(self, engine: DigestEngine, public_key, epoch: int) -> None:
+        self.engine = engine
+        self.signer = _PublicOnlySigner(public_key, epoch)
+
+    @property
+    def policy(self) -> DigestPolicy:
+        """Digest policy of the wrapped engine."""
+        return self.engine.policy
+
+    def sign_value(self, value: int):
+        """Unavailable on replicas.
+
+        Raises:
+            SignatureError: Always.
+        """
+        return self.signer.sign(value)
+
+    def sign_tuple(self, table: str, row: Row):
+        """Unavailable on replicas.
+
+        Raises:
+            SignatureError: Always.
+        """
+        return self.signer.sign(0)

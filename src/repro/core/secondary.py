@@ -40,7 +40,23 @@ from repro.db.schema import TableSchema
 from repro.db.transactions import Transaction
 from repro.exceptions import SchemaError
 
-__all__ = ["MIN_KEY", "MAX_KEY", "SecondaryVBTree", "SecondaryQueryAuthenticator"]
+__all__ = [
+    "MIN_KEY",
+    "MAX_KEY",
+    "SecondaryVBTree",
+    "SecondaryQueryAuthenticator",
+    "secondary_index_name",
+]
+
+
+def secondary_index_name(table: str, attribute: str) -> str:
+    """Canonical name of the secondary VB-tree on ``table.attribute``.
+
+    Shared by the central server (which builds and replicates the tree)
+    and edge servers (which address it in query frames) so neither side
+    needs the other to resolve index names.
+    """
+    return f"{table}__by_{attribute}"
 
 
 class _Extreme:

@@ -223,6 +223,26 @@ class AuthenticatedUpdater:
     # Locking plumbing
     # ------------------------------------------------------------------
 
+    def lock_path(self, key: Any, txn: Transaction | None) -> None:
+        """X-lock the root-to-leaf digest path ``key`` resolves to,
+        holding the locks until ``txn`` finishes.
+
+        Used by the central server to front-load *every* lock a
+        multi-tree operation (base table + secondary indexes + join
+        views) will need before mutating anything: a denied lock then
+        aborts with all trees untouched, so the replication log can
+        never record a partial update.  Locks acquired here are not
+        released early by the short-insert-lock discipline (they were
+        not acquired by :meth:`insert`), i.e. pre-locked operations run
+        under strict 2PL.
+
+        Raises:
+            LockError: If any lock on the path cannot be granted.
+        """
+        tree = self.vbtree.tree
+        path = tree.path_to(tree.find_leaf(key))
+        self._lock_nodes(txn, path, exclusive=True)
+
     def _lock_nodes(
         self,
         txn: Transaction | None,

@@ -57,6 +57,9 @@ __all__ = [
     "delta_to_bytes",
     "delta_from_bytes",
     "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "predicate_to_bytes",
+    "predicate_from_bytes",
 ]
 
 _FORMAT_TAGS = {VOFormat.FLAT_SET: 0, VOFormat.STRUCTURED: 1}
@@ -470,20 +473,68 @@ def delta_from_bytes(data: bytes) -> ReplicaDelta:
     )
 
 
+def _encode_schema(schema) -> bytes:
+    """Serialize a table schema (name, key column, typed columns)."""
+    parts = [
+        encode_value(schema.name),
+        encode_value(schema.key),
+        encode_uint(schema.num_columns),
+    ]
+    for column in schema.columns:
+        parts.append(encode_value(column.name))
+        parts.append(encode_value(column.type.name))
+        parts.append(encode_value(getattr(column.type, "capacity", None)))
+    return b"".join(parts)
+
+
+def _decode_schema(data: bytes, offset: int):
+    from repro.db.schema import Column, TableSchema
+    from repro.db.types import type_from_name
+
+    name, offset = decode_value(data, offset)
+    key, offset = decode_value(data, offset)
+    count, offset = decode_uint(data, offset)
+    columns = []
+    for _ in range(count):
+        col_name, offset = decode_value(data, offset)
+        type_name, offset = decode_value(data, offset)
+        capacity, offset = decode_value(data, offset)
+        columns.append(Column(col_name, type_from_name(type_name, capacity)))
+    return TableSchema(name, tuple(columns), key=key), offset
+
+
 def snapshot_to_bytes(vbtree, sig_len: int) -> bytes:
     """Serialize a full VB-tree replica: the snapshot-transfer wire cost.
 
     This is what a full resync (edge bootstrap, log gap, key rotation)
     ships, and what the seed's per-update clone propagation effectively
     shipped on *every* mutation — the honest baseline for
-    ``benchmarks/bench_replication.py``.  Layout: header, pre-order node
-    structure, per-row values + signed tuple digests, per-node signed
-    digests.
+    ``benchmarks/bench_replication.py``.  The format is self-describing
+    (schema, tree geometry, node-id counter) so an edge server can
+    reconstruct the replica from bytes alone — see
+    :func:`snapshot_from_bytes` — without sharing any Python objects
+    with the central server.  Layout: header, pre-order node structure
+    (ids, keys, child ids, signed digests), per-row values + signed
+    tuple digests.
     """
+    from repro.core.secondary import SecondaryVBTree
+
+    geometry = vbtree.geometry
     parts = [
         encode_uint(sig_len),
         encode_value(vbtree.table_name),
         encode_uint(vbtree.version),
+        _encode_schema(vbtree.schema),
+        encode_value(
+            vbtree.attribute if isinstance(vbtree, SecondaryVBTree) else None
+        ),
+        encode_uint(geometry.block_size),
+        encode_uint(geometry.key_len),
+        encode_uint(geometry.pointer_len),
+        encode_uint(geometry.digest_len),
+        encode_uint(vbtree.tree.max_children),
+        encode_uint(vbtree.tree.leaf_capacity),
+        encode_uint(vbtree.tree._next_node_id),
     ]
     nodes = list(vbtree.tree.walk_nodes())
     parts.append(encode_uint(len(nodes)))
@@ -491,6 +542,8 @@ def snapshot_to_bytes(vbtree, sig_len: int) -> bytes:
         parts.append(encode_uint(node.node_id))
         parts.append(bytes([1 if node.is_leaf else 0]))
         parts.append(encode_uint(len(node.keys)))
+        for key in node.keys:
+            parts.append(_encode_key(key))
         if not node.is_leaf:
             for child in node.children:
                 parts.append(encode_uint(child.node_id))
@@ -511,3 +564,256 @@ def snapshot_to_bytes(vbtree, sig_len: int) -> bytes:
         for signed in auth.signed_attrs:
             parts.append(signed.to_bytes(sig_len))
     return b"".join(parts)
+
+
+def snapshot_from_bytes(data: bytes, signing):
+    """Reconstruct a replica VB-tree from :func:`snapshot_to_bytes`.
+
+    Args:
+        data: The serialized snapshot.
+        signing: Digest context to install on the replica — on an edge
+            server a
+            :class:`~repro.core.digests.VerifyOnlyDigestEngine` (the
+            replica must never hold a private key).
+
+    The reconstruction is exact: node ids, the node-id counter, and the
+    tree geometry are restored byte-for-byte so that replaying deltas
+    against the replica reproduces the central server's structural
+    changes (DESIGN.md section 6's determinism argument).
+
+    Raises:
+        EncodingError: On a malformed payload.
+    """
+    from repro.core.digests import TupleDigests
+    from repro.core.secondary import SecondaryVBTree
+    from repro.core.vbtree import NodeAuth, TupleAuth, VBTree
+    from repro.db.btree import BPlusTree, InternalNode, LeafNode
+    from repro.db.page import PageGeometry
+    from repro.db.rows import Row
+
+    sig_len, offset = decode_uint(data, 0)
+    table_name, offset = decode_value(data, offset)
+    version, offset = decode_uint(data, offset)
+    schema, offset = _decode_schema(data, offset)
+    attribute, offset = decode_value(data, offset)
+    block_size, offset = decode_uint(data, offset)
+    key_len, offset = decode_uint(data, offset)
+    pointer_len, offset = decode_uint(data, offset)
+    digest_len, offset = decode_uint(data, offset)
+    max_children, offset = decode_uint(data, offset)
+    leaf_capacity, offset = decode_uint(data, offset)
+    next_node_id, offset = decode_uint(data, offset)
+
+    tree = BPlusTree.__new__(BPlusTree)
+    tree.geometry = PageGeometry(
+        block_size=block_size,
+        key_len=key_len,
+        pointer_len=pointer_len,
+        digest_len=digest_len,
+    )
+    tree.max_children = max_children
+    tree.leaf_capacity = leaf_capacity
+    tree._next_node_id = next_node_id
+    tree.io_reads = 0
+
+    node_count, offset = decode_uint(data, offset)
+    nodes: dict[int, Any] = {}
+    order: list[Any] = []
+    child_ids: dict[int, list[int]] = {}
+    node_auths: dict[int, NodeAuth] = {}
+    for _ in range(node_count):
+        node_id, offset = decode_uint(data, offset)
+        is_leaf = bool(data[offset])
+        offset += 1
+        key_count, offset = decode_uint(data, offset)
+        keys = []
+        for _ in range(key_count):
+            key, offset = _decode_key(data, offset)
+            keys.append(key)
+        node = LeafNode(node_id) if is_leaf else InternalNode(node_id)
+        node.keys = keys
+        if not is_leaf:
+            ids = []
+            for _ in range(key_count + 1):
+                cid, offset = decode_uint(data, offset)
+                ids.append(cid)
+            child_ids[node_id] = ids
+        value, offset = decode_value(data, offset)
+        signed = SignedDigest.from_bytes(
+            data[offset : offset + sig_len + 2], sig_len
+        )
+        offset += sig_len + 2
+        display, offset = decode_value(data, offset)
+        signed_display = SignedDigest.from_bytes(
+            data[offset : offset + sig_len + 2], sig_len
+        )
+        offset += sig_len + 2
+        node_auths[node_id] = NodeAuth(
+            value=value,
+            signed=signed,
+            display=display,
+            signed_display=signed_display,
+        )
+        nodes[node_id] = node
+        order.append(node)
+    if not order:
+        raise EncodingError("snapshot carries no nodes")
+    for node in order:
+        if node.is_leaf:
+            continue
+        for cid in child_ids[node.node_id]:
+            try:
+                child = nodes[cid]
+            except KeyError:
+                raise EncodingError(
+                    f"snapshot references unknown child node {cid}"
+                ) from None
+            node.children.append(child)
+            child.parent = node
+    # Pre-order over an ordered B+-tree visits leaves left-to-right;
+    # rebuild the leaf chain from that order.
+    leaves = [n for n in order if n.is_leaf]
+    for prev, cur in zip(leaves, leaves[1:]):
+        prev.next_leaf = cur
+        cur.prev_leaf = prev
+    tree._root = order[0]
+
+    row_count, offset = decode_uint(data, offset)
+    tree._size = row_count
+    row_map: dict[Any, Row] = {}
+    tuple_auth: dict[Any, TupleAuth] = {}
+    for _ in range(row_count):
+        key, offset = _decode_key(data, offset)
+        values, offset = decode_values(data, offset)
+        attr_values, offset = decode_values(data, offset)
+        tuple_value, offset = decode_value(data, offset)
+        signed_tuple = SignedDigest.from_bytes(
+            data[offset : offset + sig_len + 2], sig_len
+        )
+        offset += sig_len + 2
+        attr_count, offset = decode_uint(data, offset)
+        signed_attrs = []
+        for _ in range(attr_count):
+            signed_attrs.append(
+                SignedDigest.from_bytes(
+                    data[offset : offset + sig_len + 2], sig_len
+                )
+            )
+            offset += sig_len + 2
+        row = Row(schema, tuple(values))
+        row_map[key] = row
+        tuple_auth[key] = TupleAuth(
+            digests=TupleDigests(
+                attribute_values=tuple(attr_values),
+                tuple_value=tuple_value,
+            ),
+            signed_tuple=signed_tuple,
+            signed_attrs=tuple(signed_attrs),
+        )
+    if offset != len(data):
+        raise EncodingError(f"{len(data) - offset} trailing snapshot bytes")
+    for leaf in leaves:
+        try:
+            leaf.values = [row_map[k] for k in leaf.keys]
+        except KeyError as exc:
+            raise EncodingError(
+                f"snapshot leaf references unknown row key {exc}"
+            ) from None
+
+    if attribute is not None:
+        vbt = SecondaryVBTree.__new__(SecondaryVBTree)
+        vbt.attribute = attribute
+        attr_index = schema.column_index(attribute)
+        vbt.key_of = lambda row: (row.values[attr_index], row.key)
+    else:
+        vbt = VBTree.__new__(VBTree)
+        vbt.key_of = lambda row: row.key
+    vbt.schema = schema
+    vbt.signing = signing
+    vbt.geometry = tree.geometry
+    vbt.tree = tree
+    vbt._tuple_auth = tuple_auth
+    vbt._node_auth = node_auths
+    vbt.version = version
+    if schema.name != table_name and attribute is None:
+        raise EncodingError(
+            f"snapshot table {table_name!r} does not match schema "
+            f"{schema.name!r}"
+        )
+    return vbt
+
+
+# ---------------------------------------------------------------------------
+# Predicates — serialized inside query-request transport frames so that
+# edge servers can answer general selections without sharing Python
+# objects with the client.
+# ---------------------------------------------------------------------------
+
+_PRED_TRUE = 0
+_PRED_COMPARISON = 1
+_PRED_AND = 2
+_PRED_OR = 3
+_PRED_NOT = 4
+
+
+def predicate_to_bytes(predicate) -> bytes:
+    """Serialize a :class:`~repro.db.expressions.Predicate` tree.
+
+    Raises:
+        EncodingError: For predicate types outside the built-in algebra
+            (``AlwaysTrue``/``Comparison``/``And``/``Or``/``Not``).
+    """
+    from repro.db.expressions import AlwaysTrue, And, Comparison, Not, Or
+
+    if isinstance(predicate, AlwaysTrue):
+        return bytes([_PRED_TRUE])
+    if isinstance(predicate, Comparison):
+        return (
+            bytes([_PRED_COMPARISON])
+            + encode_value(predicate.column)
+            + encode_value(predicate.op)
+            + encode_value(predicate.value)
+        )
+    if isinstance(predicate, And):
+        return (
+            bytes([_PRED_AND])
+            + predicate_to_bytes(predicate.left)
+            + predicate_to_bytes(predicate.right)
+        )
+    if isinstance(predicate, Or):
+        return (
+            bytes([_PRED_OR])
+            + predicate_to_bytes(predicate.left)
+            + predicate_to_bytes(predicate.right)
+        )
+    if isinstance(predicate, Not):
+        return bytes([_PRED_NOT]) + predicate_to_bytes(predicate.inner)
+    raise EncodingError(
+        f"cannot serialize predicate of type {type(predicate).__name__}"
+    )
+
+
+def predicate_from_bytes(data: bytes, offset: int = 0):
+    """Parse one predicate; returns ``(predicate, new_offset)``."""
+    from repro.db.expressions import AlwaysTrue, And, Comparison, Not, Or
+
+    if offset >= len(data):
+        raise EncodingError("truncated predicate")
+    tag = data[offset]
+    offset += 1
+    if tag == _PRED_TRUE:
+        return AlwaysTrue(), offset
+    if tag == _PRED_COMPARISON:
+        column, offset = decode_value(data, offset)
+        op, offset = decode_value(data, offset)
+        value, offset = decode_value(data, offset)
+        return Comparison(column, op, value), offset
+    if tag in (_PRED_AND, _PRED_OR):
+        left, offset = predicate_from_bytes(data, offset)
+        right, offset = predicate_from_bytes(data, offset)
+        cls = And if tag == _PRED_AND else Or
+        return cls(left, right), offset
+    if tag == _PRED_NOT:
+        inner, offset = predicate_from_bytes(data, offset)
+        return Not(inner), offset
+    raise EncodingError(f"unknown predicate tag {tag}")

@@ -114,7 +114,72 @@ class MaterializedJoinView:
 
     # ------------------------------------------------------------------
     # Incremental maintenance
+    #
+    # Each side is split into a *peek* (pure: what rows would the base
+    # change add/remove, and under which keys) and the mutation proper,
+    # so the central server can acquire every lock the maintenance will
+    # need before touching any table — a denied lock must leave the
+    # whole multi-tree transaction untouched.
     # ------------------------------------------------------------------
+
+    def peek_left_insert(self, row: Row) -> list[tuple[Any, ...]]:
+        """Joined value tuples an insert into the left table would add
+        (without ``view_id``), in materialization order."""
+        ri = self.right.schema.column_index(self.right_column)
+        li = self.left.schema.column_index(self.left_column)
+        return [
+            row.values + rrow.values
+            for rrow in self.right.scan()
+            if rrow.values[ri] == row.values[li]
+        ]
+
+    def peek_right_insert(self, row: Row) -> list[tuple[Any, ...]]:
+        """Joined value tuples an insert into the right table would add."""
+        ri = self.right.schema.column_index(self.right_column)
+        li = self.left.schema.column_index(self.left_column)
+        return [
+            lrow.values + row.values
+            for lrow in self.left.scan()
+            if lrow.values[li] == row.values[ri]
+        ]
+
+    def next_keys(self, count: int) -> list[int]:
+        """The ``view_id`` keys the next ``count`` materialized rows
+        will receive (ids are assigned sequentially)."""
+        return list(range(self._next_id, self._next_id + count))
+
+    def materialize(self, joined_values: tuple[Any, ...]) -> Row:
+        """Append one peeked join row to the view table.
+
+        Returns:
+            The stored view row (with its assigned ``view_id``).
+        """
+        return self._append(joined_values)
+
+    def peek_left_delete(self, row: Row) -> list[Row]:
+        """View rows a delete from the left table would remove."""
+        key_idx = self.left.schema.key_index
+        # The left row's key appears at offset 1 + key_idx (after view_id).
+        return [
+            vrow
+            for vrow in list(self.table.scan())
+            if vrow.values[1 + key_idx] == row.values[key_idx]
+        ]
+
+    def peek_right_delete(self, row: Row) -> list[Row]:
+        """View rows a delete from the right table would remove."""
+        offset = 1 + len(self.left.schema.columns)
+        key_idx = self.right.schema.key_index
+        return [
+            vrow
+            for vrow in list(self.table.scan())
+            if vrow.values[offset + key_idx] == row.values[key_idx]
+        ]
+
+    def drop_rows(self, rows: list[Row]) -> None:
+        """Remove peeked view rows from the view table."""
+        for vrow in rows:
+            self.table.delete(vrow.key)
 
     def on_left_insert(self, row: Row) -> list[Row]:
         """Propagate an insert into the left base table.
@@ -122,23 +187,11 @@ class MaterializedJoinView:
         Returns:
             The view rows added.
         """
-        ri = self.right.schema.column_index(self.right_column)
-        li = self.left.schema.column_index(self.left_column)
-        added = []
-        for rrow in self.right.scan():
-            if rrow.values[ri] == row.values[li]:
-                added.append(self._append(row.values + rrow.values))
-        return added
+        return [self._append(v) for v in self.peek_left_insert(row)]
 
     def on_right_insert(self, row: Row) -> list[Row]:
         """Propagate an insert into the right base table."""
-        ri = self.right.schema.column_index(self.right_column)
-        li = self.left.schema.column_index(self.left_column)
-        added = []
-        for lrow in self.left.scan():
-            if lrow.values[li] == row.values[ri]:
-                added.append(self._append(lrow.values + row.values))
-        return added
+        return [self._append(v) for v in self.peek_right_insert(row)]
 
     def on_left_delete(self, row: Row) -> list[Row]:
         """Propagate a delete from the left base table.
@@ -146,28 +199,14 @@ class MaterializedJoinView:
         Returns:
             The view rows removed.
         """
-        key_idx = self.left.schema.key_index
-        # The left row's key appears at offset 1 + key_idx (after view_id).
-        removed = [
-            vrow
-            for vrow in list(self.table.scan())
-            if vrow.values[1 + key_idx] == row.values[key_idx]
-        ]
-        for vrow in removed:
-            self.table.delete(vrow.key)
+        removed = self.peek_left_delete(row)
+        self.drop_rows(removed)
         return removed
 
     def on_right_delete(self, row: Row) -> list[Row]:
         """Propagate a delete from the right base table."""
-        offset = 1 + len(self.left.schema.columns)
-        key_idx = self.right.schema.key_index
-        removed = [
-            vrow
-            for vrow in list(self.table.scan())
-            if vrow.values[offset + key_idx] == row.values[key_idx]
-        ]
-        for vrow in removed:
-            self.table.delete(vrow.key)
+        removed = self.peek_right_delete(row)
+        self.drop_rows(removed)
         return removed
 
     def __len__(self) -> int:

@@ -10,21 +10,43 @@ from repro.edge.adversary import (
 )
 from repro.edge.central import CentralServer, ClientConfig, ReplicationMode
 from repro.edge.client import Client
-from repro.edge.edge_server import EdgeResponse, EdgeServer
+from repro.edge.edge_server import EdgeConfig, EdgeResponse, EdgeServer
+from repro.edge.fanout import FanoutEngine, PeerState
 from repro.edge.network import Channel, Transfer
+from repro.edge.transport import (
+    AckFrame,
+    DeltaFrame,
+    FaultInjector,
+    InProcessTransport,
+    QueryRequestFrame,
+    QueryResponseFrame,
+    SnapshotFrame,
+    Transport,
+)
 
 __all__ = [
+    "AckFrame",
     "CentralServer",
     "Channel",
     "Client",
     "ClientConfig",
+    "DeltaFrame",
     "DropTuple",
+    "EdgeConfig",
     "EdgeResponse",
     "EdgeServer",
+    "FanoutEngine",
+    "FaultInjector",
+    "InProcessTransport",
+    "PeerState",
+    "QueryRequestFrame",
+    "QueryResponseFrame",
     "ReplicationMode",
     "ResponseTamper",
+    "SnapshotFrame",
     "SpuriousTuple",
     "StaleReplay",
     "Transfer",
+    "Transport",
     "ValueTamper",
 ]

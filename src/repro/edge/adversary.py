@@ -211,6 +211,11 @@ class StaleReplay:
 
     table: str
 
-    def is_stale(self, edge: EdgeServer) -> bool:
-        """True if the edge's replica is behind the central server."""
-        return edge.staleness(self.table) > 0
+    def is_stale(self, central, edge: EdgeServer) -> bool:
+        """True if the edge's replica is behind the central server.
+
+        Staleness is central-side knowledge (the fan-out engine's
+        ack-fed cursors) — an unsecured edge cannot be asked how stale
+        it is, and holds no reference to the central log to find out.
+        """
+        return central.staleness(edge, self.table) > 0

@@ -3,24 +3,28 @@
 Owns the master database, the signing key pair, the key ring, and the
 VB-trees; applies all updates (only it can sign digests) and replicates
 them to edge servers as signed **deltas** over a per-table log
-(DESIGN.md section 6): eager mode pushes each delta as it commits, lazy
-mode coalesces the pending log into batches on
+(DESIGN.md section 6), delivered through the message transport
+(DESIGN.md section 7): eager mode pumps the fan-out engine after each
+update commits, lazy mode coalesces the pending log into batches on
 :meth:`CentralServer.propagate`, and a full snapshot ships only on edge
-bootstrap, log gap, or key rotation.
+bootstrap, log gap, key rotation, or divergence healing.
+
+Edge servers are reached *only* through serialized transport frames —
+the central server never hands an edge a live object, and an edge holds
+no reference back (the paper's trust boundary, now structural).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.constants import RSA_BITS
 from repro.core.digests import DigestEngine, DigestPolicy, SigningDigestEngine
-from repro.core.secondary import SecondaryVBTree
+from repro.core.secondary import SecondaryVBTree, secondary_index_name
 from repro.core.update import AuthenticatedUpdater
 from repro.core.vbtree import VBTree
-from repro.core.wire import snapshot_to_bytes
 from repro.baselines.naive import NaiveStore
 from repro.crypto.keyring import KeyRing
 from repro.crypto.rsa import RSAKeyPair, generate_keypair
@@ -30,10 +34,11 @@ from repro.db.rows import Row
 from repro.db.schema import Catalog, TableSchema
 from repro.db.table import Table
 from repro.db.transactions import TransactionManager
+from repro.edge.fanout import FanoutEngine
 from repro.edge.replication import Replicator
+from repro.edge.transport import FaultInjector, InProcessTransport
 from repro.exceptions import (
-    DeltaGapError,
-    ReplicaDeltaError,
+    DuplicateKeyError,
     ReplicationError,
     SchemaError,
 )
@@ -44,8 +49,8 @@ __all__ = ["CentralServer", "ReplicationMode", "ClientConfig"]
 class ReplicationMode(Enum):
     """How updates reach the edge servers (Section 3.4)."""
 
-    EAGER = "eager"    # push each signed delta per transaction
-    LAZY = "lazy"      # deltas accumulate; edges pull coalesced batches
+    EAGER = "eager"    # pump the fan-out engine per committed update
+    LAZY = "lazy"      # deltas accumulate; edges catch up on propagate()
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,11 @@ class CentralServer:
             benches; costs one extra signature pass per insert).
         max_log_entries: Per-table delta-log retention; edges that fall
             further behind than this resync via full snapshot.
+        fanout_window: Per-edge bound on unacknowledged in-flight
+            replication frames (flow control — see
+            :class:`~repro.edge.fanout.FanoutEngine`).
+        fanout_workers: Thread-pool size for concurrent per-edge
+            delivery; 1 (default) is a deterministic serial sweep.
     """
 
     def __init__(
@@ -82,6 +92,8 @@ class CentralServer:
         replication: ReplicationMode = ReplicationMode.EAGER,
         enable_naive: bool = False,
         max_log_entries: int = 1024,
+        fanout_window: int = 8,
+        fanout_workers: int = 1,
     ) -> None:
         self.db_name = db_name
         self.policy = policy
@@ -102,7 +114,10 @@ class CentralServer:
         self._updaters: dict[str, AuthenticatedUpdater] = {}
         self._secondary_of: dict[str, list[str]] = {}
         self.txn_manager = TransactionManager()
-        self._edges: list["EdgeServer"] = []
+        self._edges: list = []
+        self.fanout = FanoutEngine(
+            self, window=fanout_window, workers=fanout_workers
+        )
 
     # ------------------------------------------------------------------
     # Signing plumbing
@@ -122,6 +137,12 @@ class CentralServer:
         return ClientConfig(
             db_name=self.db_name, policy=self.policy, keyring=self.keyring
         )
+
+    def edge_config(self) -> ClientConfig:
+        """Bundle of public parameters an edge server is allowed to
+        hold — identical to :meth:`client_config`: edges and clients
+        trust exactly the same PKI-distributed verification bundle."""
+        return self.client_config()
 
     def make_client(self, meter=None):
         """Construct a :class:`~repro.edge.client.Client` wired to this
@@ -211,7 +232,7 @@ class CentralServer:
             :meth:`~repro.edge.edge_server.EdgeServer.secondary_range_query`.
         """
         schema = self.catalog.get(table)
-        name = f"{table}__by_{attribute}"
+        name = secondary_index_name(table, attribute)
         if name in self.vbtrees:
             raise SchemaError(f"secondary index {name!r} already exists")
         vbt = SecondaryVBTree.build_on(
@@ -229,7 +250,7 @@ class CentralServer:
 
     def secondary_index_name(self, table: str, attribute: str) -> str:
         """Canonical name of a secondary index."""
-        return f"{table}__by_{attribute}"
+        return secondary_index_name(table, attribute)
 
     def _table(self, name: str) -> Table:
         try:
@@ -245,82 +266,155 @@ class CentralServer:
 
     # ------------------------------------------------------------------
     # Updates (Section 3.4 — updates go through the central server)
+    #
+    # One logical update touches several trees: the base table's
+    # VB-tree, every secondary index, and every affected join view.
+    # All of them commit under ONE transaction whose locks are acquired
+    # up front — a denied lock (or any planning failure) aborts with
+    # every tree untouched and nothing in the replication log, so base
+    # table and indexes can never come apart.
     # ------------------------------------------------------------------
 
     def insert(self, table: str, values: Sequence[Any]) -> Row:
         """Insert one row: base table, VB-tree digests, naive store,
-        join views, and (eager) replica propagation."""
+        secondary indexes, join views — atomically — then (eager)
+        replica propagation."""
         tbl = self._table(table)
-        row = tbl.insert(values)
+        row = Row(tbl.schema, tbl.schema.validate_row(values))
+        if row.key in tbl:
+            raise DuplicateKeyError(
+                f"duplicate key {row.key!r} in table {table!r}"
+            )
         txn = self.txn_manager.begin()
         try:
-            self._updaters[table].insert(row, txn=txn)
-            txn.commit()
+            # Phase 1 — plan + lock every digest path the update needs.
+            self._updaters[table].lock_path(
+                self.vbtrees[table].key_of(row), txn
+            )
+            index_names = list(self._secondary_of.get(table, ()))
+            for index_name in index_names:
+                self._updaters[index_name].lock_path(
+                    self.vbtrees[index_name].key_of(row), txn
+                )
+            view_plan = []
+            for view in self.views.values():
+                if view.left.schema.name == table:
+                    joined = view.peek_left_insert(row)
+                elif view.right.schema.name == table:
+                    joined = view.peek_right_insert(row)
+                else:
+                    continue
+                if not joined:
+                    continue
+                for key in view.next_keys(len(joined)):
+                    self._updaters[view.name].lock_path(key, txn)
+                view_plan.append((view, joined))
         except Exception:
             txn.abort()
-            tbl.delete(row.key)
             raise
-        if table in self.naive_stores:
-            self.naive_stores[table].add(row)
-        for index_name in self._secondary_of.get(table, ()):
-            self._updaters[index_name].insert(row)
-            self._after_update(index_name)
-        self._maintain_views_on_insert(table, row)
-        self._after_update(table)
+        affected = [table, *index_names]
+        try:
+            # Phase 2 — mutate everything under the held locks.
+            tbl.insert(row)
+            self._updaters[table].insert(row, txn=txn)
+            if table in self.naive_stores:
+                self.naive_stores[table].add(row)
+            for index_name in index_names:
+                self._updaters[index_name].insert(row, txn=txn)
+            for view, joined in view_plan:
+                updater = self._updaters[view.name]
+                for joined_values in joined:
+                    vrow = view.materialize(joined_values)
+                    updater.insert(vrow, txn=txn)
+                    if view.name in self.naive_stores:
+                        self.naive_stores[view.name].add(vrow)
+                affected.append(view.name)
+            txn.commit()
+        except BaseException:
+            txn.abort()
+            raise
+        for name in affected:
+            self._record_deltas(name)
+        self._replicate(affected)
         return row
 
     def delete(self, table: str, key: Any) -> Row:
-        """Delete one row everywhere (table, digests, views, replicas)."""
+        """Delete one row everywhere (table, digests, indexes, views)
+        atomically, then (eager) replica propagation."""
         tbl = self._table(table)
+        row = tbl.get(key)  # KeyNotFoundError before anything mutates
         txn = self.txn_manager.begin()
         try:
-            row = self._updaters[table].delete(key, txn=txn)
-            txn.commit()
+            self._updaters[table].lock_path(
+                self.vbtrees[table].key_of(row), txn
+            )
+            index_names = list(self._secondary_of.get(table, ()))
+            for index_name in index_names:
+                self._updaters[index_name].lock_path(
+                    self.vbtrees[index_name].key_of(row), txn
+                )
+            view_plan = []
+            for view in self.views.values():
+                if view.left.schema.name == table:
+                    removed = view.peek_left_delete(row)
+                elif view.right.schema.name == table:
+                    removed = view.peek_right_delete(row)
+                else:
+                    continue
+                if not removed:
+                    continue
+                for vrow in removed:
+                    self._updaters[view.name].lock_path(vrow.key, txn)
+                view_plan.append((view, removed))
         except Exception:
             txn.abort()
             raise
-        tbl.delete(key)
-        if table in self.naive_stores:
-            self.naive_stores[table].remove(key)
-        for index_name in self._secondary_of.get(table, ()):
-            secondary = self.vbtrees[index_name]
-            self._updaters[index_name].delete(secondary.key_of(row))
-            self._after_update(index_name)
-        self._maintain_views_on_delete(table, row)
-        self._after_update(table)
+        affected = [table, *index_names]
+        try:
+            self._updaters[table].delete(key, txn=txn)
+            tbl.delete(key)
+            if table in self.naive_stores:
+                self.naive_stores[table].remove(key)
+            for index_name in index_names:
+                secondary = self.vbtrees[index_name]
+                self._updaters[index_name].delete(secondary.key_of(row), txn=txn)
+            for view, removed in view_plan:
+                updater = self._updaters[view.name]
+                view.drop_rows(removed)
+                for vrow in removed:
+                    updater.delete(vrow.key, txn=txn)
+                    if view.name in self.naive_stores:
+                        self.naive_stores[view.name].remove(vrow.key)
+                affected.append(view.name)
+            txn.commit()
+        except BaseException:
+            txn.abort()
+            raise
+        for name in affected:
+            self._record_deltas(name)
+        self._replicate(affected)
         return row
 
-    def _maintain_views_on_insert(self, table: str, row: Row) -> None:
-        for view in self.views.values():
-            added: list[Row] = []
-            if view.left.schema.name == table:
-                added = view.on_left_insert(row)
-            elif view.right.schema.name == table:
-                added = view.on_right_insert(row)
-            if added:
-                updater = self._updaters[view.name]
-                for vrow in added:
-                    updater.insert(vrow)
-                if view.name in self.naive_stores:
-                    for vrow in added:
-                        self.naive_stores[view.name].add(vrow)
-                self._after_update(view.name)
+    def _record_deltas(self, table: str) -> None:
+        """Move every pending delta the updater emitted into the log.
 
-    def _maintain_views_on_delete(self, table: str, row: Row) -> None:
-        for view in self.views.values():
-            removed: list[Row] = []
-            if view.left.schema.name == table:
-                removed = view.on_left_delete(row)
-            elif view.right.schema.name == table:
-                removed = view.on_right_delete(row)
-            if removed:
-                updater = self._updaters[view.name]
-                for vrow in removed:
-                    updater.delete(vrow.key)
-                if view.name in self.naive_stores:
-                    for vrow in removed:
-                        self.naive_stores[view.name].remove(vrow.key)
-                self._after_update(view.name)
+        Draining the whole queue matters: one logical update can emit
+        several deltas (view maintenance inserts one row per joined
+        tuple)."""
+        for delta in self._updaters[table].take_deltas():
+            self.replicator.record(
+                table, delta, self._signer, self.public_key.signature_len
+            )
+
+    def _replicate(self, tables: Sequence[str] | None = None) -> None:
+        """Eagerly pump the fan-out engine for ``tables``.
+
+        The write path only *enqueues* (records deltas in the log); this
+        pump delivers them — and heals diverged replicas via snapshot —
+        after the update has committed, so a wedged edge can never fail
+        or delay the central write."""
+        if self.replication is ReplicationMode.EAGER:
+            self.fanout.pump(tables)
 
     # ------------------------------------------------------------------
     # Key rotation (Section 3.4's stale-data defence)
@@ -381,19 +475,35 @@ class CentralServer:
     # Edge servers & replication
     # ------------------------------------------------------------------
 
-    def spawn_edge_server(self, name: str):
-        """Create an edge server, bootstrapping every table's replica
-        via a snapshot transfer."""
+    def spawn_edge_server(
+        self,
+        name: str,
+        faults: FaultInjector | None = None,
+        transport: InProcessTransport | None = None,
+    ):
+        """Create an edge server reachable only through a transport
+        link, bootstrapping every table's replica via serialized
+        snapshot frames.
+
+        Args:
+            name: Edge server name (also the link label).
+            faults: Initial fault state for the link (fault injection).
+            transport: A pre-built link (custom channels); one is
+                created if not given.
+        """
         from repro.edge.edge_server import EdgeServer
 
-        edge = EdgeServer(name=name, central=self)
-        for table in self.vbtrees:
-            self._ship_snapshot(edge, table)
+        edge = EdgeServer(name=name, config=self.edge_config())
+        link = transport or InProcessTransport(name, faults=faults)
+        edge.attach_transport(link)
+        self.fanout.attach(name, link)
         self._edges.append(edge)
+        self.fanout.bootstrap(name)
         return edge
 
     def propagate(self, table: str | None = None, force_snapshot: bool = False) -> int:
-        """Bring every edge server up to date.
+        """Bring every edge server up to date through the fan-out
+        engine.
 
         Edges with pending log entries receive them as one coalesced,
         signed delta batch; edges that cannot catch up from the log
@@ -403,99 +513,23 @@ class CentralServer:
         as the comparison baseline for ``bench_replication``.
 
         Returns:
-            Number of transfers shipped (deltas + snapshots).
+            Number of frames shipped (deltas + snapshots).
         """
-        shipped = 0
-        names = [table] if table else list(self.vbtrees)
-        memo: dict = {}
-        for name in names:
-            if name not in self.vbtrees:
-                raise ReplicationError(f"no VB-tree for {name!r}")
-            for edge in self._edges:
-                if force_snapshot:
-                    self._ship_snapshot(edge, name)
-                    shipped += 1
-                else:
-                    shipped += self._sync_replica(edge, name, memo)
-        return shipped
+        if table is not None and table not in self.vbtrees:
+            raise ReplicationError(f"no VB-tree for {table!r}")
+        tables = [table] if table else None
+        return self.fanout.pump(tables, force_snapshot=force_snapshot)
 
-    def _sync_replica(self, edge, table: str, memo: dict | None = None) -> int:
-        """Catch one edge's replica of ``table`` up; returns transfers
-        shipped (0 when already current).
+    def staleness(self, edge, table: str) -> int:
+        """LSNs the edge's replica of ``table`` lags behind the delta
+        log, per the fan-out engine's ack-fed cursors.
 
-        ``memo`` caches sealed batch payloads per (table, cursor) for
-        the duration of one propagation sweep: edges at the same cursor
-        receive byte-identical batches, so the coalesce + signature
-        runs once, not once per edge.
+        Args:
+            edge: Edge name or :class:`~repro.edge.edge_server.EdgeServer`.
+            table: Replica name.
         """
-        sig_len = self.public_key.signature_len
-        needs_snapshot = (
-            table not in edge.replicas
-            or edge.replica_epochs.get(table) != self.keyring.current_epoch
-        )
-        if not needs_snapshot:
-            cursor = edge.replica_lsns.get(table, 0)
-            key = (table, cursor)
-            try:
-                if memo is not None and key in memo:
-                    payload = memo[key]
-                else:
-                    payload = self.replicator.batch_since(
-                        table, cursor, self._signer, sig_len
-                    )
-                    if memo is not None:
-                        memo[key] = payload
-            except DeltaGapError:
-                needs_snapshot = True
-            else:
-                if payload is None:
-                    return 0
-                edge.replication_channel.send(len(payload), kind="delta")
-                try:
-                    edge.apply_delta(table, payload)
-                except ReplicaDeltaError:
-                    # The replica rejected or choked on a delta the log
-                    # says it should accept — it has diverged (at-rest
-                    # tampering, partial batch application, ...).  Heal
-                    # it with a full snapshot; one bad edge must never
-                    # wedge replication for the others or fail the
-                    # central write.  Two transfers went out: the
-                    # failed delta and the healing snapshot.
-                    self._ship_snapshot(edge, table)
-                    return 2
-                return 1
-        if needs_snapshot:
-            self._ship_snapshot(edge, table)
-        return 1
-
-    def _ship_snapshot(self, edge, table: str) -> None:
-        """Full replica transfer: the bootstrap / gap / rotation path."""
-        vbt = self.vbtrees[table]
-        naive = self.naive_stores.get(table)
-        nbytes = len(snapshot_to_bytes(vbt, self.public_key.signature_len))
-        edge.replication_channel.send(nbytes, kind="snapshot")
-        edge.receive_replica(
-            table,
-            vbt.clone(),
-            naive.clone() if naive is not None else None,
-            lsn=self.replicator.log_for(table).last_lsn,
-            epoch=self.keyring.current_epoch,
-        )
-
-    def _after_update(self, table: str) -> None:
-        """Record every pending delta in the log; push when eager.
-
-        Draining the whole queue matters: one logical update can emit
-        several deltas (view maintenance inserts one row per joined
-        tuple before this runs once)."""
-        for delta in self._updaters[table].take_deltas():
-            self.replicator.record(
-                table, delta, self._signer, self.public_key.signature_len
-            )
-        if self.replication is ReplicationMode.EAGER:
-            memo: dict = {}
-            for edge in self._edges:
-                self._sync_replica(edge, table, memo)
+        name = getattr(edge, "name", edge)
+        return self.fanout.staleness(name, table)
 
     @property
     def edges(self) -> list:

@@ -5,40 +5,78 @@ queries on behalf of the central DBMS, attaching a verification object
 to every result.  It is *unsecured*: a hacker may tamper with the data
 there (Section 3.1) — the :mod:`repro.edge.adversary` module models
 that by mutating replicas or intercepting responses.
+
+The edge holds **no reference to the central server**.  It is
+constructed from an :class:`EdgeConfig` (database name, digest policy,
+and the PKI-distributed key ring — the same bundle clients get) and
+receives everything else over serialized transport frames
+(:mod:`repro.edge.transport`): snapshots and deltas arrive as bytes,
+acknowledgements and query responses leave as bytes.  Replicas are
+reconstructed from snapshot payloads with a
+:class:`~repro.core.digests.VerifyOnlyDigestEngine`, so an edge never
+holds — and cannot use — the central server's private signing key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
 
 from repro.baselines.naive import NaiveResult, NaiveStore
 from repro.core.delta import DeltaOpKind, ReplicaDelta, apply_delta, delta_digest
+from repro.core.digests import DigestEngine, VerifyOnlyDigestEngine
 from repro.core.query_auth import QueryAuthenticator
-from repro.core.secondary import SecondaryQueryAuthenticator, SecondaryVBTree
+from repro.core.secondary import (
+    SecondaryQueryAuthenticator,
+    SecondaryVBTree,
+    secondary_index_name,
+)
 from repro.core.vbtree import VBTree
 from repro.core.vo import AuthenticatedResult, VOFormat
-from repro.core.wire import delta_body_bytes, delta_from_bytes, result_to_bytes
+from repro.core.wire import (
+    delta_body_bytes,
+    delta_from_bytes,
+    predicate_from_bytes,
+    predicate_to_bytes,
+    result_from_bytes,
+    result_to_bytes,
+    snapshot_from_bytes,
+)
+from repro.crypto.meter import CostMeter, NULL_METER
 from repro.crypto.signatures import DigestVerifier
-from repro.crypto.meter import CostMeter
 from repro.db.expressions import Predicate
+from repro.edge.central import ClientConfig
 from repro.edge.network import Channel, Transfer
+from repro.edge.transport import (
+    AckFrame,
+    DeltaFrame,
+    QueryRequestFrame,
+    QueryResponseFrame,
+    SnapshotFrame,
+    frame_from_bytes,
+    frame_to_bytes,
+)
 from repro.exceptions import (
     DeltaGapError,
     DeltaTamperError,
+    ReplicaDeltaError,
     ReplicationError,
     SchemaError,
     StaleDeltaError,
     StaleKeyError,
+    TransportError,
 )
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.edge.central import CentralServer
-
-__all__ = ["EdgeServer", "EdgeResponse"]
+__all__ = ["EdgeConfig", "EdgeServer", "EdgeResponse"]
 
 #: A hook that may rewrite an outgoing result (adversary injection point).
 ResultInterceptor = Callable[[AuthenticatedResult], AuthenticatedResult]
+
+
+#: Everything an edge server is *allowed* to know about the central
+#: DBMS — the same public bundle clients receive (db name, digest
+#: policy, PKI-distributed key ring), never a live object reference.
+EdgeConfig = ClientConfig
 
 
 @dataclass
@@ -56,25 +94,30 @@ class EdgeServer:
 
     Args:
         name: Edge server identifier.
-        central: The central server (used only for key metadata; the
-            edge never holds the private key).
-        channel: Network channel to clients (byte accounting).
+        config: Public verification parameters (:class:`EdgeConfig`).
+        channel: Network channel to clients (byte accounting); created
+            with this edge's cost meter if not given.
     """
 
     def __init__(
         self,
         name: str,
-        central: "CentralServer",
+        config: EdgeConfig,
         channel: Channel | None = None,
-        replication_channel: Channel | None = None,
     ) -> None:
         self.name = name
-        self.central = central
-        self.channel = channel or Channel()
-        #: Central→edge channel: replica deltas and snapshot transfers
-        #: are byte-accounted here, separately from query responses.
-        self.replication_channel = replication_channel or Channel()
+        self.config = config
         self.meter = CostMeter()
+        if channel is None:
+            channel = Channel(meter=self.meter)
+        elif channel.meter is NULL_METER:
+            # Count response bytes in exactly one place: the channel.
+            channel.meter = self.meter
+        self.channel = channel
+        #: Central→edge byte accounting (deltas and snapshots).  Bound
+        #: to the replication transport's down channel by
+        #: :meth:`attach_transport`; standalone edges get a private one.
+        self.replication_channel = Channel()
         self.replicas: dict[str, VBTree] = {}
         self.naive_replicas: dict[str, NaiveStore] = {}
         self.replica_versions: dict[str, int] = {}
@@ -82,30 +125,99 @@ class EdgeServer:
         self.replica_lsns: dict[str, int] = {}
         #: Key epoch each replica's signatures were produced under.
         self.replica_epochs: dict[str, int] = {}
+        #: Signature width of each replica's material (from snapshots).
+        self.replica_sig_lens: dict[str, int] = {}
         self._interceptors: list[ResultInterceptor] = []
         self.io_reads_last_query = 0
+
+    def attach_transport(self, transport) -> None:
+        """Wire this edge as the receiving end of a transport link."""
+        transport.connect(self.handle_frame)
+        self.replication_channel = transport.down_channel
+
+    # ------------------------------------------------------------------
+    # Frame dispatch — the transport-facing surface
+    # ------------------------------------------------------------------
+
+    def handle_frame(self, data: bytes) -> list[bytes]:
+        """Process one serialized frame; returns serialized replies.
+
+        Replication frames (snapshot/delta) always produce exactly one
+        :class:`~repro.edge.transport.AckFrame` — a delta the replica
+        rejects yields a *nack* carrying the edge's cursor and a reason
+        code, never an exception back through the transport.  Query
+        frames produce one
+        :class:`~repro.edge.transport.QueryResponseFrame`.
+        """
+        frame = frame_from_bytes(data)
+        if isinstance(frame, SnapshotFrame):
+            try:
+                self._install_snapshot(frame)
+            except Exception:
+                # Malformed payload or unacceptable epoch: nack so the
+                # sender's heal path retries, never an exception back
+                # through the transport.
+                reply = self._ack(frame.table, ok=False, reason="error")
+            else:
+                reply = self._ack(frame.table)
+            return [frame_to_bytes(reply)]
+        if isinstance(frame, DeltaFrame):
+            try:
+                self.apply_delta(frame.table, frame.payload)
+            except StaleDeltaError:
+                reply = self._ack(frame.table, ok=False, reason="stale")
+            except DeltaGapError:
+                reply = self._ack(frame.table, ok=False, reason="gap")
+            except DeltaTamperError:
+                reply = self._ack(frame.table, ok=False, reason="tamper")
+            except (ReplicaDeltaError, ReplicationError):
+                reply = self._ack(frame.table, ok=False, reason="diverged")
+            else:
+                reply = self._ack(frame.table)
+            return [frame_to_bytes(reply)]
+        if isinstance(frame, QueryRequestFrame):
+            return [frame_to_bytes(self._execute_query(frame))]
+        raise TransportError(
+            f"edge {self.name!r} cannot handle {type(frame).__name__}"
+        )
+
+    def _ack(self, table: str, ok: bool = True, reason: str = "") -> AckFrame:
+        return AckFrame(
+            edge=self.name,
+            table=table,
+            ok=ok,
+            lsn=self.replica_lsns.get(table, 0),
+            epoch=self.replica_epochs.get(table, 0),
+            reason=reason,
+        )
 
     # ------------------------------------------------------------------
     # Replication
     # ------------------------------------------------------------------
 
-    def receive_replica(
-        self,
-        table: str,
-        vbtree: VBTree,
-        naive: NaiveStore | None = None,
-        lsn: int = 0,
-        epoch: int | None = None,
-    ) -> None:
-        """Install a full replica (snapshot transfer) pushed by the
-        central server, resetting the table's delta cursor to ``lsn``."""
-        self.replicas[table] = vbtree
-        self.replica_versions[table] = vbtree.version
-        self.replica_lsns[table] = lsn
-        self.replica_epochs[table] = (
-            epoch if epoch is not None else self.central.keyring.current_epoch
+    def _install_snapshot(self, frame: SnapshotFrame) -> None:
+        """Reconstruct a full replica from a serialized snapshot,
+        resetting the table's delta cursor to the frame's LSN."""
+        public_key = self.config.keyring.public_key_for(frame.epoch)
+        signing = VerifyOnlyDigestEngine(
+            DigestEngine(self.config.db_name, policy=self.config.policy),
+            public_key,
+            frame.epoch,
         )
-        if naive is not None:
+        vbt = snapshot_from_bytes(frame.payload, signing)
+        table = frame.table
+        self.replicas[table] = vbt
+        self.replica_versions[table] = vbt.version
+        self.replica_lsns[table] = frame.lsn
+        self.replica_epochs[table] = frame.epoch
+        self.replica_sig_lens[table] = public_key.signature_len
+        if frame.naive:
+            naive = NaiveStore(vbt.schema, signing)
+            for key, row in vbt.tree.items():
+                auth = vbt.tuple_auth(key)
+                naive.install_signed(
+                    row.key, auth.signed_tuple, tuple(auth.signed_attrs)
+                )
             self.naive_replicas[table] = naive
 
     def apply_delta(self, table: str, payload: bytes) -> ReplicaDelta:
@@ -120,8 +232,9 @@ class EdgeServer:
         delta that fails mid-*application* (replica divergence — e.g.
         at-rest tampering changed the tree underneath) can leave the
         replica partially mutated; the cursor does not advance, and the
-        central server heals such replicas with a snapshot resync (see
-        :meth:`CentralServer._sync_replica`).
+        central server heals such replicas with a snapshot resync (the
+        fan-out engine's nack escalation —
+        :class:`repro.edge.fanout.FanoutEngine`).
 
         Returns:
             The applied delta.
@@ -148,7 +261,7 @@ class EdgeServer:
         if delta.signature is None:
             raise DeltaTamperError("delta carries no signature")
         try:
-            public_key = self.central.keyring.public_key_for(delta.epoch)
+            public_key = self.config.keyring.public_key_for(delta.epoch)
         except StaleKeyError as exc:
             raise DeltaTamperError(
                 f"delta epoch {delta.epoch} rejected: {exc}"
@@ -212,19 +325,14 @@ class EdgeServer:
                 f"edge {self.name!r} holds no replica of {table!r}"
             ) from None
 
-    def staleness(self, table: str) -> int:
-        """Log sequence numbers behind the central server's delta log.
-
-        Key rotation consumes an LSN barrier per table, so a replica
-        that missed a rotation reports as stale even though no tuple
-        changed.  A table the central server never logged falls back to
-        the version difference (bootstrap edge case).
-        """
-        log = self.central.replicator.logs.get(table)
-        if log is None:
-            central_version = self.central.vbtrees[table].version
-            return central_version - self.replica_versions.get(table, -1)
-        return log.last_lsn - self.replica_lsns.get(table, 0)
+    def _sig_len(self, table: str) -> int:
+        """Signature width of ``table``'s replica material."""
+        try:
+            return self.replica_sig_lens[table]
+        except KeyError:
+            raise ReplicationError(
+                f"edge {self.name!r} holds no replica of {table!r}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Adversary injection
@@ -239,7 +347,8 @@ class EdgeServer:
         self._interceptors.clear()
 
     # ------------------------------------------------------------------
-    # Query processing
+    # Query processing — every query round-trips through the serialized
+    # frame codec, so the wire format is exercised on every call.
     # ------------------------------------------------------------------
 
     def range_query(
@@ -251,13 +360,16 @@ class EdgeServer:
         vo_format: VOFormat | None = None,
     ) -> EdgeResponse:
         """Selection on the primary key, with projection."""
-        vbt = self.replica(table)
-        vbt.tree.reset_io()
-        authenticator = QueryAuthenticator(vbt)
-        result = authenticator.range_query(
-            low=low, high=high, columns=columns, vo_format=vo_format
+        return self._query(
+            QueryRequestFrame(
+                kind="range",
+                table=table,
+                low=low,
+                high=high,
+                columns=tuple(columns) if columns is not None else None,
+                vo_format=vo_format.value if vo_format else None,
+            )
         )
-        return self._respond(vbt, result)
 
     def select(
         self,
@@ -267,27 +379,14 @@ class EdgeServer:
         vo_format: VOFormat | None = None,
     ) -> EdgeResponse:
         """General selection (key or non-key), with projection."""
-        vbt = self.replica(table)
-        vbt.tree.reset_io()
-        authenticator = QueryAuthenticator(vbt)
-        result = authenticator.select(
-            predicate, columns=columns, vo_format=vo_format
-        )
-        return self._respond(vbt, result)
-
-    def _respond(self, vbt: VBTree, result: AuthenticatedResult) -> EdgeResponse:
-        for interceptor in self._interceptors:
-            result = interceptor(result)
-        self.io_reads_last_query = vbt.tree.io_reads
-        sig_len = self.central.public_key.signature_len
-        payload = result_to_bytes(result, sig_len)
-        transfer = self.channel.send(len(payload))
-        self.meter.count_bytes_sent(len(payload))
-        return EdgeResponse(
-            edge_name=self.name,
-            result=result,
-            wire_bytes=len(payload),
-            transfer=transfer,
+        return self._query(
+            QueryRequestFrame(
+                kind="select",
+                table=table,
+                columns=tuple(columns) if columns is not None else None,
+                predicate=predicate_to_bytes(predicate),
+                vo_format=vo_format.value if vo_format else None,
+            )
         )
 
     def secondary_range_query(
@@ -306,16 +405,79 @@ class EdgeServer:
             ReplicationError: If no secondary index on that attribute
                 has been replicated to this edge.
         """
-        name = self.central.secondary_index_name(table, attribute)
-        vbt = self.replica(name)
-        if not isinstance(vbt, SecondaryVBTree):
-            raise ReplicationError(f"{name!r} is not a secondary index")
-        vbt.tree.reset_io()
-        authenticator = SecondaryQueryAuthenticator(vbt)
-        result = authenticator.range_query(
-            low=low, high=high, columns=columns, vo_format=vo_format
+        return self._query(
+            QueryRequestFrame(
+                kind="secondary",
+                table=table,
+                attribute=attribute,
+                low=low,
+                high=high,
+                columns=tuple(columns) if columns is not None else None,
+                vo_format=vo_format.value if vo_format else None,
+            )
         )
-        return self._respond(vbt, result)
+
+    def _query(self, frame: QueryRequestFrame) -> EdgeResponse:
+        """Run a query request through the frame codec end to end."""
+        replies = self.handle_frame(frame_to_bytes(frame))
+        response = frame_from_bytes(replies[0])
+        assert isinstance(response, QueryResponseFrame)
+        result = result_from_bytes(response.payload)
+        return EdgeResponse(
+            edge_name=self.name,
+            result=result,
+            wire_bytes=len(response.payload),
+            transfer=self.channel.transfers[-1],
+        )
+
+    def _execute_query(self, frame: QueryRequestFrame) -> QueryResponseFrame:
+        vo_format = VOFormat(frame.vo_format) if frame.vo_format else None
+        columns = frame.columns
+        if frame.kind == "range":
+            name = frame.table
+            vbt = self.replica(name)
+            vbt.tree.reset_io()
+            result = QueryAuthenticator(vbt).range_query(
+                low=frame.low, high=frame.high, columns=columns,
+                vo_format=vo_format,
+            )
+        elif frame.kind == "select":
+            name = frame.table
+            vbt = self.replica(name)
+            vbt.tree.reset_io()
+            predicate, _ = predicate_from_bytes(frame.predicate or b"")
+            result = QueryAuthenticator(vbt).select(
+                predicate, columns=columns, vo_format=vo_format
+            )
+        elif frame.kind == "secondary":
+            if frame.attribute is None:
+                raise TransportError("secondary query names no attribute")
+            name = secondary_index_name(frame.table, frame.attribute)
+            vbt = self.replica(name)
+            if not isinstance(vbt, SecondaryVBTree):
+                raise ReplicationError(f"{name!r} is not a secondary index")
+            vbt.tree.reset_io()
+            result = SecondaryQueryAuthenticator(vbt).range_query(
+                low=frame.low, high=frame.high, columns=columns,
+                vo_format=vo_format,
+            )
+        else:
+            raise TransportError(f"unknown query kind {frame.kind!r}")
+        payload = self._respond(name, vbt, result)
+        return QueryResponseFrame(edge=self.name, payload=payload)
+
+    def _respond(
+        self, table: str, vbt: VBTree, result: AuthenticatedResult
+    ) -> bytes:
+        """Serialize an outgoing result, applying interceptors and
+        counting the payload bytes exactly once (on the channel, whose
+        meter is this edge's cost meter)."""
+        for interceptor in self._interceptors:
+            result = interceptor(result)
+        self.io_reads_last_query = vbt.tree.io_reads
+        payload = result_to_bytes(result, self._sig_len(table))
+        self.channel.send(len(payload))
+        return payload
 
     # ------------------------------------------------------------------
     # Naive-baseline query path (for the comparison benches)
@@ -342,7 +504,6 @@ class EdgeServer:
         vbt = self.replica(table)
         rows = [row for _k, row in vbt.tree.range_items(low=low, high=high)]
         result = store.build_result(rows, columns=columns)
-        nbytes = result.wire_size(self.central.public_key.signature_len)
+        nbytes = result.wire_size(self._sig_len(table))
         self.channel.send(nbytes)
-        self.meter.count_bytes_sent(nbytes)
         return result, nbytes

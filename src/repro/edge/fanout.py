@@ -1,0 +1,344 @@
+"""Central-side replication fan-out over the message transport.
+
+Before this engine existed, ``CentralServer._after_update`` walked every
+edge synchronously inside the write path — a diverged replica was healed
+with an O(tree) snapshot *before* the insert returned, and one wedged
+edge delayed all the others.  The fan-out engine decouples that:
+mutations only *record* deltas; delivery happens in :meth:`pump` cycles
+that walk the attached edges (serially or on a thread pool), with
+
+* **per-edge cursors** — each peer's delta cursor is central-side state
+  fed exclusively by :class:`~repro.edge.transport.AckFrame` replies
+  (the edge is untrusted, so acks are treated as routing hints: a lying
+  cursor can only cause redundant sends or a snapshot heal, never an
+  integrity violation — every payload is signed);
+* **a bounded in-flight window** — at most ``window`` unacknowledged
+  frames per edge; a slow (frame-holding) link absorbs up to the window
+  and is then skipped, so the write path and the other edges never wait
+  on it;
+* **nack → retry → snapshot-heal escalation** — a ``gap`` nack gets one
+  retry from the cursor the edge reports; ``tamper``/``diverged`` nacks
+  (and a failed retry) escalate to a full snapshot;
+* **payload sharing** — peers at the same cursor receive byte-identical
+  sealed batches, built once per pump.
+
+Wedged links (partitioned or dropping) simply leave the peer's cursor
+behind; a later pump retries, and if the delta log has been truncated
+past the cursor by then, the peer heals via the snapshot path — the
+standard lazy-catch-up machinery, no special recovery code.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.core.wire import snapshot_to_bytes
+from repro.edge.transport import (
+    AckFrame,
+    DeltaFrame,
+    SnapshotFrame,
+    Transport,
+)
+from repro.exceptions import DeltaGapError, ReplicationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.edge.central import CentralServer
+
+__all__ = ["PeerState", "FanoutEngine"]
+
+
+@dataclass
+class PeerState:
+    """Central-side replication state for one edge server.
+
+    Attributes:
+        name: The edge's name (transport link label).
+        transport: The link to the edge.
+        acked_lsns: Per-table cursor confirmed by the edge's acks.
+        acked_epochs: Per-table key epoch confirmed by acks.
+        sent_lsns: Optimistic per-table cursor including frames still
+            in flight (queued in a slow link); falls back to the acked
+            cursor when a send is known lost.
+        inflight: Unacknowledged frames sitting in the link.
+        needs_snapshot: Tables flagged for a full-resync heal.
+        snapshot_inflight: Tables whose snapshot sits unacknowledged in
+            a slow link — suppresses duplicate O(tree) sends until the
+            edge acks (any ack for the table clears it).
+    """
+
+    name: str
+    transport: Transport
+    acked_lsns: dict[str, int] = field(default_factory=dict)
+    acked_epochs: dict[str, int] = field(default_factory=dict)
+    sent_lsns: dict[str, int] = field(default_factory=dict)
+    inflight: int = 0
+    needs_snapshot: set[str] = field(default_factory=set)
+    snapshot_inflight: set[str] = field(default_factory=set)
+
+    def cursor(self, table: str) -> int:
+        """The cursor to extend with the next send."""
+        return self.sent_lsns.get(table, self.acked_lsns.get(table, 0))
+
+    def reset_cursor(self, table: str) -> None:
+        """Forget optimistic progress (a send was lost or rejected)."""
+        self.sent_lsns[table] = self.acked_lsns.get(table, 0)
+
+
+class FanoutEngine:
+    """Concurrent, flow-controlled delta/snapshot delivery to all edges.
+
+    Args:
+        central: The owning central server (same trust domain).
+        window: Per-edge bound on unacknowledged in-flight frames.
+        workers: Thread-pool size for concurrent per-edge delivery;
+            ``1`` (default) uses a deterministic serial sweep.
+    """
+
+    def __init__(
+        self, central: "CentralServer", window: int = 8, workers: int = 1
+    ) -> None:
+        self.central = central
+        self.window = window
+        self.workers = workers
+        self.peers: dict[str, PeerState] = {}
+        self._payload_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Peer management
+    # ------------------------------------------------------------------
+
+    def attach(self, name: str, transport: Transport) -> PeerState:
+        """Register an edge's transport link."""
+        peer = PeerState(name=name, transport=transport)
+        self.peers[name] = peer
+        return peer
+
+    def peer(self, name: str) -> PeerState:
+        """The peer state for ``name``.
+
+        Raises:
+            ReplicationError: If no such edge is attached.
+        """
+        try:
+            return self.peers[name]
+        except KeyError:
+            raise ReplicationError(f"no edge {name!r} attached") from None
+
+    def bootstrap(self, name: str) -> int:
+        """Ship every table's snapshot to a newly attached edge."""
+        peer = self.peer(name)
+        shipped = 0
+        for table in self.central.vbtrees:
+            shipped += self._send_snapshot(peer, table, {})
+        return shipped
+
+    def staleness(self, name: str, table: str) -> int:
+        """How many LSNs the edge's *acknowledged* replica of ``table``
+        lags the central delta log.  Key rotation consumes an LSN
+        barrier per table, so a replica that missed a rotation reports
+        as stale even though no tuple changed."""
+        peer = self.peer(name)
+        log = self.central.replicator.logs.get(table)
+        if log is None:
+            # Never logged: stale only if the edge was never bootstrapped.
+            if table in peer.acked_epochs:
+                return 0
+            return self.central.vbtrees[table].version + 1
+        return log.last_lsn - peer.acked_lsns.get(table, 0)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def pump(
+        self,
+        tables: Optional[Iterable[str]] = None,
+        force_snapshot: bool = False,
+    ) -> int:
+        """One delivery cycle over every attached (and still listed)
+        edge; returns the number of frames shipped.
+
+        Each peer is first drained (queued frames flushed, pending acks
+        applied), then brought up to date on ``tables`` (default: all
+        replicated trees) subject to its in-flight window.  Peers are
+        processed concurrently when ``workers > 1``.
+        """
+        central = self.central
+        peers = [
+            self.peers[edge.name]
+            for edge in central._edges
+            if edge.name in self.peers
+        ]
+        if not peers:
+            return 0
+        names = list(tables) if tables is not None else list(central.vbtrees)
+        payloads: dict = {}
+        if self.workers > 1 and len(peers) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(peers))
+            ) as pool:
+                counts = pool.map(
+                    lambda p: self._sync_peer(p, names, force_snapshot, payloads),
+                    peers,
+                )
+                return sum(counts)
+        return sum(
+            self._sync_peer(peer, names, force_snapshot, payloads)
+            for peer in peers
+        )
+
+    def _sync_peer(
+        self, peer: PeerState, names: list, force_snapshot: bool, payloads: dict
+    ) -> int:
+        self._drain(peer)
+        shipped = 0
+        for table in names:
+            if force_snapshot:
+                shipped += self._send_snapshot(peer, table, payloads)
+            else:
+                shipped += self._sync_table(peer, table, payloads)
+        return shipped
+
+    def _drain(self, peer: PeerState) -> None:
+        for reply in peer.transport.flush():
+            if isinstance(reply, AckFrame):
+                peer.inflight = max(0, peer.inflight - 1)
+                self._apply_ack(peer, reply)
+
+    def _sync_table(self, peer: PeerState, table: str, payloads: dict) -> int:
+        central = self.central
+        log = central.replicator.log_for(table)
+        shipped = 0
+        for _attempt in (0, 1):
+            needs_snapshot = (
+                table in peer.needs_snapshot
+                or peer.acked_epochs.get(table)
+                != central.keyring.current_epoch
+            )
+            if needs_snapshot:
+                return shipped + self._send_snapshot(peer, table, payloads)
+            cursor = peer.cursor(table)
+            if cursor >= log.last_lsn:
+                return shipped
+            if peer.inflight >= self.window:
+                return shipped  # flow control: revisit on a later pump
+            try:
+                payload = self._batch_payload(table, cursor, payloads)
+            except DeltaGapError:
+                return shipped + self._send_snapshot(peer, table, payloads)
+            if payload is None:
+                return shipped
+            outcome = peer.transport.send(DeltaFrame(table, payload))
+            if outcome.status == "failed":
+                peer.reset_cursor(table)
+                return shipped  # partitioned: retry on a later pump
+            shipped += 1
+            if outcome.status == "dropped":
+                peer.reset_cursor(table)
+                return shipped  # lost in flight: retry on a later pump
+            if outcome.status == "queued":
+                peer.inflight += 1
+                peer.sent_lsns[table] = log.last_lsn
+                return shipped
+            peer.sent_lsns[table] = log.last_lsn
+            verdict = self._process_replies(peer, outcome.replies)
+            if verdict != "gap":
+                if table in peer.needs_snapshot:
+                    shipped += self._send_snapshot(peer, table, payloads)
+                return shipped
+            # gap nack: one retry from the cursor the edge reported,
+            # then the loop either succeeds or escalates to a snapshot.
+        return shipped + self._send_snapshot(peer, table, payloads)
+
+    def _send_snapshot(
+        self, peer: PeerState, table: str, payloads: dict
+    ) -> int:
+        if peer.inflight >= self.window:
+            return 0
+        if table in peer.snapshot_inflight:
+            return 0  # one O(tree) transfer per table in the link at a time
+        frame = self._snapshot_frame(table, payloads)
+        outcome = peer.transport.send(frame)
+        if outcome.status == "failed":
+            return 0
+        if outcome.status == "dropped":
+            return 1
+        if outcome.status == "queued":
+            peer.inflight += 1
+            peer.sent_lsns[table] = frame.lsn
+            peer.snapshot_inflight.add(table)
+            return 1
+        peer.sent_lsns[table] = frame.lsn
+        self._process_replies(peer, outcome.replies)
+        return 1
+
+    def _process_replies(self, peer: PeerState, replies: list) -> str:
+        verdict = "ok"
+        for reply in replies:
+            if isinstance(reply, AckFrame):
+                verdict = self._apply_ack(peer, reply)
+        return verdict
+
+    def _apply_ack(self, peer: PeerState, ack: AckFrame) -> str:
+        table = ack.table
+        peer.snapshot_inflight.discard(table)
+        if ack.ok or ack.reason == "stale":
+            # `stale` means the edge already holds the range — a benign
+            # duplicate (e.g. a resend racing a queued frame).
+            peer.acked_lsns[table] = max(
+                peer.acked_lsns.get(table, 0), ack.lsn
+            )
+            peer.acked_epochs[table] = ack.epoch
+            peer.sent_lsns[table] = max(
+                peer.sent_lsns.get(table, 0), peer.acked_lsns[table]
+            )
+            peer.needs_snapshot.discard(table)
+            return "ok"
+        if ack.reason == "gap":
+            # Trust the reported cursor as a routing hint only; the
+            # retried batch is signed, so a lying edge gains nothing.
+            peer.acked_lsns[table] = ack.lsn
+            peer.sent_lsns[table] = ack.lsn
+            return "gap"
+        # tamper / diverged / unknown: the replica cannot be trusted to
+        # extend — replace it wholesale.
+        peer.needs_snapshot.add(table)
+        peer.reset_cursor(table)
+        return "snapshot"
+
+    # ------------------------------------------------------------------
+    # Payload construction (shared across peers within one pump)
+    # ------------------------------------------------------------------
+
+    def _batch_payload(
+        self, table: str, cursor: int, payloads: dict
+    ) -> bytes | None:
+        key = ("delta", table, cursor)
+        with self._payload_lock:
+            if key not in payloads:
+                central = self.central
+                payloads[key] = central.replicator.batch_since(
+                    table, cursor, central._signer,
+                    central.public_key.signature_len,
+                )
+            return payloads[key]
+
+    def _snapshot_frame(self, table: str, payloads: dict) -> SnapshotFrame:
+        key = ("snapshot", table)
+        with self._payload_lock:
+            if key not in payloads:
+                central = self.central
+                vbt = central.vbtrees[table]
+                payloads[key] = SnapshotFrame(
+                    table=table,
+                    lsn=central.replicator.log_for(table).last_lsn,
+                    epoch=central.keyring.current_epoch,
+                    naive=table in central.naive_stores,
+                    payload=snapshot_to_bytes(
+                        vbt, central.public_key.signature_len
+                    ),
+                )
+            return payloads[key]

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.delta import ReplicaDelta, coalesce, delta_digest
-from repro.core.wire import delta_body_bytes, delta_to_bytes
+from repro.core.wire import delta_body_bytes
 from repro.crypto.signatures import DigestSigner
 from repro.exceptions import DeltaGapError, ReplicaDeltaError
 

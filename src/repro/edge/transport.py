@@ -1,0 +1,454 @@
+"""Message transport between the central server and its edge servers.
+
+The paper's security model (Section 3.1, Figure 2) places edge servers
+*outside* the trust boundary: the central DBMS must be reachable from an
+edge only through an authenticated message channel, never through shared
+objects.  This module is that boundary.  All central↔edge traffic —
+snapshot transfers, replica delta batches, acknowledgements, and query
+request/responses — travels as typed, wire-serializable **frames** over
+a pluggable :class:`Transport`.
+
+The in-process implementation (:class:`InProcessTransport`) absorbs the
+byte/latency accounting that used to live on raw
+:class:`~repro.edge.network.Channel` objects (one channel per
+direction), and adds **fault injection** so the fan-out engine's flow
+control and healing paths can be exercised deterministically:
+
+* ``partitioned`` — the link is down; sends fail outright.
+* ``drop_next`` — the next N frames are lost in flight (bytes leave the
+  sender but never reach the edge, and no ack comes back).
+* ``hold`` — a slow edge: frames queue in the link instead of being
+  delivered; they drain on :meth:`InProcessTransport.flush` once the
+  fault clears.  Combined with the fan-out engine's bounded in-flight
+  window this models per-edge backpressure.
+
+A real-socket transport only needs to reimplement ``send``/``flush``
+over its medium; the frame codec is already byte-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.crypto.encoding import (
+    decode_uint,
+    decode_value,
+    decode_values,
+    encode_uint,
+    encode_value,
+    encode_values,
+)
+from repro.edge.network import Channel, Transfer
+from repro.exceptions import TransportError
+
+__all__ = [
+    "SnapshotFrame",
+    "DeltaFrame",
+    "AckFrame",
+    "QueryRequestFrame",
+    "QueryResponseFrame",
+    "frame_to_bytes",
+    "frame_from_bytes",
+    "FaultInjector",
+    "SendOutcome",
+    "Transport",
+    "InProcessTransport",
+]
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SnapshotFrame:
+    """A full replica transfer (bootstrap / gap / rotation / heal).
+
+    Attributes:
+        table: Replica name (base table, join view, or secondary index).
+        lsn: Delta-log cursor the snapshot corresponds to.
+        epoch: Key epoch every signature in the payload was issued under.
+        naive: Whether the edge should also maintain the Naive
+            baseline's per-tuple signature store for this replica (the
+            payload already carries the signed tuple/attribute digests
+            the store needs).
+        payload: :func:`repro.core.wire.snapshot_to_bytes` output.
+    """
+
+    table: str
+    lsn: int
+    epoch: int
+    naive: bool
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class DeltaFrame:
+    """One sealed replica delta (or coalesced batch) for ``table``."""
+
+    table: str
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Edge→central acknowledgement carrying the edge's cursor.
+
+    Attributes:
+        edge: Responding edge server's name.
+        table: Replica the ack refers to.
+        ok: True if the frame was applied.
+        lsn: The edge's delta cursor for ``table`` *after* processing.
+        epoch: Key epoch of the edge's replica after processing.
+        reason: Nack reason code (``""`` when ok) — one of ``stale``,
+            ``gap``, ``tamper``, ``diverged``, ``error``.
+    """
+
+    edge: str
+    table: str
+    ok: bool
+    lsn: int
+    epoch: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class QueryRequestFrame:
+    """A client query addressed to an edge server.
+
+    Attributes:
+        kind: ``range`` (primary-key range), ``select`` (general
+            predicate), or ``secondary`` (range on an indexed
+            attribute).
+        table: Base table / view name.
+        attribute: Indexed attribute (``secondary`` only).
+        low/high: Range bounds (``range``/``secondary``).
+        columns: Projection, or ``None`` for all columns.
+        predicate: Serialized predicate (``select`` only) — see
+            :func:`repro.core.wire.predicate_to_bytes`.
+        vo_format: VO format name override, or ``None`` for the default.
+    """
+
+    kind: str
+    table: str
+    attribute: Optional[str] = None
+    low: Any = None
+    high: Any = None
+    columns: Optional[tuple[str, ...]] = None
+    predicate: Optional[bytes] = None
+    vo_format: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class QueryResponseFrame:
+    """An edge server's answer: a serialized authenticated result."""
+
+    edge: str
+    payload: bytes
+
+
+Frame = Any  # union of the five frame dataclasses
+
+_FRAME_SNAPSHOT = 0
+_FRAME_DELTA = 1
+_FRAME_ACK = 2
+_FRAME_QUERY = 3
+_FRAME_RESPONSE = 4
+
+#: Channel transfer kind per frame type (byte accounting breakdown).
+_FRAME_KINDS = {
+    SnapshotFrame: "snapshot",
+    DeltaFrame: "delta",
+    AckFrame: "ack",
+    QueryRequestFrame: "query",
+    QueryResponseFrame: "payload",
+}
+
+
+def frame_kind(frame: Frame) -> str:
+    """The transfer-accounting kind for ``frame``."""
+    return _FRAME_KINDS[type(frame)]
+
+
+def frame_to_bytes(frame: Frame) -> bytes:
+    """Serialize any transport frame (1-byte tag + typed fields)."""
+    if isinstance(frame, SnapshotFrame):
+        return b"".join(
+            (
+                bytes([_FRAME_SNAPSHOT]),
+                encode_value(frame.table),
+                encode_uint(frame.lsn),
+                encode_uint(frame.epoch),
+                bytes([1 if frame.naive else 0]),
+                encode_value(frame.payload),
+            )
+        )
+    if isinstance(frame, DeltaFrame):
+        return b"".join(
+            (
+                bytes([_FRAME_DELTA]),
+                encode_value(frame.table),
+                encode_value(frame.payload),
+            )
+        )
+    if isinstance(frame, AckFrame):
+        return b"".join(
+            (
+                bytes([_FRAME_ACK]),
+                encode_value(frame.edge),
+                encode_value(frame.table),
+                bytes([1 if frame.ok else 0]),
+                encode_uint(frame.lsn),
+                encode_uint(frame.epoch),
+                encode_value(frame.reason),
+            )
+        )
+    if isinstance(frame, QueryRequestFrame):
+        return b"".join(
+            (
+                bytes([_FRAME_QUERY]),
+                encode_value(frame.kind),
+                encode_value(frame.table),
+                encode_value(frame.attribute),
+                encode_value(frame.low),
+                encode_value(frame.high),
+                bytes([0 if frame.columns is None else 1]),
+                encode_values(frame.columns or ()),
+                encode_value(frame.predicate),
+                encode_value(frame.vo_format),
+            )
+        )
+    if isinstance(frame, QueryResponseFrame):
+        return b"".join(
+            (
+                bytes([_FRAME_RESPONSE]),
+                encode_value(frame.edge),
+                encode_value(frame.payload),
+            )
+        )
+    raise TransportError(f"cannot serialize frame {type(frame).__name__}")
+
+
+def frame_from_bytes(data: bytes) -> Frame:
+    """Parse the serialization produced by :func:`frame_to_bytes`.
+
+    Raises:
+        TransportError: On an empty, unknown-tag, or trailing-byte
+            payload.
+    """
+    if not data:
+        raise TransportError("empty frame")
+    tag = data[0]
+    offset = 1
+    try:
+        if tag == _FRAME_SNAPSHOT:
+            table, offset = decode_value(data, offset)
+            lsn, offset = decode_uint(data, offset)
+            epoch, offset = decode_uint(data, offset)
+            naive = bool(data[offset])
+            offset += 1
+            payload, offset = decode_value(data, offset)
+            frame: Frame = SnapshotFrame(
+                table=table, lsn=lsn, epoch=epoch, naive=naive, payload=payload
+            )
+        elif tag == _FRAME_DELTA:
+            table, offset = decode_value(data, offset)
+            payload, offset = decode_value(data, offset)
+            frame = DeltaFrame(table=table, payload=payload)
+        elif tag == _FRAME_ACK:
+            edge, offset = decode_value(data, offset)
+            table, offset = decode_value(data, offset)
+            ok = bool(data[offset])
+            offset += 1
+            lsn, offset = decode_uint(data, offset)
+            epoch, offset = decode_uint(data, offset)
+            reason, offset = decode_value(data, offset)
+            frame = AckFrame(
+                edge=edge, table=table, ok=ok, lsn=lsn, epoch=epoch,
+                reason=reason,
+            )
+        elif tag == _FRAME_QUERY:
+            kind, offset = decode_value(data, offset)
+            table, offset = decode_value(data, offset)
+            attribute, offset = decode_value(data, offset)
+            low, offset = decode_value(data, offset)
+            high, offset = decode_value(data, offset)
+            has_columns = bool(data[offset])
+            offset += 1
+            columns, offset = decode_values(data, offset)
+            predicate, offset = decode_value(data, offset)
+            vo_format, offset = decode_value(data, offset)
+            frame = QueryRequestFrame(
+                kind=kind,
+                table=table,
+                attribute=attribute,
+                low=low,
+                high=high,
+                columns=tuple(columns) if has_columns else None,
+                predicate=predicate,
+                vo_format=vo_format,
+            )
+        elif tag == _FRAME_RESPONSE:
+            edge, offset = decode_value(data, offset)
+            payload, offset = decode_value(data, offset)
+            frame = QueryResponseFrame(edge=edge, payload=payload)
+        else:
+            raise TransportError(f"unknown frame tag {tag}")
+    except TransportError:
+        raise
+    except Exception as exc:
+        raise TransportError(f"malformed frame: {exc}") from exc
+    if offset != len(data):
+        raise TransportError(f"{len(data) - offset} trailing frame bytes")
+    return frame
+
+
+# ---------------------------------------------------------------------------
+# Transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultInjector:
+    """Mutable fault state of one link (see module docstring).
+
+    Attributes:
+        partitioned: Link down; sends fail, nothing leaves the sender.
+        drop_next: Lose the next N frames in flight.
+        hold: Queue frames instead of delivering (slow edge); they
+            drain on :meth:`InProcessTransport.flush` once cleared.
+    """
+
+    partitioned: bool = False
+    drop_next: int = 0
+    hold: bool = False
+
+    def clear(self) -> None:
+        """Return the link to healthy operation."""
+        self.partitioned = False
+        self.drop_next = 0
+        self.hold = False
+
+
+@dataclass
+class SendOutcome:
+    """What happened to one sent frame.
+
+    Attributes:
+        status: ``delivered`` (processed by the peer, ``replies``
+            populated), ``queued`` (in the link, ack pending),
+            ``dropped`` (lost in flight), or ``failed`` (partitioned —
+            nothing left the sender).
+        replies: Frames the peer sent back (delivered sends only).
+        transfer: Byte/latency accounting record (absent when failed).
+    """
+
+    status: str
+    replies: list = field(default_factory=list)
+    transfer: Optional[Transfer] = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == "delivered"
+
+
+class Transport:
+    """Abstract point-to-point frame transport (central/client side).
+
+    Concrete transports implement :meth:`send` and :meth:`flush`; the
+    edge side registers a frame handler via :meth:`connect`.
+    """
+
+    def connect(self, handler: Callable[[bytes], Sequence[bytes]]) -> None:
+        """Register the peer's handler (receives and returns *bytes*)."""
+        raise NotImplementedError
+
+    def send(self, frame: Frame) -> SendOutcome:
+        """Ship one frame; never raises on link faults (see outcome)."""
+        raise NotImplementedError
+
+    def flush(self) -> list:
+        """Deliver any queued frames; returns the peer's reply frames."""
+        raise NotImplementedError
+
+
+class InProcessTransport(Transport):
+    """Same-process transport with byte accounting and fault injection.
+
+    Args:
+        name: Link label (usually the edge server's name).
+        down_channel: Sender→peer byte accounting (snapshots, deltas,
+            queries); created if not given.
+        up_channel: Peer→sender byte accounting (acks, query
+            responses); created if not given.
+        faults: Initial fault state (healthy by default).
+
+    The peer handler is wired with :meth:`connect` and exchanges only
+    serialized bytes — the two endpoints share no mutable objects, which
+    is what makes the trust boundary real even in-process.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        down_channel: Channel | None = None,
+        up_channel: Channel | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.name = name
+        self.down_channel = down_channel or Channel()
+        self.up_channel = up_channel or Channel()
+        self.faults = faults or FaultInjector()
+        self._handler: Callable[[bytes], Sequence[bytes]] | None = None
+        self._queue: list[bytes] = []
+
+    def connect(self, handler: Callable[[bytes], Sequence[bytes]]) -> None:
+        self._handler = handler
+
+    @property
+    def queued_frames(self) -> int:
+        """Frames sitting in the link awaiting :meth:`flush`."""
+        return len(self._queue)
+
+    def send(self, frame: Frame) -> SendOutcome:
+        if self._handler is None:
+            raise TransportError(f"transport {self.name!r} is not connected")
+        if self.faults.partitioned:
+            return SendOutcome(status="failed")
+        data = frame_to_bytes(frame)
+        transfer = self.down_channel.send(len(data), kind=frame_kind(frame))
+        if self.faults.drop_next > 0:
+            self.faults.drop_next -= 1
+            return SendOutcome(status="dropped", transfer=transfer)
+        if self.faults.hold:
+            self._queue.append(data)
+            return SendOutcome(status="queued", transfer=transfer)
+        return SendOutcome(
+            status="delivered",
+            replies=self._deliver(data),
+            transfer=transfer,
+        )
+
+    def flush(self) -> list:
+        """Drain held frames once faults have cleared.
+
+        Returns the peer's accumulated reply frames; a no-op (empty
+        list) while the link is still partitioned or holding.
+        """
+        if self.faults.partitioned or self.faults.hold:
+            return []
+        replies: list = []
+        while self._queue:
+            replies.extend(self._deliver(self._queue.pop(0)))
+        return replies
+
+    def _deliver(self, data: bytes) -> list:
+        assert self._handler is not None
+        replies = []
+        for reply_bytes in self._handler(data):
+            reply = frame_from_bytes(reply_bytes)
+            self.up_channel.send(len(reply_bytes), kind=frame_kind(reply))
+            replies.append(reply)
+        return replies

@@ -35,6 +35,7 @@ __all__ = [
     "PlanningError",
     "EdgeError",
     "ReplicationError",
+    "TransportError",
     "ReplicaDeltaError",
     "DeltaGapError",
     "StaleDeltaError",
@@ -183,6 +184,11 @@ class EdgeError(ReproError):
 
 class ReplicationError(EdgeError):
     """Replica propagation failed or diverged."""
+
+
+class TransportError(EdgeError):
+    """A transport frame could not be delivered (link partitioned) or
+    could not be encoded/decoded (malformed frame)."""
 
 
 class ReplicaDeltaError(ReplicationError):

@@ -79,7 +79,7 @@ class TestDetectedAttacks:
         server.rotate_key(seed=23)       # epoch 1; epoch 0 expires at t=0
         server.keyring.tick()            # time moves past the validity window
 
-        assert StaleReplay(table="t").is_stale(stale_edge)
+        assert StaleReplay(table="t").is_stale(server, stale_edge)
         verdict = client.verify(stale_edge.range_query("t", low=0, high=10))
         assert not verdict.ok
         assert "stale" in verdict.reason

@@ -1,0 +1,135 @@
+"""Property-style tests for :class:`repro.edge.replication.DeltaLog`
+retention and gap invariants: truncation boundaries, ``barrier()``
+semantics, and the agreement between ``has_gap`` and
+``entries_since``."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import ReplicaDelta
+from repro.edge.replication import DeltaLog, LogEntry
+from repro.exceptions import DeltaGapError, ReplicaDeltaError
+
+
+def stub_delta(lsn: int) -> ReplicaDelta:
+    return ReplicaDelta(
+        table="t",
+        lsn_first=lsn,
+        lsn_last=lsn,
+        epoch=0,
+        base_version=lsn - 1,
+        new_version=lsn,
+        structural=False,
+        ops=(),
+        node_updates=(),
+        freed_nodes=(),
+    )
+
+
+def record(log: DeltaLog) -> int:
+    lsn = log.next_lsn()
+    log.append(LogEntry(lsn=lsn, delta=stub_delta(lsn), payload=b"p" * 8))
+    return lsn
+
+
+class TestInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        ops=st.lists(st.sampled_from(["record", "barrier"]), max_size=50),
+        max_entries=st.integers(min_value=1, max_value=8),
+    )
+    def test_retention_and_gap_agreement(self, ops, max_entries):
+        log = DeltaLog(table="t", max_entries=max_entries)
+        for op in ops:
+            if op == "record":
+                record(log)
+            else:
+                log.barrier()
+
+        # Retention bound holds and retained LSNs are a contiguous
+        # suffix ending exactly at last_lsn.
+        assert len(log) <= max_entries
+        retained = [e.lsn for e in log.entries_since(log.first_retained_lsn - 1)] \
+            if len(log) else []
+        if retained:
+            assert retained == list(
+                range(log.first_retained_lsn, log.last_lsn + 1)
+            )
+            assert retained[-1] == log.last_lsn
+
+        # has_gap and entries_since agree on EVERY cursor.
+        for cursor in range(0, log.last_lsn + 2):
+            if log.has_gap(cursor):
+                with pytest.raises(DeltaGapError):
+                    log.entries_since(cursor)
+            else:
+                entries = log.entries_since(cursor)
+                if cursor >= log.last_lsn:
+                    assert entries == []
+                else:
+                    # No gap and pending LSNs: the full contiguous run.
+                    assert [e.lsn for e in entries] == list(
+                        range(cursor + 1, log.last_lsn + 1)
+                    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        total=st.integers(min_value=1, max_value=40),
+        max_entries=st.integers(min_value=1, max_value=8),
+    )
+    def test_truncation_boundary_cursors(self, total, max_entries):
+        log = DeltaLog(table="t", max_entries=max_entries)
+        for _ in range(total):
+            record(log)
+        first = log.first_retained_lsn
+
+        # Cursor exactly at first_retained_lsn - 1: the oldest cursor
+        # the log can still serve — never a gap, full suffix returned.
+        assert not log.has_gap(first - 1)
+        entries = log.entries_since(first - 1)
+        assert [e.lsn for e in entries] == list(range(first, log.last_lsn + 1))
+
+        # One further back is a gap iff anything was truncated.
+        if first > 1:
+            assert log.has_gap(first - 2)
+            with pytest.raises(DeltaGapError):
+                log.entries_since(first - 2)
+
+
+class TestBarrier:
+    def test_barrier_clears_and_strands_every_old_cursor(self):
+        log = DeltaLog(table="t", max_entries=10)
+        for _ in range(4):
+            record(log)
+        barrier_lsn = log.barrier()
+        assert barrier_lsn == 5
+        assert len(log) == 0
+        # Every cursor below the barrier now has a gap (snapshot path);
+        # a cursor at the barrier is current.
+        for cursor in range(0, barrier_lsn):
+            assert log.has_gap(cursor)
+        assert not log.has_gap(barrier_lsn)
+        assert log.entries_since(barrier_lsn) == []
+
+    def test_recording_resumes_after_barrier(self):
+        log = DeltaLog(table="t", max_entries=10)
+        record(log)
+        log.barrier()
+        lsn = record(log)
+        assert lsn == 3
+        # A cursor at the barrier can catch up from the log again...
+        assert [e.lsn for e in log.entries_since(2)] == [3]
+        # ...but a pre-barrier cursor cannot.
+        assert log.has_gap(1)
+
+    def test_empty_log_edge_cases(self):
+        log = DeltaLog(table="t")
+        assert log.first_retained_lsn == 0
+        assert not log.has_gap(0)
+        assert log.entries_since(0) == []
+
+    def test_append_rejects_unassigned_lsn(self):
+        log = DeltaLog(table="t")
+        with pytest.raises(ReplicaDeltaError):
+            log.append(LogEntry(lsn=7, delta=stub_delta(7), payload=b"x"))

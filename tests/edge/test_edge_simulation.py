@@ -107,9 +107,9 @@ class TestUpdatesAndReplication:
         server.create_table(schema, rows, fanout_override=6)
         edge = server.spawn_edge_server("lazy-edge")
         server.insert("t", (900, "a", "b", "c"))
-        assert edge.staleness("t") == 1
+        assert server.staleness(edge, "t") == 1
         server.propagate()
-        assert edge.staleness("t") == 0
+        assert server.staleness(edge, "t") == 0
         resp = edge.range_query("t", low=900, high=900)
         assert len(resp.result.rows) == 1
 

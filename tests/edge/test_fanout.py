@@ -1,0 +1,231 @@
+"""Fan-out engine behaviour: flow control, fault injection, healing,
+and concurrent delivery (DESIGN.md section 7)."""
+
+import pytest
+
+from repro.edge.central import CentralServer, ReplicationMode
+from repro.edge.transport import FaultInjector
+from repro.workloads.generator import TableSpec, generate_table
+
+DB = "fanoutdb"
+
+
+def make_central(rows=100, **kwargs):
+    server = CentralServer(db_name=DB, rsa_bits=512, seed=51, **kwargs)
+    schema, data = generate_table(
+        TableSpec(name="t", rows=rows, columns=4, seed=8)
+    )
+    server.create_table(schema, data, fanout_override=6)
+    return server
+
+
+class TestSlowEdge:
+    def test_write_path_never_waits_on_a_slow_edge(self):
+        """Eager inserts complete against the fast edges while a
+        frame-holding (slow) edge absorbs frames up to its window and is
+        then skipped — the acceptance scenario for per-edge flow
+        control."""
+        server = make_central(fanout_window=3)
+        fast = server.spawn_edge_server("fast")
+        slow = server.spawn_edge_server("slow")
+        client = server.make_client()
+        link = server.fanout.peer("slow").transport
+        link.faults.hold = True
+
+        for key in range(9001, 9011):
+            server.insert("t", (key, "a", "b", "c"))
+
+        # Fast edge is current and serves fresh, verified data.
+        assert server.staleness(fast, "t") == 0
+        resp = fast.range_query("t", low=9001, high=9010)
+        assert len(resp.result.rows) == 10
+        assert client.verify(resp).ok
+        # Slow edge lags; the link absorbed at most `window` frames.
+        assert server.staleness(slow, "t") > 0
+        assert link.queued_frames <= 3
+        assert server.fanout.peer("slow").inflight <= 3
+        # Slow edge still serves *authentic* (stale) data meanwhile.
+        stale = slow.range_query("t", low=9001, high=9010)
+        assert stale.result.rows == []
+        assert client.verify(stale).ok
+
+    def test_slow_edge_catches_up_after_fault_clears(self):
+        server = make_central(fanout_window=2, max_log_entries=4)
+        slow = server.spawn_edge_server("slow")
+        client = server.make_client()
+        link = server.fanout.peer("slow").transport
+        link.faults.hold = True
+
+        for key in range(9001, 9013):  # far past log retention
+            server.insert("t", (key, "a", "b", "c"))
+        assert server.staleness(slow, "t") > 0
+
+        link.faults.clear()
+        server.propagate("t")
+        # The queued frames only reached an early LSN; the log has been
+        # truncated past that cursor, so the heal is a snapshot.
+        assert slow.replication_channel.transfers[-1].kind == "snapshot"
+        assert server.staleness(slow, "t") == 0
+        resp = slow.range_query("t", low=9001, high=9012)
+        assert len(resp.result.rows) == 12
+        assert client.verify(resp).ok
+        slow.replica("t").audit()
+
+
+class TestPartition:
+    def test_partitioned_edge_heals_via_snapshot_when_fault_clears(self):
+        """The acceptance scenario: with one edge partitioned, eager
+        inserts to the remaining edges complete without waiting on it,
+        and the wedged edge heals via snapshot once the fault clears."""
+        server = make_central(max_log_entries=4)
+        healthy = server.spawn_edge_server("healthy")
+        wedged = server.spawn_edge_server("wedged")
+        client = server.make_client()
+        link = server.fanout.peer("wedged").transport
+        link.faults.partitioned = True
+
+        before = len(wedged.replication_channel.transfers)
+        for key in range(9001, 9011):
+            server.insert("t", (key, "a", "b", "c"))
+        # Nothing reached the wedged edge — not even wasted bytes.
+        assert len(wedged.replication_channel.transfers) == before
+        assert server.staleness(healthy, "t") == 0
+        assert server.staleness(wedged, "t") == 10
+        assert client.verify(healthy.range_query("t", low=9001, high=9010)).ok
+
+        link.faults.clear()
+        shipped = server.propagate("t")
+        assert shipped == 1
+        assert wedged.replication_channel.transfers[-1].kind == "snapshot"
+        assert server.staleness(wedged, "t") == 0
+        resp = wedged.range_query("t", low=9001, high=9010)
+        assert len(resp.result.rows) == 10
+        assert client.verify(resp).ok
+
+    def test_partitioned_edge_catches_up_via_delta_within_retention(self):
+        server = make_central()  # default retention: 1024 entries
+        wedged = server.spawn_edge_server("wedged")
+        link = server.fanout.peer("wedged").transport
+        link.faults.partitioned = True
+        for key in range(9001, 9006):
+            server.insert("t", (key, "a", "b", "c"))
+        link.faults.clear()
+        server.propagate("t")
+        # Log still covers the cursor: one coalesced delta, no snapshot.
+        assert wedged.replication_channel.transfers[-1].kind == "delta"
+        assert server.staleness(wedged, "t") == 0
+        wedged.replica("t").audit()
+
+
+class TestFrameLoss:
+    def test_dropped_delta_is_retransmitted(self):
+        server = make_central()
+        edge = server.spawn_edge_server("lossy")
+        client = server.make_client()
+        link = server.fanout.peer("lossy").transport
+        link.faults.drop_next = 1
+        server.insert("t", (9001, "a", "b", "c"))  # this delta is lost
+        assert server.staleness(edge, "t") == 1
+        server.insert("t", (9002, "a", "b", "c"))  # resend covers both
+        assert server.staleness(edge, "t") == 0
+        resp = edge.range_query("t", low=9001, high=9002)
+        assert len(resp.result.rows) == 2
+        assert client.verify(resp).ok
+        edge.replica("t").audit()
+
+
+class TestNackEscalation:
+    def test_gap_nack_retries_from_reported_cursor(self):
+        """If the central-side cursor ever disagrees with the edge (here
+        forced manually), the edge's gap-nack carries its real cursor
+        and the retry succeeds — no snapshot needed."""
+        server = make_central()
+        edge = server.spawn_edge_server("e1")
+        for key in range(9001, 9004):
+            server.insert("t", (key, "a", "b", "c"))
+        peer = server.fanout.peer("e1")
+        peer.acked_lsns["t"] = 0  # central amnesia
+        peer.sent_lsns["t"] = 0
+        before = len(edge.replication_channel.transfers)
+        server.insert("t", (9004, "a", "b", "c"))
+        transfers = edge.replication_channel.transfers[before:]
+        # First send covers 1..4 -> gap nack; retry from cursor 3 lands.
+        assert [t.kind for t in transfers] == ["delta", "delta"]
+        assert server.staleness(edge, "t") == 0
+        edge.replica("t").audit()
+
+    def test_diverged_nack_heals_with_snapshot_after_the_write(self):
+        server = make_central()
+        bad = server.spawn_edge_server("bad")
+        good = server.spawn_edge_server("good")
+        client = server.make_client()
+        bad.replica("t").tree.delete(4)  # at-rest structural tampering
+        server.delete("t", 4)
+        assert bad.replication_channel.transfers[-1].kind == "snapshot"
+        assert good.replication_channel.transfers[-1].kind == "delta"
+        for edge in (bad, good):
+            assert server.staleness(edge, "t") == 0
+            assert client.verify(edge.range_query("t", low=0, high=50)).ok
+
+
+class TestConcurrentDelivery:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_all_edges_converge(self, workers):
+        server = make_central(fanout_workers=workers)
+        edges = [server.spawn_edge_server(f"e{i}") for i in range(5)]
+        client = server.make_client()
+        for key in range(9001, 9021):
+            server.insert("t", (key, "a", "b", "c"))
+        for key in range(0, 20, 4):
+            server.delete("t", key)
+        for edge in edges:
+            assert server.staleness(edge, "t") == 0
+            edge.replica("t").audit()
+            resp = edge.range_query("t", low=9001, high=9020)
+            assert len(resp.result.rows) == 20
+            assert client.verify(resp).ok
+
+    def test_identical_cursors_share_one_sealed_payload(self):
+        server = make_central(replication=ReplicationMode.LAZY)
+        e1 = server.spawn_edge_server("e1")
+        e2 = server.spawn_edge_server("e2")
+        for key in range(9001, 9011):
+            server.insert("t", (key, "a", "b", "c"))
+        server.propagate("t")
+        d1 = [t for t in e1.replication_channel.transfers if t.kind == "delta"]
+        d2 = [t for t in e2.replication_channel.transfers if t.kind == "delta"]
+        assert len(d1) == len(d2) == 1
+        assert d1[0].nbytes == d2[0].nbytes  # byte-identical batch
+
+
+class TestSpawnWithFaults:
+    def test_no_duplicate_snapshots_while_link_holds_one(self):
+        """A slow edge spawned behind a holding link gets exactly ONE
+        bootstrap snapshot queued; eager inserts must not enqueue an
+        O(tree) snapshot each (regression: needs_snapshot was recomputed
+        per pump with no snapshot-in-flight tracking)."""
+        server = make_central()
+        edge = server.spawn_edge_server(
+            "slow", faults=FaultInjector(hold=True)
+        )
+        for key in range(9001, 9007):
+            server.insert("t", (key, "a", "b", "c"))
+        link = server.fanout.peer("slow").transport
+        kinds = [t.kind for t in edge.replication_channel.transfers]
+        assert kinds.count("snapshot") == 1
+        link.faults.clear()
+        server.propagate("t")
+        assert server.staleness(edge, "t") == 0
+        edge.replica("t").audit()
+
+    def test_edge_spawned_behind_partition_bootstraps_later(self):
+        server = make_central()
+        edge = server.spawn_edge_server(
+            "late", faults=FaultInjector(partitioned=True)
+        )
+        assert edge.replicas == {}
+        server.fanout.peer("late").transport.faults.clear()
+        server.propagate()
+        assert server.staleness(edge, "t") == 0
+        client = server.make_client()
+        assert client.verify(edge.range_query("t", low=0, high=10)).ok

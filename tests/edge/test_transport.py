@@ -1,0 +1,212 @@
+"""The message boundary between central and edge (DESIGN.md section 7):
+frame codec round-trips, serialized snapshot reconstruction, and the
+structural guarantee that edges hold no reference into the trusted
+central server."""
+
+import pytest
+
+from repro.core.wire import (
+    predicate_from_bytes,
+    predicate_to_bytes,
+    result_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.db.expressions import AlwaysTrue, And, Comparison, Not, Or
+from repro.edge.central import CentralServer
+from repro.edge.transport import (
+    AckFrame,
+    DeltaFrame,
+    InProcessTransport,
+    QueryRequestFrame,
+    QueryResponseFrame,
+    SnapshotFrame,
+    frame_from_bytes,
+    frame_to_bytes,
+)
+from repro.exceptions import SignatureError, TransportError
+from repro.workloads.generator import TableSpec, generate_table
+
+DB = "transportdb"
+
+
+def make_central(**kwargs):
+    server = CentralServer(db_name=DB, rsa_bits=512, seed=31, **kwargs)
+    schema, rows = generate_table(TableSpec(name="t", rows=90, columns=4, seed=6))
+    server.create_table(schema, rows, fanout_override=6)
+    return server
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            SnapshotFrame(table="t", lsn=7, epoch=2, naive=True, payload=b"abc"),
+            DeltaFrame(table="t__by_a1", payload=b"\x00\xff" * 9),
+            AckFrame(edge="e1", table="t", ok=False, lsn=3, epoch=1,
+                     reason="gap"),
+            QueryRequestFrame(kind="range", table="t", low=5, high=90,
+                              columns=("id", "a1"), vo_format="flat"),
+            QueryRequestFrame(kind="select", table="t",
+                              predicate=b"\x01", columns=None),
+            QueryRequestFrame(kind="secondary", table="t", attribute="a2",
+                              low="aa", high=None),
+            QueryResponseFrame(edge="e1", payload=b"result-bytes"),
+        ],
+    )
+    def test_round_trip(self, frame):
+        assert frame_from_bytes(frame_to_bytes(frame)) == frame
+
+    def test_empty_and_unknown_frames_rejected(self):
+        with pytest.raises(TransportError):
+            frame_from_bytes(b"")
+        with pytest.raises(TransportError):
+            frame_from_bytes(bytes([99]) + b"junk")
+        with pytest.raises(TransportError):
+            frame_from_bytes(frame_to_bytes(DeltaFrame("t", b"x")) + b"!")
+
+    def test_predicate_round_trip(self):
+        predicate = Or(
+            And(Comparison("id", ">=", 10), Comparison("a1", "<", "zz")),
+            Not(Comparison("id", "=", 4)),
+        )
+        parsed, offset = predicate_from_bytes(predicate_to_bytes(predicate))
+        assert parsed == predicate
+        assert offset == len(predicate_to_bytes(predicate))
+        assert predicate_from_bytes(predicate_to_bytes(AlwaysTrue()))[0] == AlwaysTrue()
+
+
+class TestSnapshotReconstruction:
+    def test_replica_matches_central_tree(self):
+        server = make_central()
+        edge = server.spawn_edge_server("e1")
+        central_vbt = server.vbtrees["t"]
+        replica = edge.replica("t")
+        assert replica is not central_vbt
+        assert replica.tree.node_count() == central_vbt.tree.node_count()
+        assert replica.tree._next_node_id == central_vbt.tree._next_node_id
+        assert len(replica.tree) == len(central_vbt.tree)
+        assert [nid for nid, _ in _walk_ids(replica)] == [
+            nid for nid, _ in _walk_ids(central_vbt)
+        ]
+        replica.tree.validate()
+        replica.audit()
+
+    def test_secondary_replica_reconstructs(self):
+        server = make_central()
+        server.create_secondary_index("t", "a1", fanout_override=6)
+        edge = server.spawn_edge_server("e1")
+        client = server.make_client()
+        resp = edge.secondary_range_query("t", "a1", low="a", high="zzzz")
+        assert client.verify(resp).ok
+        edge.replica("t__by_a1").audit()
+
+    def test_round_trip_is_stable(self):
+        server = make_central()
+        sig_len = server.public_key.signature_len
+        payload = snapshot_to_bytes(server.vbtrees["t"], sig_len)
+        server2 = server.spawn_edge_server("probe")
+        replica = server2.replica("t")
+        assert snapshot_to_bytes(replica, sig_len) == payload
+
+    def test_replica_cannot_sign(self):
+        """The pre-transport implementation leaked the private signing
+        key onto every edge via cloned SigningDigestEngines; replicas
+        reconstructed from snapshots are verify-only."""
+        server = make_central()
+        edge = server.spawn_edge_server("e1")
+        replica = edge.replica("t")
+        with pytest.raises(SignatureError):
+            replica.signing.sign_value(123)
+        with pytest.raises(SignatureError):
+            replica.signing.signer.sign(123)
+
+    def test_deltas_replay_identically_after_reconstruction(self):
+        """Structural mutations on a rebuilt replica must track the
+        central tree byte-for-byte (node ids, splits, frees)."""
+        server = make_central()
+        edge = server.spawn_edge_server("e1")
+        for key in range(10_000, 10_080):
+            server.insert("t", (key, "x", "y", "z"))
+        for key in range(0, 30, 3):
+            server.delete("t", key)
+        replica = edge.replica("t")
+        central_vbt = server.vbtrees["t"]
+        replica.tree.validate()
+        replica.audit()
+        assert replica.tree.node_count() == central_vbt.tree.node_count()
+        assert replica.tree._next_node_id == central_vbt.tree._next_node_id
+
+
+class TestTrustBoundary:
+    def test_edge_holds_no_central_reference(self):
+        server = make_central()
+        edge = server.spawn_edge_server("e1")
+        assert not hasattr(edge, "central")
+        for value in vars(edge).values():
+            assert not isinstance(value, CentralServer)
+
+    def test_all_replication_traffic_is_frames(self):
+        server = make_central()
+        edge = server.spawn_edge_server("e1")
+        server.insert("t", (9001, "a", "b", "c"))
+        kinds = {t.kind for t in edge.replication_channel.transfers}
+        assert kinds == {"snapshot", "delta"}
+        transport = server.fanout.peer("e1").transport
+        ack_bytes = transport.up_channel.bytes_by_kind()
+        assert ack_bytes.get("ack", 0) > 0
+
+
+class TestQueryOverTransport:
+    def _deployment(self):
+        server = make_central()
+        edge = server.spawn_edge_server("e1")
+        client = server.make_client()
+        # A dedicated client<->edge link, separate from replication.
+        link = InProcessTransport("client-link")
+        link.connect(edge.handle_frame)
+        return server, edge, client, link
+
+    def test_query_frames_round_trip_and_verify(self):
+        _server, _edge, client, link = self._deployment()
+        outcome = link.send(
+            QueryRequestFrame(kind="range", table="t", low=10, high=40)
+        )
+        assert outcome.delivered
+        (response,) = outcome.replies
+        assert isinstance(response, QueryResponseFrame)
+        result = result_from_bytes(response.payload)
+        assert len(result.rows) == 31
+        assert client.verify(result).ok
+        assert link.down_channel.bytes_by_kind().get("query", 0) > 0
+        assert link.up_channel.bytes_by_kind().get("payload", 0) > 0
+
+    def test_select_predicate_over_frames(self):
+        _server, _edge, client, link = self._deployment()
+        outcome = link.send(
+            QueryRequestFrame(
+                kind="select",
+                table="t",
+                predicate=predicate_to_bytes(Comparison("id", ">=", 80)),
+                columns=("id",),
+            )
+        )
+        result = result_from_bytes(outcome.replies[0].payload)
+        assert result.columns == ("id",)
+        assert all(row[0] >= 80 for row in result.rows)
+        assert client.verify(result).ok
+
+    def test_tampered_edge_detected_through_frames(self):
+        from repro.edge.adversary import ValueTamper
+
+        _server, edge, client, link = self._deployment()
+        ValueTamper(table="t", key=20, column="a1", new_value="evil").apply(edge)
+        outcome = link.send(
+            QueryRequestFrame(kind="range", table="t", low=15, high=25)
+        )
+        result = result_from_bytes(outcome.replies[0].payload)
+        assert not client.verify(result).ok
+
+
+def _walk_ids(vbt):
+    for node in vbt.tree.walk_nodes():
+        yield node.node_id, node.is_leaf

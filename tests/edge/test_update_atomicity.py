@@ -1,0 +1,161 @@
+"""One logical update = one transaction across every tree it touches.
+
+Regression tests for the pre-transport behaviour where
+``CentralServer.insert`` committed the base-table transaction *before*
+maintaining secondary indexes and join views: a lock denial there left
+the base tree updated, the indexes not, and the replication log
+recording a state no replica could reach."""
+
+import pytest
+
+from repro.core.update import digest_resource
+from repro.db.schema import Column, TableSchema
+from repro.db.types import IntType
+from repro.edge.central import CentralServer
+from repro.exceptions import LockError
+
+DB = "atomdb"
+
+
+def make_server():
+    server = CentralServer(db_name=DB, rsa_bits=512, seed=61)
+    schema = TableSchema(
+        "m",
+        (Column("id", IntType()), Column("temp", IntType()),
+         Column("site", IntType())),
+        key="id",
+    )
+    server.create_table(
+        schema, [(i, 15 + i % 20, i % 3) for i in range(40)],
+        fanout_override=6,
+    )
+    return server
+
+
+def block_root(server, tree_name):
+    """Start a transaction holding an X-lock on a tree's root digest."""
+    vbt = server.vbtrees[tree_name]
+    blocker = server.txn_manager.begin()
+    assert blocker.lock_exclusive(
+        digest_resource(vbt.table_name, vbt.tree.root.node_id)
+    )
+    return blocker
+
+
+def snapshot_state(server, names):
+    return {
+        name: (
+            len(server.vbtrees[name].tree),
+            server.vbtrees[name].version,
+            server.replicator.log_for(name).last_lsn,
+        )
+        for name in names
+    }
+
+
+class TestInsertAtomicity:
+    def test_blocked_secondary_index_aborts_whole_insert(self):
+        server = make_server()
+        index = server.create_secondary_index("m", "temp", fanout_override=6)
+        edge = server.spawn_edge_server("e1")
+        client = server.make_client()
+        blocker = block_root(server, index)
+        before = snapshot_state(server, ["m", index])
+        rows_before = len(server.tables["m"])
+
+        with pytest.raises(LockError):
+            server.insert("m", (9001, 99, 1))
+
+        # Base table, base tree, index tree, and both logs: untouched.
+        assert len(server.tables["m"]) == rows_before
+        assert snapshot_state(server, ["m", index]) == before
+        server.vbtrees["m"].audit()
+        server.vbtrees[index].audit()
+
+        blocker.commit()
+        server.insert("m", (9001, 99, 1))
+        assert server.staleness(edge, "m") == 0
+        assert server.staleness(edge, index) == 0
+        resp = edge.secondary_range_query("m", "temp", low=99, high=99)
+        assert len(resp.result.rows) == 1
+        assert client.verify(resp).ok
+        edge.replica("m").audit()
+        edge.replica(index).audit()
+
+    def test_blocked_join_view_aborts_whole_insert(self):
+        server = make_server()
+        sites = TableSchema(
+            "sites",
+            (Column("site", IntType()), Column("zone", IntType())),
+            key="site",
+        )
+        server.create_table(sites, [(i, i * 10) for i in range(3)])
+        server.create_join_view("m_sites", "m", "sites", "site", "site")
+        edge = server.spawn_edge_server("e1")
+        client = server.make_client()
+        blocker = block_root(server, "m_sites")
+        before = snapshot_state(server, ["m", "m_sites"])
+        view_rows = len(server.views["m_sites"].table)
+
+        with pytest.raises(LockError):
+            server.insert("m", (9001, 99, 1))  # joins site 1 -> view insert
+
+        assert snapshot_state(server, ["m", "m_sites"]) == before
+        assert len(server.views["m_sites"].table) == view_rows
+        server.vbtrees["m"].audit()
+        server.vbtrees["m_sites"].audit()
+
+        blocker.commit()
+        server.insert("m", (9001, 99, 1))
+        resp = edge.range_query("m_sites")
+        assert client.verify(resp).ok
+        assert len(resp.result.rows) == view_rows + 1
+
+    def test_duplicate_key_rejected_before_any_mutation(self):
+        from repro.exceptions import DuplicateKeyError
+
+        server = make_server()
+        index = server.create_secondary_index("m", "temp", fanout_override=6)
+        before = snapshot_state(server, ["m", index])
+        with pytest.raises(DuplicateKeyError):
+            server.insert("m", (10, 1, 1))
+        assert snapshot_state(server, ["m", index]) == before
+        assert server.txn_manager.active_count() == 0
+
+
+class TestDeleteAtomicity:
+    def test_blocked_secondary_index_aborts_whole_delete(self):
+        server = make_server()
+        index = server.create_secondary_index("m", "temp", fanout_override=6)
+        edge = server.spawn_edge_server("e1")
+        blocker = block_root(server, index)
+        before = snapshot_state(server, ["m", index])
+
+        with pytest.raises(LockError):
+            server.delete("m", 10)
+
+        assert snapshot_state(server, ["m", index]) == before
+        assert 10 in server.tables["m"]
+        server.vbtrees["m"].audit()
+        server.vbtrees[index].audit()
+
+        blocker.commit()
+        server.delete("m", 10)
+        assert server.staleness(edge, "m") == 0
+        assert server.staleness(edge, index) == 0
+        edge.replica("m").audit()
+        edge.replica(index).audit()
+
+    def test_no_dangling_transactions_after_aborts(self):
+        server = make_server()
+        index = server.create_secondary_index("m", "temp", fanout_override=6)
+        blocker = block_root(server, index)
+        for _ in range(3):
+            with pytest.raises(LockError):
+                server.insert("m", (9001, 99, 1))
+            with pytest.raises(LockError):
+                server.delete("m", 10)
+        blocker.commit()
+        assert server.txn_manager.active_count() == 0
+        server.insert("m", (9001, 99, 1))
+        server.delete("m", 10)

@@ -85,10 +85,10 @@ class TestBlobProjection:
         assert not client.verify(resp).ok
 
     def test_blob_digests_in_dp(self, blob_deployment):
-        _central, edge, _client = blob_deployment
+        central, edge, _client = blob_deployment
         slim = edge.range_query("media", low=0, high=9, columns=("id",))
         breakdown = wire_breakdown(
-            slim.result, edge.central.public_key.signature_len
+            slim.result, central.public_key.signature_len
         )
         assert breakdown["dp"] > 0
         # D_P: 10 rows x 2 filtered columns.
