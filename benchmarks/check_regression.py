@@ -1,0 +1,258 @@
+"""Benchmark regression gate for CI.
+
+Compares the JSON series the smoke benches write into
+``benchmarks/results/`` against the committed baselines in
+``benchmarks/results/baselines/`` and exits non-zero when a tracked
+metric drifts outside its tolerance — in either direction: an
+unexplained *improvement* usually means the workload changed, and the
+baseline should be re-committed deliberately rather than silently.
+
+Only deterministic metrics are gated (replication byte counts — fixed
+seeds make them exactly reproducible); wall-clock series are reported
+in the benches but deliberately **not** gated, CI timing being far too
+noisy.
+
+Usage::
+
+    python benchmarks/check_regression.py                  # every baseline with a result
+    python benchmarks/check_regression.py --only fanout_scale socket_transport
+    python benchmarks/check_regression.py --self-test      # prove the gate can fail
+
+To update a baseline intentionally: re-run the bench and copy the fresh
+``benchmarks/results/<name>.json`` over
+``benchmarks/results/baselines/<name>.json`` in the same PR as the
+change that moved the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_RESULTS = os.path.join(HERE, "results")
+DEFAULT_BASELINES = os.path.join(DEFAULT_RESULTS, "baselines")
+
+
+@dataclass(frozen=True)
+class SeriesCheck:
+    """What to gate in one results file.
+
+    Attributes:
+        key: Fields identifying a row within the series (join key
+            between baseline and current run).
+        metrics: ``metric name → relative tolerance`` (0.10 = ±10%).
+    """
+
+    key: tuple[str, ...]
+    metrics: dict[str, float]
+
+
+#: The gated series.  Timing fields are intentionally absent.
+CHECKS: dict[str, SeriesCheck] = {
+    "replication_bytes": SeriesCheck(
+        key=("rows",),
+        metrics={"clone_bytes": 0.10, "delta_bytes": 0.10},
+    ),
+    "fanout_scale": SeriesCheck(
+        key=("mode", "edges"),
+        metrics={"replication_bytes": 0.10, "bytes_per_edge": 0.10},
+    ),
+    "socket_transport": SeriesCheck(
+        key=("transport", "edges"),
+        metrics={"replication_bytes": 0.10, "bytes_per_edge": 0.10},
+    ),
+}
+
+
+@dataclass
+class Finding:
+    """One metric comparison."""
+
+    series: str
+    row_key: tuple
+    metric: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    @property
+    def deviation(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / self.baseline
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.deviation) <= self.tolerance
+
+
+def _load_series(path: str) -> list[dict]:
+    with open(path) as fh:
+        payload = json.load(fh)
+    series = payload.get("series")
+    if not isinstance(series, list):
+        raise ValueError(f"{path}: no 'series' list")
+    return series
+
+
+def _index(series: list[dict], key: tuple[str, ...]) -> dict[tuple, dict]:
+    out: dict[tuple, dict] = {}
+    for row in series:
+        out[tuple(row.get(k) for k in key)] = row
+    return out
+
+
+def compare_series(
+    name: str,
+    baseline: list[dict],
+    current: list[dict],
+    check: SeriesCheck,
+) -> tuple[list[Finding], list[str]]:
+    """Compare one series; returns (findings, structural errors)."""
+    findings: list[Finding] = []
+    errors: list[str] = []
+    base_rows = _index(baseline, check.key)
+    cur_rows = _index(current, check.key)
+    for row_key, base_row in base_rows.items():
+        cur_row = cur_rows.get(row_key)
+        if cur_row is None:
+            errors.append(f"{name}: row {row_key} missing from current run")
+            continue
+        for metric, tolerance in check.metrics.items():
+            if metric not in base_row:
+                continue  # baseline predates the metric: nothing to gate
+            if metric not in cur_row:
+                errors.append(
+                    f"{name}: row {row_key} lost metric {metric!r}"
+                )
+                continue
+            findings.append(
+                Finding(
+                    series=name,
+                    row_key=row_key,
+                    metric=metric,
+                    baseline=float(base_row[metric]),
+                    current=float(cur_row[metric]),
+                    tolerance=tolerance,
+                )
+            )
+    return findings, errors
+
+
+def run_checks(
+    results_dir: str,
+    baselines_dir: str,
+    only: list[str] | None = None,
+) -> int:
+    """Gate every requested series; returns a process exit code."""
+    names = only if only else sorted(CHECKS)
+    all_findings: list[Finding] = []
+    errors: list[str] = []
+    checked = 0
+    for name in names:
+        check = CHECKS.get(name)
+        if check is None:
+            errors.append(f"unknown series {name!r} (gated: {sorted(CHECKS)})")
+            continue
+        base_path = os.path.join(baselines_dir, f"{name}.json")
+        cur_path = os.path.join(results_dir, f"{name}.json")
+        if not os.path.exists(base_path):
+            if only:
+                errors.append(f"{name}: no committed baseline at {base_path}")
+            continue  # unrequested series without a baseline: skip quietly
+        if not os.path.exists(cur_path):
+            if only:
+                errors.append(f"{name}: no current results at {cur_path} "
+                              "(did the bench run?)")
+            continue  # unrequested series without results: skip quietly
+        findings, errs = compare_series(
+            name, _load_series(base_path), _load_series(cur_path), check
+        )
+        all_findings.extend(findings)
+        errors.extend(errs)
+        checked += 1
+
+    width = max(
+        [len(f"{f.series} {f.row_key} {f.metric}") for f in all_findings],
+        default=20,
+    )
+    for f in all_findings:
+        label = f"{f.series} {f.row_key} {f.metric}"
+        status = "ok" if f.ok else "REGRESSION"
+        print(
+            f"{label:<{width}}  baseline={f.baseline:>12.0f}  "
+            f"current={f.current:>12.0f}  delta={f.deviation:+7.2%}  "
+            f"(tol ±{f.tolerance:.0%})  {status}"
+        )
+    for message in errors:
+        print(f"ERROR: {message}")
+
+    failed = [f for f in all_findings if not f.ok]
+    if checked == 0 and not errors:
+        print("ERROR: nothing checked (no results matched any baseline)")
+        return 1
+    if failed or errors:
+        print(
+            f"\nregression gate FAILED: {len(failed)} metric(s) out of "
+            f"tolerance, {len(errors)} error(s).  If the change is "
+            "intentional, refresh benchmarks/results/baselines/."
+        )
+        return 1
+    print(f"\nregression gate passed: {len(all_findings)} metric(s) "
+          f"across {checked} series within tolerance")
+    return 0
+
+
+def self_test() -> int:
+    """Prove the gate detects a perturbed baseline (used by CI)."""
+    baseline = [
+        {"mode": "eager", "edges": 4, "replication_bytes": 10_000,
+         "bytes_per_edge": 2_500},
+    ]
+    check = CHECKS["fanout_scale"]
+
+    same, errs = compare_series("fanout_scale", baseline, baseline, check)
+    if errs or not same or not all(f.ok for f in same):
+        print("self-test FAILED: identical series did not pass")
+        return 1
+
+    perturbed = [dict(baseline[0], replication_bytes=12_001)]  # +20%
+    findings, _ = compare_series("fanout_scale", baseline, perturbed, check)
+    if all(f.ok for f in findings):
+        print("self-test FAILED: +20% drift slipped through a ±10% gate")
+        return 1
+
+    missing, errs = compare_series("fanout_scale", baseline, [], check)
+    if not errs:
+        print("self-test FAILED: vanished rows not reported")
+        return 1
+
+    print("self-test passed: gate accepts identical series and rejects "
+          "perturbed/missing ones")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--results", default=DEFAULT_RESULTS)
+    parser.add_argument("--baselines", default=DEFAULT_BASELINES)
+    parser.add_argument(
+        "--only", nargs="+", metavar="SERIES",
+        help="gate only these series (and fail if their results are absent)",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify the gate itself can fail, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return run_checks(args.results, args.baselines, args.only)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

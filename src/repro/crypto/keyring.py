@@ -123,3 +123,37 @@ class KeyRing:
         except StaleKeyError:
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Wire export / restore (PKI distribution to edge processes)
+    # ------------------------------------------------------------------
+
+    def export_records(self) -> list[tuple[int, int, int, int, int | None]]:
+        """All epoch records as plain tuples
+        ``(epoch, n, e, issued_at, expires_at)`` — everything a remote
+        edge or client process needs to rebuild this ring (public
+        material only; there is nothing secret in a key ring)."""
+        return [
+            (r.epoch, r.public_key.n, r.public_key.e, r.issued_at, r.expires_at)
+            for r in sorted(self._records.values(), key=lambda r: r.epoch)
+        ]
+
+    @classmethod
+    def restore(
+        cls,
+        records: list[tuple[int, int, int, int, int | None]],
+        grace: int = 0,
+        clock: int = 0,
+    ) -> "KeyRing":
+        """Rebuild a ring from :meth:`export_records` output."""
+        ring = cls(grace=grace)
+        for epoch, n, e, issued_at, expires_at in records:
+            ring._records[epoch] = EpochRecord(
+                epoch=epoch,
+                public_key=RSAPublicKey(n=n, e=e),
+                issued_at=issued_at,
+                expires_at=expires_at,
+            )
+            ring._current_epoch = max(ring._current_epoch, epoch)
+        ring._clock = clock
+        return ring

@@ -8,15 +8,24 @@ from repro.edge.adversary import (
     StaleReplay,
     ValueTamper,
 )
-from repro.edge.central import CentralServer, ClientConfig, ReplicationMode
+from repro.edge.central import (
+    CentralServer,
+    ClientConfig,
+    RemoteEdgeHandle,
+    ReplicationMode,
+)
 from repro.edge.client import Client
+from repro.edge.deploy import Deployment, EdgeProcess
 from repro.edge.edge_server import EdgeConfig, EdgeResponse, EdgeServer
 from repro.edge.fanout import FanoutEngine, PeerState
 from repro.edge.network import Channel, Transfer
+from repro.edge.socket_transport import TcpTransport
 from repro.edge.transport import (
     AckFrame,
+    ConfigFrame,
     DeltaFrame,
     FaultInjector,
+    HelloFrame,
     InProcessTransport,
     QueryRequestFrame,
     QueryResponseFrame,
@@ -30,22 +39,28 @@ __all__ = [
     "Channel",
     "Client",
     "ClientConfig",
+    "ConfigFrame",
     "DeltaFrame",
+    "Deployment",
     "DropTuple",
     "EdgeConfig",
+    "EdgeProcess",
     "EdgeResponse",
     "EdgeServer",
     "FanoutEngine",
     "FaultInjector",
+    "HelloFrame",
     "InProcessTransport",
     "PeerState",
     "QueryRequestFrame",
     "QueryResponseFrame",
+    "RemoteEdgeHandle",
     "ReplicationMode",
     "ResponseTamper",
     "SnapshotFrame",
     "SpuriousTuple",
     "StaleReplay",
+    "TcpTransport",
     "Transfer",
     "Transport",
     "ValueTamper",

@@ -43,7 +43,12 @@ from repro.exceptions import (
     SchemaError,
 )
 
-__all__ = ["CentralServer", "ReplicationMode", "ClientConfig"]
+__all__ = [
+    "CentralServer",
+    "ReplicationMode",
+    "ClientConfig",
+    "RemoteEdgeHandle",
+]
 
 
 class ReplicationMode(Enum):
@@ -60,6 +65,18 @@ class ClientConfig:
     db_name: str
     policy: DigestPolicy
     keyring: KeyRing
+
+
+@dataclass
+class RemoteEdgeHandle:
+    """Central-side stand-in for an edge living in another process.
+
+    The central server never holds the remote
+    :class:`~repro.edge.edge_server.EdgeServer` object — only its name
+    and the transport link the fan-out engine delivers through.
+    """
+
+    name: str
 
 
 class CentralServer:
@@ -500,6 +517,52 @@ class CentralServer:
         self._edges.append(edge)
         self.fanout.bootstrap(name)
         return edge
+
+    def attach_remote_edge(
+        self,
+        name: str,
+        transport,
+        cursors: Sequence[tuple[str, int, int]] = (),
+        config_epoch: int | None = None,
+    ) -> RemoteEdgeHandle:
+        """Register an edge living in another process, reachable only
+        through ``transport`` (normally a
+        :class:`~repro.edge.socket_transport.TcpTransport` over an
+        accepted connection).
+
+        Re-attaching an already known name replaces its link and
+        central-side peer state — the reconnect path.  ``cursors`` (the
+        edge's registration handshake) seed the fan-out engine's
+        ack-fed cursors, so a transiently disconnected edge resumes
+        delta delivery where it left off, while a restarted (fresh,
+        replica-less) edge registers empty and is healed via snapshot
+        by the next pump's epoch check.  ``config_epoch`` is the key
+        epoch of the verification bundle actually delivered in the
+        handshake (see :meth:`~repro.edge.fanout.FanoutEngine.attach`).
+
+        Returns:
+            The :class:`RemoteEdgeHandle` now standing in for the edge.
+        """
+        previous = self.fanout.peers.get(name)
+        if previous is not None and previous.transport is not transport:
+            previous.transport.close()
+        handle = RemoteEdgeHandle(name=name)
+        # The hello is untrusted input: drop cursors for replicas this
+        # server does not have, and clamp each LSN to the log head — a
+        # lying (or central-restart-surviving) cursor ahead of the log
+        # would otherwise suppress every future send for that table.
+        sane: list[tuple[str, int, int]] = []
+        for table, lsn, epoch in cursors:
+            if table not in self.vbtrees:
+                continue
+            log = self.replicator.logs.get(table)
+            limit = log.last_lsn if log is not None else 0
+            sane.append((table, min(lsn, limit), epoch))
+        self.fanout.attach(
+            name, transport, cursors=sane, config_epoch=config_epoch
+        )
+        self._edges = [e for e in self._edges if e.name != name] + [handle]
+        return handle
 
     def propagate(self, table: str | None = None, force_snapshot: bool = False) -> int:
         """Bring every edge server up to date through the fan-out

@@ -1,0 +1,422 @@
+"""Multi-process deployment: central listener + edge OS processes.
+
+This is the paper's Figure 2 drawn with real process boundaries: the
+trusted central DBMS runs in *this* process and listens on a TCP port;
+each edge server is a separate OS process (``python -m
+repro.edge.serve``) that dials in, registers, and receives its replicas
+over the wire.  Nothing but serialized frames ever crosses the
+boundary — the same property the in-process transport enforces
+structurally, now enforced by the operating system.
+
+Typical use (see also ``examples/socket_deployment.py`` and the
+README's Deployment section)::
+
+    central = CentralServer("proddb", seed=7)
+    central.create_table(schema, rows)
+    with Deployment(central) as deploy:
+        deploy.launch_edge("edge-0")
+        deploy.launch_edge("edge-1")
+        deploy.wait_for_edge("edge-0")
+        deploy.wait_for_edge("edge-1")
+        central.insert("items", (1001, "new row"))
+        deploy.sync()
+        response = deploy.range_query("edge-0", "items", low=1, high=50)
+        assert central.make_client().verify(response).ok
+
+Failure handling rides entirely on the existing replication machinery:
+a killed edge's link reports ``failed`` sends (like a partitioned
+in-process link) and the central write path never blocks on it; when
+the process is relaunched it re-registers with an empty cursor list
+and the fan-out engine's epoch check heals it with snapshots — the
+same nack→retry→snapshot-heal escalation, now exercised by real
+``ECONNRESET``\\ s.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.vo import VOFormat
+from repro.core.wire import predicate_to_bytes, result_from_bytes
+from repro.edge.central import CentralServer
+from repro.edge.edge_server import EdgeResponse
+from repro.edge.socket_transport import TcpTransport, recv_frame, send_frame
+from repro.edge.transport import (
+    HelloFrame,
+    QueryRequestFrame,
+    QueryResponseFrame,
+    config_to_frame,
+    frame_from_bytes,
+    frame_to_bytes,
+    range_query_frame,
+    secondary_query_frame,
+    select_query_frame,
+)
+from repro.exceptions import TransportError
+
+__all__ = ["EdgeProcess", "Deployment"]
+
+
+def _src_root() -> str:
+    """The directory to put on the edge processes' ``PYTHONPATH``."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@dataclass
+class EdgeProcess:
+    """One managed edge: its OS process and its current link.
+
+    Attributes:
+        name: Edge server name.
+        process: The ``python -m repro.edge.serve`` subprocess (``None``
+            for externally launched edges that just dialed in).
+        transport: Link over the edge's most recent connection.
+        registered: Set each time the edge completes a handshake.
+    """
+
+    name: str
+    process: Optional[subprocess.Popen] = None
+    transport: Optional[TcpTransport] = None
+    registered: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def connected(self) -> bool:
+        return self.transport is not None and self.transport.connected
+
+    @property
+    def alive(self) -> bool:
+        """True while the subprocess is running."""
+        return self.process is not None and self.process.poll() is None
+
+
+class Deployment:
+    """Run a central listener and manage edge server processes.
+
+    Args:
+        central: The trusted central server (lives in this process).
+        host: Listen address (loopback by default).
+        port: Listen port (``0`` = ephemeral; read :attr:`address`).
+        io_timeout: Receive timeout on every accepted edge link.
+        log_dir: Directory for per-edge stdout/stderr logs; edges are
+            silenced (``/dev/null``) when not given.
+    """
+
+    def __init__(
+        self,
+        central: CentralServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        io_timeout: float = 10.0,
+        log_dir: str | None = None,
+    ) -> None:
+        self.central = central
+        self.io_timeout = io_timeout
+        self.log_dir = log_dir
+        self.edges: dict[str, EdgeProcess] = {}
+        self._logs: list = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="deploy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # Listener / handshake
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` edges should dial."""
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            try:
+                self._handshake(conn)
+            except Exception:
+                # A broken dialer must not take the listener down.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _handshake(self, conn: socket.socket) -> None:
+        """Serve one edge registration (runs on the accept thread)."""
+        conn.settimeout(self.io_timeout)
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        data = recv_frame(conn)
+        if data is None:
+            raise TransportError("edge closed during handshake")
+        hello = frame_from_bytes(data)
+        if not isinstance(hello, HelloFrame):
+            raise TransportError(
+                f"expected HelloFrame, got {type(hello).__name__}"
+            )
+        config = config_to_frame(self.central.edge_config())
+        send_frame(conn, frame_to_bytes(config))
+        transport = TcpTransport(hello.edge, conn, timeout=self.io_timeout)
+        # Seed the peer with the epoch of the bundle we *actually sent*
+        # — a rotation racing this handshake must still trigger a
+        # refresh on the next pump.
+        sent_epoch = max(
+            (record[0] for record in config.epochs), default=-1
+        )
+        self.central.attach_remote_edge(
+            hello.edge, transport, cursors=hello.cursors,
+            config_epoch=sent_epoch,
+        )
+        handle = self.edges.setdefault(hello.edge, EdgeProcess(hello.edge))
+        handle.transport = transport
+        handle.registered.set()
+
+    # ------------------------------------------------------------------
+    # Edge process management
+    # ------------------------------------------------------------------
+
+    def launch_edge(
+        self, name: str, *, extra_args: Sequence[str] = ()
+    ) -> EdgeProcess:
+        """Start ``python -m repro.edge.serve`` for ``name``.
+
+        The subprocess inherits this interpreter and gets the package's
+        source root prepended to ``PYTHONPATH``.  Call
+        :meth:`wait_for_edge` before relying on its replicas.
+        """
+        host, port = self.address
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _src_root() + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        stdout: Any = subprocess.DEVNULL
+        if self.log_dir is not None:
+            os.makedirs(self.log_dir, exist_ok=True)
+            stdout = open(  # noqa: SIM115 - closed in shutdown()
+                os.path.join(self.log_dir, f"{name}.log"), "ab"
+            )
+            self._logs.append(stdout)
+        handle = self.edges.setdefault(name, EdgeProcess(name))
+        handle.registered.clear()
+        handle.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.edge.serve",
+                "--name", name, "--host", host, "--port", str(port),
+                *extra_args,
+            ],
+            env=env,
+            stdout=stdout,
+            stderr=subprocess.STDOUT if stdout is not subprocess.DEVNULL
+            else subprocess.DEVNULL,
+        )
+        return handle
+
+    def wait_for_edge(
+        self, name: str, timeout: float = 30.0, sync: bool = True
+    ) -> EdgeProcess:
+        """Block until ``name`` has completed its handshake.
+
+        Args:
+            name: Edge to wait for.
+            timeout: Registration deadline.
+            sync: Also run a :meth:`sync` round so the edge's replicas
+                are current when this returns.
+
+        Raises:
+            TransportError: If the edge does not register in time.
+        """
+        handle = self.edges.setdefault(name, EdgeProcess(name))
+        if not handle.registered.wait(timeout):
+            raise TransportError(
+                f"edge {name!r} did not register within {timeout}s"
+            )
+        if sync:
+            self.sync()
+        return handle
+
+    def kill_edge(self, name: str) -> None:
+        """SIGKILL the edge's process — the mid-stream crash scenario.
+
+        The central side is *not* told: its next send discovers the
+        reset, exactly as with a remote machine failure.
+        """
+        handle = self.edges[name]
+        if handle.process is not None and handle.process.poll() is None:
+            handle.process.kill()
+            handle.process.wait(timeout=10)
+        handle.registered.clear()
+
+    def restart_edge(self, name: str) -> EdgeProcess:
+        """Relaunch a (killed) edge process under the same name."""
+        self.kill_edge(name)
+        return self.launch_edge(name)
+
+    # ------------------------------------------------------------------
+    # Replication & queries over the wire
+    # ------------------------------------------------------------------
+
+    def sync(self, table: str | None = None, max_rounds: int = 8) -> int:
+        """Propagate until every *connected* edge is current.
+
+        Each round pumps the fan-out engine and then drains the
+        pipelined acks; multiple rounds let the nack→retry→snapshot
+        escalation run to quiescence (a heal needs one round to learn
+        of the problem and one to ship the fix).
+
+        Returns:
+            Total frames shipped.
+        """
+        shipped = 0
+        for _ in range(max_rounds):
+            shipped += self.central.propagate(table)
+            self.central.fanout.drain(wait=True)
+            if self._settled(table):
+                break
+        return shipped
+
+    def _settled(self, table: str | None) -> bool:
+        tables = [table] if table else list(self.central.vbtrees)
+        # Snapshot: the accept thread may register a dialing edge
+        # mid-iteration.
+        for handle in list(self.edges.values()):
+            if not handle.connected:
+                continue
+            peer = self.central.fanout.peer(handle.name)
+            if peer.needs_snapshot or peer.inflight:
+                return False
+            for t in tables:
+                if self.central.fanout.staleness(handle.name, t) != 0:
+                    return False
+        return True
+
+    def staleness(self, name: str, table: str) -> int:
+        """LSN lag of ``name``'s replica of ``table`` (ack-fed)."""
+        return self.central.staleness(name, table)
+
+    def _request(self, name: str, frame: QueryRequestFrame) -> EdgeResponse:
+        handle = self.edges.get(name)
+        if handle is None or handle.transport is None:
+            raise TransportError(f"no connected edge {name!r}")
+        reply = handle.transport.request(frame)
+        if not isinstance(reply, QueryResponseFrame):
+            raise TransportError(
+                f"expected QueryResponseFrame, got {type(reply).__name__}"
+            )
+        if reply.error:
+            raise TransportError(
+                f"edge {name!r} rejected query: {reply.error}"
+            )
+        result = result_from_bytes(reply.payload)
+        return EdgeResponse(
+            edge_name=reply.edge,
+            result=result,
+            wire_bytes=len(reply.payload),
+            transfer=handle.transport.up_channel.transfers[-1],
+        )
+
+    def range_query(
+        self,
+        edge: str,
+        table: str,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+    ) -> EdgeResponse:
+        """Primary-key range query against a remote edge, over TCP."""
+        return self._request(
+            edge, range_query_frame(table, low, high, columns, vo_format)
+        )
+
+    def secondary_range_query(
+        self,
+        edge: str,
+        table: str,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+    ) -> EdgeResponse:
+        """Secondary-index range query against a remote edge."""
+        return self._request(
+            edge,
+            secondary_query_frame(table, attribute, low, high, columns, vo_format),
+        )
+
+    def select(
+        self,
+        edge: str,
+        table: str,
+        predicate,
+        columns: Optional[Sequence[str]] = None,
+        vo_format: VOFormat | None = None,
+    ) -> EdgeResponse:
+        """General predicate selection against a remote edge."""
+        return self._request(
+            edge,
+            select_query_frame(
+                table, predicate_to_bytes(predicate), columns, vo_format
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Close the listener, links, and every managed process."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # shutdown() (not just close()) is what actually wakes a
+            # thread blocked in accept() on Linux.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        handles = list(self.edges.values())
+        for handle in handles:
+            if handle.transport is not None:
+                handle.transport.close()
+        for handle in handles:
+            proc = handle.process
+            if proc is None or proc.poll() is not None:
+                continue
+            proc.terminate()
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=timeout)
+        for log in self._logs:
+            try:
+                log.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=timeout)
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

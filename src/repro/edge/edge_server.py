@@ -49,12 +49,17 @@ from repro.edge.central import ClientConfig
 from repro.edge.network import Channel, Transfer
 from repro.edge.transport import (
     AckFrame,
+    ConfigFrame,
     DeltaFrame,
     QueryRequestFrame,
     QueryResponseFrame,
     SnapshotFrame,
+    config_from_frame,
     frame_from_bytes,
     frame_to_bytes,
+    range_query_frame,
+    secondary_query_frame,
+    select_query_frame,
 )
 from repro.exceptions import (
     DeltaGapError,
@@ -135,6 +140,17 @@ class EdgeServer:
         transport.connect(self.handle_frame)
         self.replication_channel = transport.down_channel
 
+    def replication_cursors(self) -> tuple[tuple[str, int, int], ...]:
+        """``(table, lsn, epoch)`` for every replica this edge holds —
+        what a reconnecting edge reports in its registration handshake
+        so the central server can resume delta delivery instead of
+        re-shipping snapshots."""
+        return tuple(
+            (table, self.replica_lsns.get(table, 0),
+             self.replica_epochs.get(table, 0))
+            for table in sorted(self.replicas)
+        )
+
     # ------------------------------------------------------------------
     # Frame dispatch — the transport-facing surface
     # ------------------------------------------------------------------
@@ -172,11 +188,28 @@ class EdgeServer:
                 reply = self._ack(frame.table, ok=False, reason="tamper")
             except (ReplicaDeltaError, ReplicationError):
                 reply = self._ack(frame.table, ok=False, reason="diverged")
+            except Exception:
+                # Anything else (e.g. at-rest tampering broke the tree
+                # underneath the apply) is replica divergence too: a
+                # replication frame must *always* produce an ack, so the
+                # sender's heal escalation runs instead of a wedge.
+                reply = self._ack(frame.table, ok=False, reason="diverged")
             else:
                 reply = self._ack(frame.table)
             return [frame_to_bytes(reply)]
         if isinstance(frame, QueryRequestFrame):
             return [frame_to_bytes(self._execute_query(frame))]
+        if isinstance(frame, ConfigFrame):
+            # Key-ring refresh (rotation reached this edge): replace the
+            # verification bundle — the paper's "well-known location"
+            # re-fetched, pushed over the same channel.  The ack's empty
+            # table marks it as a control ack (no cursor to move).
+            self.config = config_from_frame(frame)
+            reply = AckFrame(
+                edge=self.name, table="", ok=True, lsn=0,
+                epoch=self.config.keyring.current_epoch, reason="config",
+            )
+            return [frame_to_bytes(reply)]
         raise TransportError(
             f"edge {self.name!r} cannot handle {type(frame).__name__}"
         )
@@ -361,14 +394,7 @@ class EdgeServer:
     ) -> EdgeResponse:
         """Selection on the primary key, with projection."""
         return self._query(
-            QueryRequestFrame(
-                kind="range",
-                table=table,
-                low=low,
-                high=high,
-                columns=tuple(columns) if columns is not None else None,
-                vo_format=vo_format.value if vo_format else None,
-            )
+            range_query_frame(table, low, high, columns, vo_format)
         )
 
     def select(
@@ -380,12 +406,8 @@ class EdgeServer:
     ) -> EdgeResponse:
         """General selection (key or non-key), with projection."""
         return self._query(
-            QueryRequestFrame(
-                kind="select",
-                table=table,
-                columns=tuple(columns) if columns is not None else None,
-                predicate=predicate_to_bytes(predicate),
-                vo_format=vo_format.value if vo_format else None,
+            select_query_frame(
+                table, predicate_to_bytes(predicate), columns, vo_format
             )
         )
 
@@ -406,15 +428,7 @@ class EdgeServer:
                 has been replicated to this edge.
         """
         return self._query(
-            QueryRequestFrame(
-                kind="secondary",
-                table=table,
-                attribute=attribute,
-                low=low,
-                high=high,
-                columns=tuple(columns) if columns is not None else None,
-                vo_format=vo_format.value if vo_format else None,
-            )
+            secondary_query_frame(table, attribute, low, high, columns, vo_format)
         )
 
     def _query(self, frame: QueryRequestFrame) -> EdgeResponse:

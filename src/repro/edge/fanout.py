@@ -39,10 +39,12 @@ from repro.core.wire import snapshot_to_bytes
 from repro.edge.transport import (
     AckFrame,
     DeltaFrame,
+    InProcessTransport,
     SnapshotFrame,
     Transport,
+    config_to_frame,
 )
-from repro.exceptions import DeltaGapError, ReplicationError
+from repro.exceptions import DeltaGapError, ReplicationError, StaleKeyError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.edge.central import CentralServer
@@ -67,6 +69,10 @@ class PeerState:
         snapshot_inflight: Tables whose snapshot sits unacknowledged in
             a slow link — suppresses duplicate O(tree) sends until the
             edge acks (any ack for the table clears it).
+        config_epoch: Key epoch of the last verification bundle shipped
+            to this peer (handshake or refresh) — suppresses duplicate
+            key-ring refreshes when several tables heal after one
+            rotation.
     """
 
     name: str
@@ -77,6 +83,7 @@ class PeerState:
     inflight: int = 0
     needs_snapshot: set[str] = field(default_factory=set)
     snapshot_inflight: set[str] = field(default_factory=set)
+    config_epoch: int = -1
 
     def cursor(self, table: str) -> int:
         """The cursor to extend with the next send."""
@@ -110,9 +117,37 @@ class FanoutEngine:
     # Peer management
     # ------------------------------------------------------------------
 
-    def attach(self, name: str, transport: Transport) -> PeerState:
-        """Register an edge's transport link."""
+    def attach(
+        self,
+        name: str,
+        transport: Transport,
+        cursors: Iterable[tuple[str, int, int]] = (),
+        config_epoch: Optional[int] = None,
+    ) -> PeerState:
+        """Register an edge's transport link.
+
+        ``config_epoch`` is the key epoch of the verification bundle
+        the edge actually received (socket handshake); it defaults to
+        the current epoch for in-process edges, whose constructor just
+        got the live bundle.  Passing the *delivered* epoch matters
+        when a rotation races the handshake — seeding from the current
+        ring would mark the refresh as already sent when it never was.
+        ``cursors`` (resume state from a reconnect handshake, already
+        sanitized by the caller) are seeded *before* the peer is
+        published, so a concurrent pump can never observe the
+        cursor-less intermediate state and ship a redundant snapshot."""
         peer = PeerState(name=name, transport=transport)
+        if config_epoch is not None:
+            peer.config_epoch = config_epoch
+        else:
+            try:
+                peer.config_epoch = self.central.keyring.current_epoch
+            except StaleKeyError:
+                pass  # no epoch registered yet (bare central in unit tests)
+        for table, lsn, epoch in cursors:
+            peer.acked_lsns[table] = lsn
+            peer.acked_epochs[table] = epoch
+            peer.sent_lsns[table] = lsn
         self.peers[name] = peer
         return peer
 
@@ -202,11 +237,36 @@ class FanoutEngine:
                 shipped += self._sync_table(peer, table, payloads)
         return shipped
 
-    def _drain(self, peer: PeerState) -> None:
-        for reply in peer.transport.flush():
+    def drain(self, name: Optional[str] = None, wait: bool = False) -> None:
+        """Collect and apply outstanding acks without sending anything.
+
+        Pipelining transports (the socket transport's non-blocking
+        sends) leave acks in the link until the next pump; deployments
+        call this to settle cursors after a propagation round
+        (``wait=True`` blocks until every outstanding ack arrives —
+        never do that on the write path).
+        """
+        peers = [self.peer(name)] if name is not None else list(self.peers.values())
+        for peer in peers:
+            self._drain(peer, wait=wait)
+
+    def _drain(self, peer: PeerState, wait: bool = False) -> None:
+        for reply in peer.transport.flush(wait=wait):
+            # Every reply settles one in-flight frame, whatever its
+            # type — an edge that answers a replication frame with an
+            # error response (serve loop catch-all) must still release
+            # the window slot, or the peer starves permanently.
+            peer.inflight = max(0, peer.inflight - 1)
             if isinstance(reply, AckFrame):
-                peer.inflight = max(0, peer.inflight - 1)
                 self._apply_ack(peer, reply)
+            else:
+                # A non-ack reply to a replication frame is an edge-side
+                # failure with no table attribution: forget *all*
+                # optimistic progress so later pumps resend (and, via
+                # the edge's nacks, heal) instead of assuming delivery.
+                peer.snapshot_inflight.clear()
+                for table in list(peer.sent_lsns):
+                    peer.reset_cursor(table)
 
     def _sync_table(self, peer: PeerState, table: str, payloads: dict) -> int:
         central = self.central
@@ -260,6 +320,34 @@ class FanoutEngine:
             return 0
         if table in peer.snapshot_inflight:
             return 0  # one O(tree) transfer per table in the link at a time
+        # A peer holding an older key ring (a remote edge's ring is a
+        # handshake-time copy, not the shared object an in-process edge
+        # sees) gets one refresh per rotation — before the first
+        # cross-epoch snapshot, or its signatures will not verify over
+        # there.  In-process peers share the central's *live* ring
+        # (expiry clock included) and must never have it swapped for a
+        # frozen-clock copy, so the refresh is strictly a
+        # process-boundary affair.
+        current_epoch = self.central.keyring.current_epoch
+        if (
+            peer.config_epoch != current_epoch
+            and not isinstance(peer.transport, InProcessTransport)
+        ):
+            outcome = peer.transport.send(
+                config_to_frame(self.central.edge_config())
+            )
+            if outcome.status in ("failed", "dropped"):
+                return 0  # link is down; retry the heal on a later pump
+            peer.config_epoch = current_epoch
+            if outcome.status == "queued":
+                peer.inflight += 1
+                if peer.inflight >= self.window:
+                    # The refresh consumed the last window slot; the
+                    # O(tree) snapshot waits for a later pump rather
+                    # than overshooting the bound.
+                    return 1
+            else:
+                self._process_replies(peer, outcome.replies)
         frame = self._snapshot_frame(table, payloads)
         outcome = peer.transport.send(frame)
         if outcome.status == "failed":
@@ -284,6 +372,8 @@ class FanoutEngine:
 
     def _apply_ack(self, peer: PeerState, ack: AckFrame) -> str:
         table = ack.table
+        if not table:
+            return "ok"  # control ack (e.g. a key-ring refresh): no cursor
         peer.snapshot_inflight.discard(table)
         if ack.ok or ack.reason == "stale":
             # `stale` means the edge already holds the range — a benign

@@ -1,0 +1,418 @@
+"""Real-socket transport: the frame codec over TCP.
+
+The in-process transport proves the central↔edge boundary is
+message-shaped; this module makes it *physical*.  Frames travel
+length-prefixed over a TCP stream — a 4-byte big-endian length header
+followed by the exact bytes :func:`~repro.edge.transport.frame_to_bytes`
+produces — so the two ends can live in different OS processes (or
+hosts), which is the paper's actual deployment model (Section 3.1: edge
+servers on untrusted machines reachable only over a network).
+
+Wire protocol per connection (see DESIGN.md section 8):
+
+1. The *edge* connects to the central listener and sends a
+   :class:`~repro.edge.transport.HelloFrame` — its name plus the
+   replica cursors it already holds (empty for a fresh process).
+2. The *central* replies with a
+   :class:`~repro.edge.transport.ConfigFrame` (the public verification
+   bundle) and attaches a :class:`TcpTransport` over the accepted
+   socket, seeding the fan-out engine's cursors from the hello.
+3. From then on the central pushes snapshot / delta / query frames;
+   the edge answers every frame with exactly one reply frame (ack or
+   query response), in order.
+
+Because replies are strictly ordered, the central side can *pipeline*:
+:meth:`TcpTransport.send` only writes (it never waits for the ack), and
+the fan-out engine's bounded in-flight window provides flow control
+exactly as it does for a slow in-process link.  Outstanding acks are
+collected by :meth:`TcpTransport.flush` at the start of the next pump.
+
+Failure mapping — every socket-level fault lands in the machinery that
+already exists for in-process faults, so a killed or wedged edge
+process needs **no new recovery code**:
+
+=====================================  ================================
+socket condition                       mapped onto
+=====================================  ================================
+``ECONNRESET`` / ``EPIPE`` on write    ``SendOutcome(status="failed")``
+                                       (like a partitioned link)
+EOF or reset while awaiting replies    link closed; in-flight frames
+                                       forgotten, cursors stay behind
+receive timeout (hung peer)            link closed (wedged edge)
+mid-frame disconnect                   :class:`TransportError` →
+                                       link closed
+reconnect with cursors                 delta resume from the hello's
+                                       cursors
+reconnect without cursors (restart)    epoch mismatch → snapshot heal
+=====================================  ================================
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import threading
+import time
+from typing import Optional
+
+from repro.edge.network import Channel
+from repro.edge.transport import (
+    Frame,
+    SendOutcome,
+    Transport,
+    frame_from_bytes,
+    frame_to_bytes,
+)
+from repro.exceptions import TransportError
+
+__all__ = [
+    "FRAME_HEADER",
+    "MAX_FRAME_BYTES",
+    "send_frame",
+    "recv_frame",
+    "connect_with_retry",
+    "TcpTransport",
+]
+
+#: 4-byte big-endian frame length prefix.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame (a snapshot of a large replica is a few MB;
+#: anything near this limit is a corrupted or hostile length header).
+MAX_FRAME_BYTES = 1 << 30
+
+#: Read granularity for :func:`recv_frame`.
+_RECV_CHUNK = 1 << 16
+
+#: Sentinel: no complete reply buffered yet (non-blocking read path).
+_NOT_READY = object()
+
+
+def send_frame(sock: socket.socket, data: bytes) -> int:
+    """Write one length-prefixed frame; returns bytes put on the wire.
+
+    ``sendall`` either ships every byte or raises ``OSError`` — a short
+    write surfaces as a connection error, never as a truncated frame on
+    the peer.
+    """
+    if len(data) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {len(data)} bytes exceeds limit")
+    payload = FRAME_HEADER.pack(len(data)) + data
+    sock.sendall(payload)
+    return len(payload)
+
+
+def _recv_exactly(sock: socket.socket, n: int, *, at_boundary: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, across as many partial reads as needed.
+
+    Returns ``None`` on a clean EOF **before the first byte** when
+    ``at_boundary`` (the peer closed between frames — a normal
+    shutdown).  EOF anywhere else is a torn frame and raises
+    :class:`TransportError`.
+
+    A receive timeout at a frame boundary propagates as
+    ``TimeoutError`` — the link is merely *idle* and the caller may
+    keep waiting (an edge between writes sees no traffic at all).  A
+    timeout after bytes have been consumed would desynchronize the
+    stream if retried, so it is a :class:`TransportError` like any
+    other torn frame.
+    """
+    chunks: list[bytes] = []
+    received = 0
+    while received < n:
+        try:
+            chunk = sock.recv(min(_RECV_CHUNK, n - received))
+        except TimeoutError:
+            if at_boundary and received == 0:
+                raise  # idle link, stream still aligned: caller's call
+            raise TransportError(
+                f"timed out mid-frame ({received}/{n} bytes)"
+            ) from None
+        if not chunk:
+            if at_boundary and received == 0:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({received}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Read one length-prefixed frame; ``None`` on clean EOF.
+
+    Handles arbitrarily fragmented delivery (the header and body may
+    arrive in any number of TCP segments).
+
+    Raises:
+        TransportError: On a mid-frame disconnect or an implausible
+            length header.
+    """
+    header = _recv_exactly(sock, FRAME_HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"declared frame length {length} exceeds limit")
+    if length == 0:
+        return b""
+    body = _recv_exactly(sock, length, at_boundary=False)
+    assert body is not None
+    return body
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    attempts: int = 40,
+    delay: float = 0.25,
+    timeout: float = 10.0,
+) -> socket.socket:
+    """Dial ``host:port``, retrying while the listener comes up.
+
+    Raises:
+        TransportError: When every attempt fails.
+    """
+    last: Exception | None = None
+    for attempt in range(max(1, attempts)):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < attempts:
+                time.sleep(delay)
+    raise TransportError(
+        f"could not connect to {host}:{port} after {attempts} attempts: {last}"
+    )
+
+
+class TcpTransport(Transport):
+    """Central-side transport over one accepted edge connection.
+
+    Implements the same surface the fan-out engine drives in-process,
+    with pipelined (non-blocking) sends:
+
+    * :meth:`send` serializes and writes the frame, then returns
+      ``status="queued"`` without waiting for the edge's reply — the
+      caller's in-flight window bounds how far ahead it may run.
+    * :meth:`flush` collects every outstanding reply (the protocol
+      guarantees one in-order reply per frame), so a pump cycle starts
+      from a drained link.
+    * :meth:`request` is the synchronous path used for client queries:
+      it first drains outstanding replication acks (stashing them for
+      the next :meth:`flush`), then performs one request/reply
+      round-trip.
+
+    Any socket-level failure closes the link: subsequent sends report
+    ``status="failed"`` (exactly like a partitioned in-process link)
+    and the deployment layer heals by re-attaching the peer when the
+    edge reconnects.
+
+    Args:
+        name: The edge's name (link label).
+        sock: The connected socket (ownership transfers here).
+        down_channel / up_channel: Byte accounting, as for every
+            :class:`~repro.edge.transport.Transport`.
+        timeout: Receive timeout; a peer silent for longer is treated
+            as wedged and the link is closed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sock: socket.socket,
+        down_channel: Channel | None = None,
+        up_channel: Channel | None = None,
+        timeout: float = 10.0,
+    ) -> None:
+        super().__init__(name, down_channel, up_channel)
+        self._sock = sock
+        self._sock.settimeout(timeout)
+        self._lock = threading.RLock()
+        self._pending = 0
+        self._stray: list[Frame] = []
+        self._rbuf = b""
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """False once a socket fault has closed this link."""
+        return not self._closed
+
+    @property
+    def queued_frames(self) -> int:
+        """Frames written but not yet matched with a reply."""
+        return self._pending
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        with self._lock:
+            self._mark_closed()
+
+    def _mark_closed(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Transport surface
+    # ------------------------------------------------------------------
+
+    def send(self, frame: Frame) -> SendOutcome:
+        """Write one frame without waiting for the reply.
+
+        Returns ``status="queued"`` on success (ack pending — the
+        fan-out engine counts it against the in-flight window) or
+        ``status="failed"`` when the link is down.
+        """
+        with self._lock:
+            if self._closed:
+                return SendOutcome(status="failed")
+            data = frame_to_bytes(frame)
+            try:
+                send_frame(self._sock, data)
+            except (OSError, TransportError):
+                self._mark_closed()
+                return SendOutcome(status="failed")
+            transfer = self._record_send(data, frame)
+            self._pending += 1
+            return SendOutcome(status="queued", transfer=transfer)
+
+    def flush(self, wait: bool = False) -> list:
+        """Collect outstanding reply frames.
+
+        With ``wait=False`` (the default — what the fan-out engine's
+        per-pump drain uses) only replies *already buffered* are
+        collected — including the no-complete-frame-yet case, where
+        the partial bytes stay in the receive buffer for next time —
+        so a slow edge can never stall the write path: its
+        unacknowledged frames simply keep occupying the in-flight
+        window and the engine skips it, exactly like a frame-holding
+        in-process link.
+
+        With ``wait=True`` (a settle point, e.g.
+        :meth:`~repro.edge.deploy.Deployment.sync`) this blocks until
+        every pending reply has arrived, bounded by the receive
+        timeout.  On EOF / reset / timeout the link is closed and
+        whatever was collected is returned — in-flight frames are
+        forgotten, leaving the peer's cursors behind so a later pump
+        (or a reconnect handshake) retries or heals.
+        """
+        with self._lock:
+            replies = list(self._stray)
+            self._stray.clear()
+            while self._pending:
+                reply = self._read_reply(wait=wait)
+                if reply is _NOT_READY or reply is None:
+                    break
+                replies.append(reply)
+            return replies
+
+    def _readable(self) -> bool:
+        """True if at least one reply byte is waiting in the buffer."""
+        if self._closed:
+            return False
+        try:
+            ready, _, _ = select.select([self._sock], [], [], 0)
+        except (OSError, ValueError):
+            return False
+        return bool(ready)
+
+    def request(self, frame: Frame) -> Frame:
+        """One synchronous request/reply round-trip (query path).
+
+        Outstanding replication replies are drained first (and saved
+        for the next :meth:`flush`), so the reply returned here is the
+        one matching ``frame``.
+
+        Raises:
+            TransportError: If the link is down or drops mid-exchange.
+        """
+        with self._lock:
+            while self._pending:
+                drained = self._read_reply()
+                if drained is None:
+                    raise TransportError(
+                        f"link to {self.name!r} lost while draining replies"
+                    )
+                self._stray.append(drained)
+            outcome = self.send(frame)
+            if outcome.status != "queued":
+                raise TransportError(f"link to {self.name!r} is down")
+            reply = self._read_reply()
+            if reply is None:
+                raise TransportError(
+                    f"link to {self.name!r} lost awaiting reply"
+                )
+            return reply
+
+    def _buffered_frame(self) -> Optional[bytes]:
+        """Pop one complete frame from the receive buffer, if present.
+
+        Raises:
+            TransportError: On an implausible length header.
+        """
+        if len(self._rbuf) < FRAME_HEADER.size:
+            return None
+        (length,) = FRAME_HEADER.unpack_from(self._rbuf)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"declared frame length {length} exceeds limit"
+            )
+        end = FRAME_HEADER.size + length
+        if len(self._rbuf) < end:
+            return None
+        data = self._rbuf[FRAME_HEADER.size:end]
+        self._rbuf = self._rbuf[end:]
+        return data
+
+    def _read_reply(self, wait: bool = True) -> Optional[Frame]:
+        """One reply frame through the receive buffer.
+
+        Returns ``_NOT_READY`` when ``wait=False`` and no *complete*
+        frame has arrived (partial bytes stay buffered — never handed
+        to a blocking read), or ``None`` (and close) on any fault.
+        """
+        while True:
+            try:
+                data = self._buffered_frame()
+            except TransportError:
+                self._mark_closed()
+                return None
+            if data is not None:
+                break
+            if not wait and not self._readable():
+                return _NOT_READY
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except (OSError, TransportError):
+                self._mark_closed()
+                return None
+            if not chunk:  # clean EOF
+                self._mark_closed()
+                return None
+            self._rbuf += chunk
+        self._pending = max(0, self._pending - 1)
+        try:
+            reply = frame_from_bytes(data)
+        except TransportError:
+            self._mark_closed()
+            return None
+        self._record_reply(data, reply)
+        return reply

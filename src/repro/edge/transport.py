@@ -48,6 +48,13 @@ __all__ = [
     "AckFrame",
     "QueryRequestFrame",
     "QueryResponseFrame",
+    "HelloFrame",
+    "ConfigFrame",
+    "config_to_frame",
+    "config_from_frame",
+    "range_query_frame",
+    "secondary_query_frame",
+    "select_query_frame",
     "frame_to_bytes",
     "frame_from_bytes",
     "FaultInjector",
@@ -143,19 +150,167 @@ class QueryRequestFrame:
 
 @dataclass(frozen=True)
 class QueryResponseFrame:
-    """An edge server's answer: a serialized authenticated result."""
+    """An edge server's answer: a serialized authenticated result.
+
+    Attributes:
+        edge: Responding edge server's name.
+        payload: :func:`repro.core.wire.result_to_bytes` output (empty
+            when the query was rejected).
+        error: Why the query could not be answered (``""`` on
+            success) — e.g. a replica this edge does not hold.  Over a
+            socket the edge *must* answer every frame, so failures
+            travel as data instead of killing the serve loop.
+    """
 
     edge: str
     payload: bytes
+    error: str = ""
 
 
-Frame = Any  # union of the five frame dataclasses
+@dataclass(frozen=True)
+class HelloFrame:
+    """Edge→central registration handshake (socket transport).
+
+    Sent once per connection, before any other frame.  A freshly
+    started edge process registers with an empty cursor list; an edge
+    *re*-connecting after a transient disconnect reports the replica
+    cursors it already holds so the central server can resume delta
+    delivery instead of re-shipping snapshots.
+
+    Attributes:
+        edge: The edge server's name (transport link label).
+        cursors: ``(table, lsn, epoch)`` per replica the edge holds.
+    """
+
+    edge: str
+    cursors: tuple[tuple[str, int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class ConfigFrame:
+    """Central→edge handshake reply: the public verification bundle.
+
+    Carries exactly what :class:`~repro.edge.central.ClientConfig`
+    holds — database name, digest policy, and the PKI key-ring records
+    (public keys only).  In a one-process simulation the bundle is
+    passed as an object; over a socket it has to travel as bytes.
+
+    Attributes:
+        db_name: Logical database name (hashed into every digest).
+        policy: Digest policy value string.
+        grace: Key-ring grace window.
+        clock: Key-ring logical clock.
+        epochs: ``(epoch, n, e, issued_at, expires_at)`` records;
+            ``expires_at`` is ``-1`` for still-current epochs.
+    """
+
+    db_name: str
+    policy: str
+    grace: int
+    clock: int
+    epochs: tuple[tuple[int, int, int, int, int], ...]
+
+
+def range_query_frame(
+    table: str,
+    low: Any = None,
+    high: Any = None,
+    columns: Optional[Sequence[str]] = None,
+    vo_format=None,
+) -> QueryRequestFrame:
+    """A primary-key range query frame (shared by every query surface)."""
+    return QueryRequestFrame(
+        kind="range",
+        table=table,
+        low=low,
+        high=high,
+        columns=tuple(columns) if columns is not None else None,
+        vo_format=getattr(vo_format, "value", vo_format),
+    )
+
+
+def secondary_query_frame(
+    table: str,
+    attribute: str,
+    low: Any = None,
+    high: Any = None,
+    columns: Optional[Sequence[str]] = None,
+    vo_format=None,
+) -> QueryRequestFrame:
+    """A secondary-index range query frame."""
+    return QueryRequestFrame(
+        kind="secondary",
+        table=table,
+        attribute=attribute,
+        low=low,
+        high=high,
+        columns=tuple(columns) if columns is not None else None,
+        vo_format=getattr(vo_format, "value", vo_format),
+    )
+
+
+def select_query_frame(
+    table: str,
+    predicate: bytes,
+    columns: Optional[Sequence[str]] = None,
+    vo_format=None,
+) -> QueryRequestFrame:
+    """A general-selection query frame (``predicate`` pre-serialized
+    via :func:`repro.core.wire.predicate_to_bytes`)."""
+    return QueryRequestFrame(
+        kind="select",
+        table=table,
+        columns=tuple(columns) if columns is not None else None,
+        predicate=predicate,
+        vo_format=getattr(vo_format, "value", vo_format),
+    )
+
+
+def config_to_frame(config) -> ConfigFrame:
+    """Serialize a :class:`~repro.edge.central.ClientConfig` bundle."""
+    ring = config.keyring
+    return ConfigFrame(
+        db_name=config.db_name,
+        policy=config.policy.value,
+        grace=ring.grace,
+        clock=ring.now,
+        epochs=tuple(
+            (epoch, n, e, issued_at, -1 if expires_at is None else expires_at)
+            for epoch, n, e, issued_at, expires_at in ring.export_records()
+        ),
+    )
+
+
+def config_from_frame(frame: ConfigFrame):
+    """Rebuild the verification bundle an edge process runs under."""
+    from repro.core.digests import DigestPolicy
+    from repro.crypto.keyring import KeyRing
+    from repro.edge.central import ClientConfig
+
+    ring = KeyRing.restore(
+        [
+            (epoch, n, e, issued_at, None if expires_at < 0 else expires_at)
+            for epoch, n, e, issued_at, expires_at in frame.epochs
+        ],
+        grace=frame.grace,
+        clock=frame.clock,
+    )
+    return ClientConfig(
+        db_name=frame.db_name,
+        policy=DigestPolicy(frame.policy),
+        keyring=ring,
+    )
+
+
+Frame = Any  # union of the seven frame dataclasses
 
 _FRAME_SNAPSHOT = 0
 _FRAME_DELTA = 1
 _FRAME_ACK = 2
 _FRAME_QUERY = 3
 _FRAME_RESPONSE = 4
+_FRAME_HELLO = 5
+_FRAME_CONFIG = 6
 
 #: Channel transfer kind per frame type (byte accounting breakdown).
 _FRAME_KINDS = {
@@ -164,6 +319,8 @@ _FRAME_KINDS = {
     AckFrame: "ack",
     QueryRequestFrame: "query",
     QueryResponseFrame: "payload",
+    HelloFrame: "control",
+    ConfigFrame: "control",
 }
 
 
@@ -226,8 +383,29 @@ def frame_to_bytes(frame: Frame) -> bytes:
                 bytes([_FRAME_RESPONSE]),
                 encode_value(frame.edge),
                 encode_value(frame.payload),
+                encode_value(frame.error),
             )
         )
+    if isinstance(frame, HelloFrame):
+        parts = [bytes([_FRAME_HELLO]), encode_value(frame.edge),
+                 encode_uint(len(frame.cursors))]
+        for table, lsn, epoch in frame.cursors:
+            parts.append(encode_value(table))
+            parts.append(encode_uint(lsn))
+            parts.append(encode_uint(epoch))
+        return b"".join(parts)
+    if isinstance(frame, ConfigFrame):
+        parts = [
+            bytes([_FRAME_CONFIG]),
+            encode_value(frame.db_name),
+            encode_value(frame.policy),
+            encode_uint(frame.grace),
+            encode_uint(frame.clock),
+            encode_uint(len(frame.epochs)),
+        ]
+        for record in frame.epochs:
+            parts.extend(encode_value(field_) for field_ in record)
+        return b"".join(parts)
     raise TransportError(f"cannot serialize frame {type(frame).__name__}")
 
 
@@ -293,7 +471,35 @@ def frame_from_bytes(data: bytes) -> Frame:
         elif tag == _FRAME_RESPONSE:
             edge, offset = decode_value(data, offset)
             payload, offset = decode_value(data, offset)
-            frame = QueryResponseFrame(edge=edge, payload=payload)
+            error, offset = decode_value(data, offset)
+            frame = QueryResponseFrame(edge=edge, payload=payload, error=error)
+        elif tag == _FRAME_HELLO:
+            edge, offset = decode_value(data, offset)
+            count, offset = decode_uint(data, offset)
+            cursors = []
+            for _ in range(count):
+                table, offset = decode_value(data, offset)
+                lsn, offset = decode_uint(data, offset)
+                epoch, offset = decode_uint(data, offset)
+                cursors.append((table, lsn, epoch))
+            frame = HelloFrame(edge=edge, cursors=tuple(cursors))
+        elif tag == _FRAME_CONFIG:
+            db_name, offset = decode_value(data, offset)
+            policy, offset = decode_value(data, offset)
+            grace, offset = decode_uint(data, offset)
+            clock, offset = decode_uint(data, offset)
+            count, offset = decode_uint(data, offset)
+            epochs = []
+            for _ in range(count):
+                record = []
+                for _field in range(5):
+                    value, offset = decode_value(data, offset)
+                    record.append(value)
+                epochs.append(tuple(record))
+            frame = ConfigFrame(
+                db_name=db_name, policy=policy, grace=grace, clock=clock,
+                epochs=tuple(epochs),
+            )
         else:
             raise TransportError(f"unknown frame tag {tag}")
     except TransportError:
@@ -358,8 +564,51 @@ class Transport:
     """Abstract point-to-point frame transport (central/client side).
 
     Concrete transports implement :meth:`send` and :meth:`flush`; the
-    edge side registers a frame handler via :meth:`connect`.
+    edge side registers a frame handler via :meth:`connect` (in-process)
+    or speaks the same frames over a socket
+    (:mod:`repro.edge.socket_transport`).
+
+    Byte metering lives *here*, not in the concrete transports: every
+    implementation records outbound frames through :meth:`_record_send`
+    and inbound replies through :meth:`_record_reply`, so the
+    per-direction :class:`~repro.edge.network.Channel` accounting
+    (and therefore every byte-based bench) is identical whichever
+    medium carries the frames.
+
+    Args:
+        name: Link label (usually the edge server's name).
+        down_channel: Sender→peer byte accounting (snapshots, deltas,
+            queries); created if not given.
+        up_channel: Peer→sender byte accounting (acks, query
+            responses); created if not given.
     """
+
+    def __init__(
+        self,
+        name: str,
+        down_channel: Channel | None = None,
+        up_channel: Channel | None = None,
+    ) -> None:
+        self.name = name
+        self.down_channel = down_channel or Channel()
+        self.up_channel = up_channel or Channel()
+
+    # -- metering (one implementation for every medium) -----------------
+
+    def _record_send(self, data: bytes, frame: Frame) -> Transfer:
+        """Meter one outbound serialized frame."""
+        return self.down_channel.send(len(data), kind=frame_kind(frame))
+
+    def _record_reply(self, data: bytes, frame: Frame) -> Transfer:
+        """Meter one inbound serialized reply frame."""
+        return self.up_channel.send(len(data), kind=frame_kind(frame))
+
+    # -- the transport surface ------------------------------------------
+
+    @property
+    def queued_frames(self) -> int:
+        """Frames in the link (sent, not yet acknowledged/processed)."""
+        return 0
 
     def connect(self, handler: Callable[[bytes], Sequence[bytes]]) -> None:
         """Register the peer's handler (receives and returns *bytes*)."""
@@ -369,9 +618,19 @@ class Transport:
         """Ship one frame; never raises on link faults (see outcome)."""
         raise NotImplementedError
 
-    def flush(self) -> list:
-        """Deliver any queued frames; returns the peer's reply frames."""
+    def flush(self, wait: bool = False) -> list:
+        """Deliver/collect queued frames; returns the peer's replies.
+
+        ``wait`` only matters to transports whose replies arrive
+        asynchronously (the socket transport): ``False`` collects what
+        is already available without blocking the caller (safe on a
+        write path), ``True`` blocks until every outstanding reply has
+        arrived (a settle point, e.g. before checking staleness).
+        """
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (no-op by default)."""
 
 
 class InProcessTransport(Transport):
@@ -397,9 +656,7 @@ class InProcessTransport(Transport):
         up_channel: Channel | None = None,
         faults: FaultInjector | None = None,
     ) -> None:
-        self.name = name
-        self.down_channel = down_channel or Channel()
-        self.up_channel = up_channel or Channel()
+        super().__init__(name, down_channel, up_channel)
         self.faults = faults or FaultInjector()
         self._handler: Callable[[bytes], Sequence[bytes]] | None = None
         self._queue: list[bytes] = []
@@ -418,7 +675,7 @@ class InProcessTransport(Transport):
         if self.faults.partitioned:
             return SendOutcome(status="failed")
         data = frame_to_bytes(frame)
-        transfer = self.down_channel.send(len(data), kind=frame_kind(frame))
+        transfer = self._record_send(data, frame)
         if self.faults.drop_next > 0:
             self.faults.drop_next -= 1
             return SendOutcome(status="dropped", transfer=transfer)
@@ -431,11 +688,12 @@ class InProcessTransport(Transport):
             transfer=transfer,
         )
 
-    def flush(self) -> list:
+    def flush(self, wait: bool = False) -> list:
         """Drain held frames once faults have cleared.
 
         Returns the peer's accumulated reply frames; a no-op (empty
         list) while the link is still partitioned or holding.
+        (Delivery is synchronous in-process, so ``wait`` is moot.)
         """
         if self.faults.partitioned or self.faults.hold:
             return []
@@ -449,6 +707,6 @@ class InProcessTransport(Transport):
         replies = []
         for reply_bytes in self._handler(data):
             reply = frame_from_bytes(reply_bytes)
-            self.up_channel.send(len(reply_bytes), kind=frame_kind(reply))
+            self._record_reply(reply_bytes, reply)
             replies.append(reply)
         return replies

@@ -1,0 +1,183 @@
+"""Multi-process deployment over loopback TCP (``-m socket``).
+
+The acceptance scenario for the real-socket transport: central + edge
+servers as **separate OS processes**, replication and authenticated
+queries over real sockets, and process-level fault injection (SIGKILL
+mid-stream) healing through the ordinary nack→retry→snapshot path.
+
+These tests spawn subprocesses, so they are marked ``socket`` and
+deselected by default (see ``pytest.ini``); CI runs them in their own
+job with ``pytest-timeout`` so a hung subprocess fails fast.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.edge.central import CentralServer, RemoteEdgeHandle
+from repro.edge.deploy import Deployment
+from repro.workloads.generator import TableSpec, generate_table
+
+pytestmark = [pytest.mark.socket, pytest.mark.timeout(120)]
+
+DB = "deploydb"
+
+
+def make_central(rows=120, **kwargs):
+    server = CentralServer(db_name=DB, rsa_bits=512, seed=61, **kwargs)
+    schema, data = generate_table(
+        TableSpec(name="items", rows=rows, columns=4, seed=3)
+    )
+    server.create_table(schema, data, fanout_override=6)
+    return server
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    central = make_central()
+    deploy = Deployment(central, log_dir=str(tmp_path / "edge-logs"))
+    yield central, deploy
+    deploy.shutdown()
+
+
+class TestMultiProcessDeployment:
+    def test_end_to_end_two_edges_kill_and_heal(self, deployment):
+        """The PR's acceptance scenario, end to end: launch central + 2
+        edge OS processes over loopback TCP, insert and query through a
+        real socket with client-side VO verification, kill one edge
+        mid-stream, restart it, and observe snapshot heal to cursor
+        parity."""
+        central, deploy = deployment
+        client = central.make_client()
+        deploy.launch_edge("edge-0")
+        deploy.launch_edge("edge-1")
+        deploy.wait_for_edge("edge-0")
+        deploy.wait_for_edge("edge-1")
+        assert deploy.edges["edge-0"].alive and deploy.edges["edge-1"].alive
+        # Remote edges are represented centrally by name-only handles —
+        # the trust boundary is now the OS process boundary.
+        assert all(
+            isinstance(e, RemoteEdgeHandle) for e in central.edges
+        )
+
+        # Inserts replicate over the wire to both processes.
+        for key in range(9001, 9006):
+            central.insert("items", (key, "a", "b", "c"))
+        deploy.sync()
+        assert central.staleness("edge-0", "items") == 0
+        assert central.staleness("edge-1", "items") == 0
+
+        # An authenticated range query through a real socket, verified
+        # client-side.
+        resp = deploy.range_query("edge-0", "items", low=9001, high=9005)
+        assert len(resp.result.rows) == 5
+        assert client.verify(resp).ok
+
+        # Kill edge-1 mid-stream: the write path must keep going.
+        deploy.kill_edge("edge-1")
+        for key in range(9006, 9011):
+            central.insert("items", (key, "x", "y", "z"))
+        deploy.sync()
+        assert central.staleness("edge-0", "items") == 0
+        resp = deploy.range_query("edge-0", "items", low=9001, high=9010)
+        assert len(resp.result.rows) == 10
+        assert client.verify(resp).ok
+
+        # Restart: the fresh process registers with no cursors and the
+        # fan-out engine heals it via snapshot to cursor parity.
+        deploy.restart_edge("edge-1")
+        deploy.wait_for_edge("edge-1")
+        assert central.staleness("edge-1", "items") == 0
+        kinds = deploy.edges["edge-1"].transport.down_channel.bytes_by_kind()
+        assert kinds.get("snapshot", 0) > 0, "heal must ship a snapshot"
+        resp = deploy.range_query("edge-1", "items", low=9001, high=9010)
+        assert len(resp.result.rows) == 10
+        assert client.verify(resp).ok
+
+    def test_killed_edge_fails_sends_without_blocking(self, deployment):
+        central, deploy = deployment
+        deploy.launch_edge("edge-0")
+        deploy.wait_for_edge("edge-0")
+        deploy.kill_edge("edge-0")
+        # Eager replication against a dead process: sends map to
+        # ``failed`` outcomes (never exceptions) and cursors fall behind.
+        for key in range(9001, 9004):
+            central.insert("items", (key, "a", "b", "c"))
+        assert central.staleness("edge-0", "items") > 0
+        assert not deploy.edges["edge-0"].connected
+
+    def test_secondary_index_query_over_socket(self, deployment):
+        central, deploy = deployment
+        client = central.make_client()
+        central.create_secondary_index("items", "a1", fanout_override=6)
+        deploy.launch_edge("edge-0")
+        deploy.wait_for_edge("edge-0")
+        resp = deploy.secondary_range_query(
+            "edge-0", "items", "a1", low="a", high="zzzz"
+        )
+        assert client.verify(resp).ok
+
+    def test_stopped_edge_does_not_stall_eager_writes(self, deployment):
+        """A SIGSTOPped (alive but unresponsive) edge process must not
+        slow the eager write path: the non-blocking drain leaves its
+        acks outstanding and the in-flight window absorbs the lag."""
+        import signal
+        import time
+
+        central, deploy = deployment
+        deploy.launch_edge("edge-0")
+        deploy.wait_for_edge("edge-0")
+        proc = deploy.edges["edge-0"].process
+        proc.send_signal(signal.SIGSTOP)
+        try:
+            start = time.perf_counter()
+            for key in range(9001, 9006):
+                central.insert("items", (key, "a", "b", "c"))
+            elapsed = time.perf_counter() - start
+            # Pre-fix this took io_timeout (10 s) per pump; post-fix the
+            # writes never wait on the wedged peer.
+            assert elapsed < 5.0, f"writes stalled {elapsed:.1f}s on a slow edge"
+            assert central.staleness("edge-0", "items") > 0
+        finally:
+            proc.send_signal(signal.SIGCONT)
+        deploy.sync()
+        assert central.staleness("edge-0", "items") == 0
+        resp = deploy.range_query("edge-0", "items", low=9001, high=9005)
+        assert len(resp.result.rows) == 5
+
+    def test_key_rotation_reaches_remote_edges(self, deployment):
+        central, deploy = deployment
+        client = central.make_client()
+        deploy.launch_edge("edge-0")
+        deploy.wait_for_edge("edge-0")
+        central.rotate_key(seed=62)
+        deploy.sync()
+        assert central.staleness("edge-0", "items") == 0
+        resp = deploy.range_query("edge-0", "items", low=None, high=None)
+        assert client.verify(resp).ok
+
+
+class TestServeCli:
+    def test_handshake_failure_exits_nonzero(self):
+        """`python -m repro.edge.serve` against a dead port must fail
+        fast with a non-zero exit code, not hang."""
+        import os
+
+        from repro.edge.deploy import _src_root
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _src_root()
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.edge.serve",
+                "--name", "cli-edge", "--host", "127.0.0.1", "--port", "1",
+                "--retry-attempts", "2", "--retry-delay", "0.01",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+        assert proc.returncode == 1
+        assert "fatal" in proc.stderr

@@ -1,0 +1,483 @@
+"""The frame codec over real bytes (DESIGN.md section 8).
+
+Everything here runs in one process (socketpairs and threads — no
+subprocesses), so it belongs to the tier-1 suite: the framing layer's
+partial-read / short-write / torn-frame behaviour, the TcpTransport's
+pipelined send/flush/request surface, and a full handshake cycle with
+the edge served from a thread.  The multi-*process* deployment tests
+live in ``test_deploy.py`` behind the ``socket`` marker.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.edge.central import CentralServer
+from repro.edge.deploy import Deployment
+from repro.edge.serve import run_edge
+from repro.edge.socket_transport import (
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    TcpTransport,
+    connect_with_retry,
+    recv_frame,
+    send_frame,
+)
+from repro.edge.transport import (
+    AckFrame,
+    DeltaFrame,
+    QueryResponseFrame,
+    frame_from_bytes,
+    frame_to_bytes,
+)
+from repro.exceptions import TransportError
+from repro.workloads.generator import TableSpec, generate_table
+
+DB = "socketdb"
+
+
+def make_central(rows=80, **kwargs):
+    server = CentralServer(db_name=DB, rsa_bits=512, seed=41, **kwargs)
+    schema, data = generate_table(
+        TableSpec(name="t", rows=rows, columns=4, seed=9)
+    )
+    server.create_table(schema, data, fanout_override=6)
+    return server
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(5)
+    right.settimeout(5)
+    yield left, right
+    for sock in (left, right):
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Framing over real bytes
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        payload = bytes(range(256)) * 41
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+
+    def test_empty_frame(self, pair):
+        left, right = pair
+        send_frame(left, b"")
+        assert recv_frame(right) == b""
+
+    def test_many_frames_back_to_back(self, pair):
+        left, right = pair
+        frames = [bytes([i]) * (i * 37 + 1) for i in range(20)]
+        for data in frames:
+            send_frame(left, data)
+        for data in frames:
+            assert recv_frame(right) == data
+
+    def test_partial_reads_reassemble(self, pair):
+        """The receiver sees the frame in many TCP segments (here:
+        byte-by-byte) and must reassemble it exactly."""
+        left, right = pair
+        payload = b"fragmented-delivery" * 11
+        wire = FRAME_HEADER.pack(len(payload)) + payload
+
+        def dribble():
+            for i in range(len(wire)):
+                left.sendall(wire[i : i + 1])
+                if i % 64 == 0:
+                    time.sleep(0.001)
+
+        thread = threading.Thread(target=dribble)
+        thread.start()
+        try:
+            assert recv_frame(right) == payload
+        finally:
+            thread.join()
+
+    def test_clean_eof_between_frames_is_none(self, pair):
+        left, right = pair
+        send_frame(left, b"last-frame")
+        left.close()
+        assert recv_frame(right) == b"last-frame"
+        assert recv_frame(right) is None
+
+    def test_mid_frame_disconnect_raises(self, pair):
+        """EOF after the header but before the full body is a torn
+        frame, never silently-truncated data."""
+        left, right = pair
+        payload = b"x" * 1000
+        left.sendall(FRAME_HEADER.pack(len(payload)) + payload[:137])
+        left.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_eof_inside_header_raises(self, pair):
+        left, right = pair
+        left.sendall(FRAME_HEADER.pack(99)[:2])
+        left.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_implausible_length_header_rejected(self, pair):
+        left, right = pair
+        left.sendall(FRAME_HEADER.pack(MAX_FRAME_BYTES + 1))
+        with pytest.raises(TransportError, match="exceeds limit"):
+            recv_frame(right)
+
+    def test_oversized_send_rejected_locally(self, pair):
+        left, _right = pair
+
+        class Huge(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(TransportError, match="exceeds limit"):
+            send_frame(left, Huge())
+
+    def test_connect_with_retry_gives_up(self):
+        sink = socket.socket()
+        sink.bind(("127.0.0.1", 0))  # bound but NOT listening
+        port = sink.getsockname()[1]
+        try:
+            with pytest.raises(TransportError, match="attempts"):
+                connect_with_retry("127.0.0.1", port, attempts=2, delay=0.01)
+        finally:
+            sink.close()
+
+
+# ---------------------------------------------------------------------------
+# TcpTransport: pipelined sends, flush, request, failure mapping
+# ---------------------------------------------------------------------------
+
+
+def _echo_acks(sock, count, *, lsn_of=lambda i: i + 1):
+    """Peer stub: reply to ``count`` frames with positive acks."""
+    for i in range(count):
+        data = recv_frame(sock)
+        if data is None:
+            return
+        frame = frame_from_bytes(data)
+        ack = AckFrame(edge="stub", table=frame.table, ok=True,
+                       lsn=lsn_of(i), epoch=0)
+        send_frame(sock, frame_to_bytes(ack))
+
+
+class TestTcpTransport:
+    def test_pipelined_sends_then_flush(self, pair):
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+        peer = threading.Thread(target=_echo_acks, args=(right, 3))
+        peer.start()
+        try:
+            for i in range(3):
+                outcome = transport.send(DeltaFrame("t", b"d%d" % i))
+                assert outcome.status == "queued"
+            assert transport.queued_frames == 3
+            replies = transport.flush(wait=True)
+        finally:
+            peer.join()
+        assert [r.lsn for r in replies] == [1, 2, 3]
+        assert transport.queued_frames == 0
+        # metering: both directions recorded, identically to in-process
+        assert transport.down_channel.bytes_by_kind().keys() == {"delta"}
+        assert transport.up_channel.bytes_by_kind().keys() == {"ack"}
+
+    def test_send_after_peer_close_maps_to_failed(self, pair):
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+        right.close()
+        # The first send may land in the socket buffer before the reset
+        # is visible; the link must report failed within a few sends and
+        # never raise.
+        for _ in range(20):
+            outcome = transport.send(DeltaFrame("t", b"x" * 4096))
+            if outcome.status == "failed":
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("send never observed the dead peer")
+        assert not transport.connected
+
+    def test_flush_on_dead_link_forgets_inflight(self, pair):
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+        assert transport.send(DeltaFrame("t", b"d")).status == "queued"
+        right.close()  # peer dies with the ack outstanding
+        assert transport.flush(wait=True) == []
+        assert transport.queued_frames == 0
+        assert not transport.connected
+        assert transport.send(DeltaFrame("t", b"d2")).status == "failed"
+
+    def test_nonblocking_flush_leaves_pending_acks(self, pair):
+        """The write-path drain (``wait=False``) must return instantly
+        when the peer has not answered yet — a slow edge's frames keep
+        occupying the window instead of stalling the caller."""
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+        assert transport.send(DeltaFrame("t", b"d")).status == "queued"
+        start = time.perf_counter()
+        assert transport.flush() == []  # peer silent: nothing to collect
+        assert time.perf_counter() - start < 0.5
+        assert transport.queued_frames == 1
+        assert transport.connected
+        # The ack is picked up once the peer answers.
+        _echo_acks(right, 1)
+        replies = transport.flush(wait=True)
+        assert [r.lsn for r in replies] == [1]
+        assert transport.queued_frames == 0
+
+    def test_partial_reply_does_not_block_or_tear_the_link(self, pair):
+        """A reply that has only half-arrived must neither block the
+        non-blocking drain nor be mistaken for a fault — the fragment
+        waits in the receive buffer until the rest shows up."""
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+        assert transport.send(DeltaFrame("t", b"d")).status == "queued"
+        data = recv_frame(right)
+        frame = frame_from_bytes(data)
+        ack = frame_to_bytes(
+            AckFrame(edge="stub", table=frame.table, ok=True, lsn=1, epoch=0)
+        )
+        wire = FRAME_HEADER.pack(len(ack)) + ack
+        right.sendall(wire[:7])  # header + a sliver of the body
+        time.sleep(0.05)
+        start = time.perf_counter()
+        assert transport.flush() == []  # non-blocking, fragment buffered
+        assert time.perf_counter() - start < 0.5
+        assert transport.connected
+        assert transport.queued_frames == 1
+        right.sendall(wire[7:])  # the rest arrives
+        replies = transport.flush(wait=True)
+        assert [r.lsn for r in replies] == [1]
+        assert transport.queued_frames == 0
+
+    def test_request_round_trip_and_stray_replies(self, pair):
+        """A query issued while replication acks are outstanding gets
+        *its* reply; the drained acks surface on the next flush."""
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+
+        def peer():
+            _echo_acks(right, 2)
+            data = recv_frame(right)  # the query
+            frame = frame_from_bytes(data)
+            assert frame.kind == "range"
+            send_frame(
+                right,
+                frame_to_bytes(QueryResponseFrame(edge="stub", payload=b"R")),
+            )
+
+        thread = threading.Thread(target=peer)
+        thread.start()
+        try:
+            transport.send(DeltaFrame("t", b"d1"))
+            transport.send(DeltaFrame("t", b"d2"))
+            from repro.edge.transport import QueryRequestFrame
+
+            reply = transport.request(
+                QueryRequestFrame(kind="range", table="t", low=1, high=2)
+            )
+        finally:
+            thread.join()
+        assert isinstance(reply, QueryResponseFrame)
+        assert reply.payload == b"R"
+        strays = transport.flush()
+        assert [r.lsn for r in strays] == [1, 2]
+
+    def test_request_on_dead_link_raises(self, pair):
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+        right.close()
+        transport.close()
+        from repro.edge.transport import QueryRequestFrame
+
+        with pytest.raises(TransportError):
+            transport.request(QueryRequestFrame(kind="range", table="t"))
+
+
+# ---------------------------------------------------------------------------
+# Full handshake cycle with the edge served from a thread
+# ---------------------------------------------------------------------------
+
+
+class TestHelloCursorSanitizing:
+    def test_lying_cursor_ahead_of_log_cannot_starve_the_edge(self):
+        """A hello claiming an LSN beyond the log head (compromised
+        edge, or an edge that outlived a central restart) is clamped —
+        replication must keep flowing, never silently stop."""
+        from repro.edge.edge_server import EdgeServer
+        from repro.edge.transport import InProcessTransport
+
+        central = make_central()
+        edge = EdgeServer(name="liar", config=central.edge_config())
+        link = InProcessTransport("liar")
+        edge.attach_transport(link)
+        central.attach_remote_edge(
+            "liar",
+            link,
+            cursors=(
+                ("t", 10**6, central.keyring.current_epoch),  # absurd LSN
+                ("no_such_table", 3, 0),                      # unknown replica
+            ),
+        )
+        peer = central.fanout.peer("liar")
+        assert peer.acked_lsns["t"] <= central.replicator.log_for("t").last_lsn
+        assert "no_such_table" not in peer.acked_lsns
+        assert central.staleness("liar", "t") >= 0
+        # The lie surfaces as a diverged nack on the next delta and the
+        # ordinary snapshot heal takes over.
+        central.insert("t", (9009, "a", "b", "c"))
+        central.propagate("t")
+        assert central.staleness("liar", "t") == 0
+        assert len(edge.replica("t").tree) == len(central.tables["t"])
+
+
+class TestThreadedDeployment:
+    """The deployment handshake and sync protocol over real TCP, with
+    the edge's serve loop in a thread — same wire traffic as the
+    multi-process tests, fast enough for tier-1."""
+
+    def test_bootstrap_sync_query_and_verify(self):
+        central = make_central()
+        client = central.make_client()
+        with Deployment(central, io_timeout=5) as deploy:
+            host, port = deploy.address
+            thread = threading.Thread(
+                target=run_edge,
+                args=("thread-edge", host, port),
+                kwargs={"max_reconnects": 0, "retry_attempts": 10,
+                        "retry_delay": 0.05, "io_timeout": 5},
+            )
+            thread.start()
+            try:
+                deploy.wait_for_edge("thread-edge", timeout=15)
+                assert central.staleness("thread-edge", "t") == 0
+                central.insert("t", (9001, "a", "b", "c"))
+                deploy.sync()
+                assert central.staleness("thread-edge", "t") == 0
+                resp = deploy.range_query("thread-edge", "t", low=9001, high=9001)
+                assert len(resp.result.rows) == 1
+                assert client.verify(resp).ok
+                # Replication and query traffic both metered on the link.
+                kinds = deploy.edges["thread-edge"].transport.down_channel.bytes_by_kind()
+                assert "snapshot" in kinds and "delta" in kinds and "query" in kinds
+            finally:
+                deploy.shutdown()
+                thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_reconnect_resumes_from_reported_cursors(self):
+        """A transient link drop (edge process survives) must resume
+        via deltas — the hello carries the cursors — not snapshots."""
+        central = make_central()
+        with Deployment(central, io_timeout=5) as deploy:
+            host, port = deploy.address
+            thread = threading.Thread(
+                target=run_edge,
+                args=("r-edge", host, port),
+                kwargs={"max_reconnects": 1, "retry_attempts": 40,
+                        "retry_delay": 0.05, "io_timeout": 5},
+            )
+            thread.start()
+            try:
+                deploy.wait_for_edge("r-edge", timeout=15)
+                old = deploy.edges["r-edge"].transport
+                deploy.edges["r-edge"].registered.clear()
+                old.close()  # transient network drop
+                deploy.wait_for_edge("r-edge", timeout=15)
+                fresh = deploy.edges["r-edge"].transport
+                assert fresh is not old
+                central.insert("t", (9002, "d", "e", "f"))
+                deploy.sync()
+                assert central.staleness("r-edge", "t") == 0
+                kinds = fresh.down_channel.bytes_by_kind()
+                assert "snapshot" not in kinds, "resume must not re-snapshot"
+                assert kinds.get("delta", 0) > 0
+            finally:
+                deploy.shutdown()
+                thread.join(timeout=10)
+
+    def test_edge_survives_idle_link(self):
+        """No traffic for longer than the receive timeout is *idle*,
+        not a fault: the serve loop must keep waiting, not crash."""
+        central = make_central()
+        client = central.make_client()
+        with Deployment(central, io_timeout=5) as deploy:
+            host, port = deploy.address
+            thread = threading.Thread(
+                target=run_edge,
+                args=("idle-edge", host, port),
+                kwargs={"max_reconnects": 0, "retry_attempts": 10,
+                        "retry_delay": 0.05, "io_timeout": 0.3},
+            )
+            thread.start()
+            try:
+                deploy.wait_for_edge("idle-edge", timeout=15)
+                time.sleep(1.0)  # > 3x the edge's receive timeout
+                assert thread.is_alive(), "edge died on an idle link"
+                resp = deploy.range_query("idle-edge", "t", low=1, high=50)
+                assert client.verify(resp).ok
+            finally:
+                deploy.shutdown()
+                thread.join(timeout=10)
+
+    def test_bad_query_returns_error_reply_and_edge_survives(self):
+        """A query the edge cannot answer must come back as an error
+        response frame — never kill the serve loop or hang the caller."""
+        central = make_central()
+        client = central.make_client()
+        with Deployment(central, io_timeout=5) as deploy:
+            host, port = deploy.address
+            thread = threading.Thread(
+                target=run_edge,
+                args=("q-edge", host, port),
+                kwargs={"max_reconnects": 0, "retry_attempts": 10,
+                        "retry_delay": 0.05, "io_timeout": 5},
+            )
+            thread.start()
+            try:
+                deploy.wait_for_edge("q-edge", timeout=15)
+                with pytest.raises(TransportError, match="rejected query"):
+                    deploy.secondary_range_query(
+                        "q-edge", "t", "no_such_attr", low=0, high=1
+                    )
+                assert thread.is_alive(), "edge died on a bad query"
+                resp = deploy.range_query("q-edge", "t", low=1, high=50)
+                assert client.verify(resp).ok
+            finally:
+                deploy.shutdown()
+                thread.join(timeout=10)
+
+    def test_dead_edge_does_not_block_writes(self):
+        central = make_central()
+        with Deployment(central, io_timeout=5) as deploy:
+            host, port = deploy.address
+            thread = threading.Thread(
+                target=run_edge,
+                args=("d-edge", host, port),
+                kwargs={"max_reconnects": 0, "retry_attempts": 10,
+                        "retry_delay": 0.05, "io_timeout": 5},
+            )
+            thread.start()
+            try:
+                deploy.wait_for_edge("d-edge", timeout=15)
+                deploy.edges["d-edge"].transport.close()
+                thread.join(timeout=10)
+                # Writes proceed against a fleet whose only edge is gone.
+                for key in range(9100, 9110):
+                    central.insert("t", (key, "a", "b", "c"))
+                assert central.staleness("d-edge", "t") > 0
+            finally:
+                deploy.shutdown()
+                thread.join(timeout=10)

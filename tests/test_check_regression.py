@@ -1,0 +1,155 @@
+"""The benchmark regression gate must pass clean runs and demonstrably
+fail perturbed ones (acceptance criterion for the CI pipeline)."""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "check_regression.py"
+    ),
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+# dataclass field-type resolution needs the module registered while it
+# executes (PEP 563 string annotations).
+sys.modules["check_regression"] = check_regression
+_SPEC.loader.exec_module(check_regression)
+
+
+BASE_SERIES = [
+    {"mode": "eager", "edges": 1, "replication_bytes": 1000,
+     "bytes_per_edge": 1000, "sync_seconds": 0.5},
+    {"mode": "eager", "edges": 4, "replication_bytes": 4000,
+     "bytes_per_edge": 1000, "sync_seconds": 1.5},
+]
+
+
+def _write(path, series):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump({"series": series}, fh)
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    baselines = results / "baselines"
+    _write(str(baselines / "fanout_scale.json"), BASE_SERIES)
+    return str(results), str(baselines)
+
+
+class TestCompareSeries:
+    def test_identical_series_pass(self):
+        findings, errors = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, BASE_SERIES,
+            check_regression.CHECKS["fanout_scale"],
+        )
+        assert not errors
+        assert findings and all(f.ok for f in findings)
+
+    def test_within_tolerance_passes(self):
+        current = [dict(BASE_SERIES[0], replication_bytes=1050),
+                   BASE_SERIES[1]]
+        findings, errors = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, current,
+            check_regression.CHECKS["fanout_scale"],
+        )
+        assert not errors and all(f.ok for f in findings)
+
+    @pytest.mark.parametrize("factor", [1.2, 0.8])
+    def test_drift_beyond_tolerance_fails_both_directions(self, factor):
+        current = [
+            dict(BASE_SERIES[0],
+                 replication_bytes=int(1000 * factor)),
+            BASE_SERIES[1],
+        ]
+        findings, _ = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, current,
+            check_regression.CHECKS["fanout_scale"],
+        )
+        bad = [f for f in findings if not f.ok]
+        assert len(bad) == 1
+        assert bad[0].metric == "replication_bytes"
+        assert bad[0].row_key == ("eager", 1)
+
+    def test_timing_fields_are_not_gated(self):
+        current = [dict(row, sync_seconds=row["sync_seconds"] * 50)
+                   for row in BASE_SERIES]
+        findings, errors = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, current,
+            check_regression.CHECKS["fanout_scale"],
+        )
+        assert not errors and all(f.ok for f in findings)
+
+    def test_missing_row_is_an_error(self):
+        findings, errors = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, BASE_SERIES[:1],
+            check_regression.CHECKS["fanout_scale"],
+        )
+        assert any("missing" in e for e in errors)
+
+    def test_lost_metric_is_an_error(self):
+        current = [
+            {k: v for k, v in BASE_SERIES[0].items()
+             if k != "bytes_per_edge"},
+            BASE_SERIES[1],
+        ]
+        _findings, errors = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, current,
+            check_regression.CHECKS["fanout_scale"],
+        )
+        assert any("bytes_per_edge" in e for e in errors)
+
+
+class TestRunChecks:
+    def test_clean_run_exits_zero(self, dirs, capsys):
+        results, baselines = dirs
+        _write(os.path.join(results, "fanout_scale.json"), BASE_SERIES)
+        assert check_regression.run_checks(results, baselines) == 0
+        assert "regression gate passed" in capsys.readouterr().out
+
+    def test_perturbed_result_exits_nonzero(self, dirs, capsys):
+        results, baselines = dirs
+        perturbed = [dict(BASE_SERIES[0], replication_bytes=2000),
+                     BASE_SERIES[1]]
+        _write(os.path.join(results, "fanout_scale.json"), perturbed)
+        assert check_regression.run_checks(results, baselines) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_requested_series_without_results_fails(self, dirs, capsys):
+        results, baselines = dirs
+        assert check_regression.run_checks(
+            results, baselines, only=["fanout_scale"]
+        ) == 1
+        assert "did the bench run" in capsys.readouterr().out
+
+    def test_nothing_checked_fails(self, dirs, capsys):
+        results, baselines = dirs  # baselines exist, no results at all
+        assert check_regression.run_checks(results, baselines) == 1
+        assert "nothing checked" in capsys.readouterr().out
+
+    def test_unknown_series_fails(self, dirs):
+        results, baselines = dirs
+        assert check_regression.run_checks(
+            results, baselines, only=["no_such_series"]
+        ) == 1
+
+    def test_committed_baselines_have_a_gate_entry(self):
+        committed = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "results",
+            "baselines",
+        )
+        names = [os.path.splitext(f)[0] for f in os.listdir(committed)
+                 if f.endswith(".json")]
+        assert names, "no baselines committed"
+        for name in names:
+            assert name in check_regression.CHECKS
+
+    def test_self_test_passes(self, capsys):
+        assert check_regression.self_test() == 0
+        assert "self-test passed" in capsys.readouterr().out

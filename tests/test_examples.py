@@ -51,3 +51,14 @@ def test_paper_evaluation_prints_all_figures(capsys):
     for figure in ("Figure 8", "Figure 9", "Figure 10", "Figure 11",
                    "Figure 12", "Figure 13", "Section 4.1", "Section 4.4"):
         assert figure in out
+
+
+@pytest.mark.socket
+@pytest.mark.timeout(120)
+def test_socket_deployment_example_runs(capsys):
+    """Spawns edge OS processes, so it rides in the socket job."""
+    module = _load("socket_deployment")
+    module.main()
+    out = capsys.readouterr().out
+    assert "snapshot heal to cursor parity" in out
+    assert "verified: True" in out
