@@ -65,6 +65,10 @@ CHECKS: dict[str, SeriesCheck] = {
         key=("transport", "edges"),
         metrics={"replication_bytes": 0.10, "bytes_per_edge": 0.10},
     ),
+    "router": SeriesCheck(
+        key=("scenario", "policy", "edges"),
+        metrics={"query_bytes": 0.10, "payload_bytes": 0.10},
+    ),
 }
 
 

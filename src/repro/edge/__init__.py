@@ -19,6 +19,17 @@ from repro.edge.deploy import Deployment, EdgeProcess
 from repro.edge.edge_server import EdgeConfig, EdgeResponse, EdgeServer
 from repro.edge.fanout import FanoutEngine, PeerState
 from repro.edge.network import Channel, Transfer
+from repro.edge.router import (
+    DeploymentQueryChannel,
+    EdgeRouter,
+    EdgeStats,
+    RoutedResponse,
+    RoutingPolicy,
+    TransportQueryChannel,
+    VerifiedResponse,
+    VerifyingRouter,
+    in_process_query_channel,
+)
 from repro.edge.socket_transport import TcpTransport
 from repro.edge.transport import (
     AckFrame,
@@ -42,11 +53,14 @@ __all__ = [
     "ConfigFrame",
     "DeltaFrame",
     "Deployment",
+    "DeploymentQueryChannel",
     "DropTuple",
     "EdgeConfig",
     "EdgeProcess",
     "EdgeResponse",
+    "EdgeRouter",
     "EdgeServer",
+    "EdgeStats",
     "FanoutEngine",
     "FaultInjector",
     "HelloFrame",
@@ -57,11 +71,17 @@ __all__ = [
     "RemoteEdgeHandle",
     "ReplicationMode",
     "ResponseTamper",
+    "RoutedResponse",
+    "RoutingPolicy",
     "SnapshotFrame",
     "SpuriousTuple",
     "StaleReplay",
     "TcpTransport",
     "Transfer",
     "Transport",
+    "TransportQueryChannel",
+    "VerifiedResponse",
+    "VerifyingRouter",
     "ValueTamper",
+    "in_process_query_channel",
 ]

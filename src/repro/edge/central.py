@@ -168,6 +168,49 @@ class CentralServer:
 
         return Client(self.client_config(), meter=meter)
 
+    def make_router(
+        self,
+        edges: Sequence | None = None,
+        policy="round_robin",
+        channels: Sequence | None = None,
+        **kwargs,
+    ):
+        """A :class:`~repro.edge.router.VerifyingRouter` over in-process
+        edge servers, on dedicated query links (never the replication
+        links — queries and replication must not share a flow-control
+        window).
+
+        Staleness hints are seeded from the fan-out engine's ack-fed
+        cursors, so a ``freshest`` router routes sensibly before any
+        edge has answered a single query.
+
+        Args:
+            edges: Edge servers to route over (default: every attached
+                in-process edge).
+            policy: Routing policy name or enum.
+            channels: Pre-built query channels (overrides ``edges`` —
+                the hook for custom per-edge latency models).
+            **kwargs: Forwarded to :class:`~repro.edge.router.EdgeRouter`.
+        """
+        from repro.edge.edge_server import EdgeServer
+        from repro.edge.router import (
+            EdgeRouter,
+            VerifyingRouter,
+            in_process_query_channel,
+        )
+
+        if channels is None:
+            if edges is None:
+                edges = [e for e in self._edges if isinstance(e, EdgeServer)]
+            if not edges:
+                raise ReplicationError(
+                    "no in-process edge servers to route over"
+                )
+            channels = [in_process_query_channel(edge) for edge in edges]
+        router = EdgeRouter(channels, policy=policy, **kwargs)
+        router.seed_from_fanout(self.fanout)
+        return VerifyingRouter(router, self.make_client())
+
     # ------------------------------------------------------------------
     # Schema / data management
     # ------------------------------------------------------------------

@@ -327,7 +327,43 @@ class Deployment:
             result=result,
             wire_bytes=len(reply.payload),
             transfer=handle.transport.up_channel.transfers[-1],
+            lsn=reply.lsn,
+            epoch=reply.epoch,
         )
+
+    def make_router(
+        self,
+        names: Sequence[str] | None = None,
+        policy="round_robin",
+        **kwargs,
+    ):
+        """A :class:`~repro.edge.router.VerifyingRouter` over this
+        deployment's edge processes, on real TCP query channels.
+
+        Channels resolve each edge's *current* connection per request,
+        so a killed edge fails fast (and enters router cooldown) while
+        a restarted one is routable again right after re-registering.
+        Staleness hints are seeded from the fan-out engine's cursors.
+
+        Args:
+            names: Edges to route over (default: every edge known to
+                the deployment, connected or not — an unreachable edge
+                just starts in the failure path).
+            policy: Routing policy name or enum.
+            **kwargs: Forwarded to :class:`~repro.edge.router.EdgeRouter`.
+        """
+        from repro.edge.router import (
+            DeploymentQueryChannel,
+            EdgeRouter,
+            VerifyingRouter,
+        )
+
+        if names is None:
+            names = list(self.edges)
+        channels = [DeploymentQueryChannel(self, name) for name in names]
+        router = EdgeRouter(channels, policy=policy, **kwargs)
+        router.seed_from_fanout(self.central.fanout)
+        return VerifyingRouter(router, self.central.make_client())
 
     def range_query(
         self,

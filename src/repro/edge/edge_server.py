@@ -86,12 +86,19 @@ EdgeConfig = ClientConfig
 
 @dataclass
 class EdgeResponse:
-    """What the client receives: the result plus transfer accounting."""
+    """What the client receives: the result plus transfer accounting.
+
+    ``lsn``/``epoch`` are the responding replica's cursor echo
+    (DESIGN.md section 9) — an untrusted staleness hint for routing,
+    not part of what verification covers.
+    """
 
     edge_name: str
     result: AuthenticatedResult
     wire_bytes: int
     transfer: Transfer
+    lsn: int = 0
+    epoch: int = 0
 
 
 class EdgeServer:
@@ -134,6 +141,10 @@ class EdgeServer:
         self.replica_sig_lens: dict[str, int] = {}
         self._interceptors: list[ResultInterceptor] = []
         self.io_reads_last_query = 0
+        #: The exception behind the most recent query error response —
+        #: re-raised by the same-process convenience API so direct
+        #: callers keep typed exceptions while transports get frames.
+        self._last_query_exc: Optional[BaseException] = None
 
     def attach_transport(self, transport) -> None:
         """Wire this edge as the receiving end of a transport link."""
@@ -198,7 +209,25 @@ class EdgeServer:
                 reply = self._ack(frame.table)
             return [frame_to_bytes(reply)]
         if isinstance(frame, QueryRequestFrame):
-            return [frame_to_bytes(self._execute_query(frame))]
+            self._last_query_exc = None
+            try:
+                reply = self._execute_query(frame)
+            except Exception as exc:
+                # A query must be *answered* on every medium — a raise
+                # here would escape an in-process router's
+                # verify-or-failover path, while over a socket the
+                # serve loop already converts it.  Same format either
+                # way, so clients cannot tell the media apart.  The
+                # traceback is stripped before stashing: it would pin
+                # every frame-local (request, replica state) on a
+                # long-lived edge whose errors arrive via transports.
+                self._last_query_exc = exc.with_traceback(None)
+                reply = QueryResponseFrame(
+                    edge=self.name,
+                    payload=b"",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            return [frame_to_bytes(reply)]
         if isinstance(frame, ConfigFrame):
             # Key-ring refresh (rotation reached this edge): replace the
             # verification bundle — the paper's "well-known location"
@@ -436,12 +465,23 @@ class EdgeServer:
         replies = self.handle_frame(frame_to_bytes(frame))
         response = frame_from_bytes(replies[0])
         assert isinstance(response, QueryResponseFrame)
+        if response.error:
+            # Same-process callers get the original typed exception
+            # (e.g. ReplicationError for a replica this edge lacks),
+            # exactly as before queries became error-answering frames.
+            exc = self._last_query_exc
+            self._last_query_exc = None
+            if exc is not None:
+                raise exc
+            raise TransportError(response.error)
         result = result_from_bytes(response.payload)
         return EdgeResponse(
             edge_name=self.name,
             result=result,
             wire_bytes=len(response.payload),
             transfer=self.channel.transfers[-1],
+            lsn=response.lsn,
+            epoch=response.epoch,
         )
 
     def _execute_query(self, frame: QueryRequestFrame) -> QueryResponseFrame:
@@ -478,7 +518,17 @@ class EdgeServer:
         else:
             raise TransportError(f"unknown query kind {frame.kind!r}")
         payload = self._respond(name, vbt, result)
-        return QueryResponseFrame(edge=self.name, payload=payload)
+        # Cursor echo: the answering replica's delta cursor rides on
+        # every response so clients can route by staleness without a
+        # central round-trip.  For secondary queries this is the
+        # *index* replica's cursor — the replica that produced the
+        # result, which is the one whose freshness matters.
+        return QueryResponseFrame(
+            edge=self.name,
+            payload=payload,
+            lsn=self.replica_lsns.get(name, 0),
+            epoch=self.replica_epochs.get(name, 0),
+        )
 
     def _respond(
         self, table: str, vbt: VBTree, result: AuthenticatedResult

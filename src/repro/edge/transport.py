@@ -160,11 +160,20 @@ class QueryResponseFrame:
             success) — e.g. a replica this edge does not hold.  Over a
             socket the edge *must* answer every frame, so failures
             travel as data instead of killing the serve loop.
+        lsn: Cursor echo — the responding replica's delta cursor at
+            answer time.  Clients (the query router) use it as a
+            staleness hint: it costs two varint bytes and saves a
+            central round-trip per freshness decision.  Untrusted like
+            everything from an edge — a lying cursor can only skew
+            routing, never verification.
+        epoch: Cursor echo — the replica's key epoch at answer time.
     """
 
     edge: str
     payload: bytes
     error: str = ""
+    lsn: int = 0
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -384,6 +393,8 @@ def frame_to_bytes(frame: Frame) -> bytes:
                 encode_value(frame.edge),
                 encode_value(frame.payload),
                 encode_value(frame.error),
+                encode_uint(frame.lsn),
+                encode_uint(frame.epoch),
             )
         )
     if isinstance(frame, HelloFrame):
@@ -472,7 +483,11 @@ def frame_from_bytes(data: bytes) -> Frame:
             edge, offset = decode_value(data, offset)
             payload, offset = decode_value(data, offset)
             error, offset = decode_value(data, offset)
-            frame = QueryResponseFrame(edge=edge, payload=payload, error=error)
+            lsn, offset = decode_uint(data, offset)
+            epoch, offset = decode_uint(data, offset)
+            frame = QueryResponseFrame(
+                edge=edge, payload=payload, error=error, lsn=lsn, epoch=epoch
+            )
         elif tag == _FRAME_HELLO:
             edge, offset = decode_value(data, offset)
             count, offset = decode_uint(data, offset)
@@ -629,6 +644,22 @@ class Transport:
         """
         raise NotImplementedError
 
+    def request(self, frame: Frame) -> Frame:
+        """One synchronous request/reply round-trip (the query path).
+
+        Every transport must offer this so client-side query code (the
+        router, the deployment layer) is medium-agnostic and query
+        traffic is metered identically over every medium — the same
+        consolidation the ABC already provides for send-path metering.
+
+        Raises:
+            TransportError: If the link is down, drops the exchange, or
+                (in-process fault injection) holds the reply past the
+                caller's patience — the in-flight equivalent of a
+                receive timeout.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release any underlying resources (no-op by default)."""
 
@@ -701,6 +732,32 @@ class InProcessTransport(Transport):
         while self._queue:
             replies.extend(self._deliver(self._queue.pop(0)))
         return replies
+
+    def request(self, frame: Frame) -> Frame:
+        """One synchronous round-trip, with fault injection applied.
+
+        The query-path mirror of :meth:`TcpTransport.request
+        <repro.edge.socket_transport.TcpTransport.request>`: a
+        partitioned link raises, a dropped request raises (the reply
+        will never come), and a held request raises too — the frame
+        stays queued in the slow link (it was metered as sent and the
+        edge will eventually process it on :meth:`flush`), but a
+        synchronous caller cannot wait for it, exactly like a receive
+        timeout against a wedged TCP peer.
+        """
+        outcome = self.send(frame)
+        if outcome.status == "failed":
+            raise TransportError(f"link to {self.name!r} is down")
+        if outcome.status == "dropped":
+            raise TransportError(
+                f"request to {self.name!r} lost in flight"
+            )
+        if outcome.status == "queued":
+            raise TransportError(
+                f"link to {self.name!r} timed out (peer holding frames)"
+            )
+        (reply,) = outcome.replies
+        return reply
 
     def _deliver(self, data: bytes) -> list:
         assert self._handler is not None

@@ -191,6 +191,12 @@ class TransportError(EdgeError):
     could not be encoded/decoded (malformed frame)."""
 
 
+class RouterError(EdgeError):
+    """The query router ran out of eligible edges: every candidate is
+    quarantined, unreachable, or returned an unusable response (see
+    DESIGN.md section 9 for the verify-or-failover semantics)."""
+
+
 class ReplicaDeltaError(ReplicationError):
     """A replica delta could not be built, serialized, or applied
     (see DESIGN.md section 6 for the delta replication protocol)."""

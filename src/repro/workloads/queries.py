@@ -73,3 +73,14 @@ class QueryWorkload:
             yield range_for_selectivity(
                 self.spec, self.selectivity, rng.randint(0, max_offset)
             )
+
+    def request_frames(self, count: int) -> Iterator:
+        """The same stream as wire-ready
+        :class:`~repro.edge.transport.QueryRequestFrame`\\ s — what a
+        query router (or any transport-level consumer) feeds on."""
+        from repro.edge.transport import range_query_frame
+
+        for query in self.queries(count):
+            yield range_query_frame(
+                self.spec.name, low=query.low, high=query.high
+            )
