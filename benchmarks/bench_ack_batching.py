@@ -1,0 +1,268 @@
+"""Ack batching: cumulative cursor acks vs the per-frame protocol.
+
+The replication metadata cost the batched-ack protocol (DESIGN.md
+section 10) exists to cut: under one-ack-per-frame, sync cost grows one
+edge→central ack frame per delta frame; under coalescing, one
+cumulative ``CursorAckFrame`` acknowledges a whole window (count/byte
+threshold, plus one probe-solicited ack per settle point).  This bench
+runs the *identical* eager update workload under both cadences, on both
+transports —
+
+* in-process (deterministic byte/frame counts, gated by
+  ``check_regression.py`` via ``benchmarks/results/ack_batching.json``)
+* loopback TCP with the edge's serve loop in a thread (same wire
+  traffic as a real deployment; probe-round counts are
+  timing-dependent, so its ack numbers are asserted as a ratio, not
+  gated)
+
+— asserting **byte/frame parity on the delta stream** (batching thins
+acks, never payload: equal delta throughput by construction) and a
+**≥5× reduction in ack frames per synced delta**.  A second scenario
+tracks the adaptive per-edge window: on a fast link it converges above
+its initial size; on an injected slow-hold fault the observed ack
+latency shrinks it back down.
+"""
+
+import json
+import os
+import threading
+import time
+
+from repro.bench.series import emit, results_dir
+from repro.edge.central import CentralServer
+from repro.edge.deploy import Deployment
+from repro.edge.serve import run_edge
+from repro.workloads.generator import TableSpec, generate_table
+
+UPDATES = 40
+ROWS = 240
+BATCH_ACK_EVERY = 16
+PROTOCOLS = (("per_frame", 1), ("batched", BATCH_ACK_EVERY))
+
+#: The ≥5× acceptance floor for ack frames per synced delta.
+REDUCTION_FLOOR = 5.0
+
+
+def _make_central(ack_every: int, **kwargs) -> CentralServer:
+    # A window comfortably above the coalescing threshold, identical
+    # for both protocols: the comparison isolates the ack cadence.
+    # (Below the threshold the engine's window-blocked solicitation
+    # paces acks by the window instead — still batched, just coarser.)
+    kwargs.setdefault("fanout_window", 64)
+    central = CentralServer(
+        db_name="ackbench",
+        rsa_bits=512,
+        seed=909,
+        ack_every=ack_every,
+        **kwargs,
+    )
+    spec = TableSpec(name="items", rows=ROWS, columns=5, seed=17)
+    schema, data = generate_table(spec)
+    central.create_table(schema, data)
+    return central
+
+
+def _run_updates(central) -> None:
+    for i in range(UPDATES):
+        central.insert("items", (50_000 + i, *["uu"] * 4))
+
+
+def _count(transport, direction: str, kind: str) -> int:
+    channel = getattr(transport, f"{direction}_channel")
+    return sum(1 for t in channel.transfers if t.kind == kind)
+
+
+def _kind_bytes(transport, direction: str, kind: str) -> int:
+    channel = getattr(transport, f"{direction}_channel")
+    return channel.bytes_by_kind().get(kind, 0)
+
+
+def _inprocess_run(protocol: str, ack_every: int) -> dict:
+    central = _make_central(ack_every)
+    central.spawn_edge_server("edge-0")
+    link = central.fanout.peer("edge-0").transport
+    base_acks = _count(link, "up", "ack")
+    start = time.perf_counter()
+    _run_updates(central)
+    central.fanout.drain("edge-0", wait=True)  # settle the coalesced tail
+    elapsed = time.perf_counter() - start
+    assert central.staleness("edge-0", "items") == 0  # exact after settle
+    assert central.fanout.peer("edge-0").inflight == 0
+    return {
+        "transport": "inprocess",
+        "protocol": protocol,
+        "updates": UPDATES,
+        "ack_frames": _count(link, "up", "ack") - base_acks,
+        "ack_bytes": _kind_bytes(link, "up", "ack"),
+        "delta_frames": _count(link, "down", "delta"),
+        "delta_bytes": _kind_bytes(link, "down", "delta"),
+        "probe_frames": _count(link, "down", "control"),
+        "sync_seconds": elapsed,
+    }
+
+
+def _tcp_run(protocol: str, ack_every: int) -> dict:
+    central = _make_central(ack_every)
+    deploy = Deployment(central, io_timeout=10)
+    host, port = deploy.address
+    thread = threading.Thread(
+        target=run_edge,
+        args=("edge-0", host, port),
+        kwargs={"max_reconnects": 0, "retry_attempts": 20,
+                "retry_delay": 0.05, "io_timeout": 10},
+    )
+    thread.start()
+    try:
+        deploy.wait_for_edge("edge-0", timeout=30)
+        link = deploy.edges["edge-0"].transport
+        base_acks = _count(link, "up", "ack")
+        start = time.perf_counter()
+        _run_updates(central)
+        deploy.sync("items")
+        elapsed = time.perf_counter() - start
+        assert central.staleness("edge-0", "items") == 0
+        row = {
+            "transport": "tcp",
+            "protocol": protocol,
+            "updates": UPDATES,
+            # Probe rounds are timing-dependent over real sockets, so
+            # TCP ack counts are reported + ratio-asserted, not gated.
+            "ack_frames_observed": _count(link, "up", "ack") - base_acks,
+            "delta_frames": _count(link, "down", "delta"),
+            "delta_bytes": _kind_bytes(link, "down", "delta"),
+            "sync_seconds": elapsed,
+        }
+    finally:
+        deploy.shutdown()
+        thread.join(timeout=10)
+    return row
+
+
+def test_ack_batching_reduction(benchmark):
+    """≥5× fewer ack frames per synced delta at equal delta traffic,
+    on both transports."""
+    series = [
+        _inprocess_run(protocol, ack_every)
+        for protocol, ack_every in PROTOCOLS
+    ] + [
+        _tcp_run(protocol, ack_every) for protocol, ack_every in PROTOCOLS
+    ]
+
+    def row(transport, protocol):
+        return next(
+            s for s in series
+            if s["transport"] == transport and s["protocol"] == protocol
+        )
+
+    for transport in ("inprocess", "tcp"):
+        legacy = row(transport, "per_frame")
+        batched = row(transport, "batched")
+        # Equal delta throughput: batching thins acks, never payload.
+        assert batched["delta_frames"] == legacy["delta_frames"]
+        assert batched["delta_bytes"] == legacy["delta_bytes"]
+        acks_key = (
+            "ack_frames" if transport == "inprocess" else "ack_frames_observed"
+        )
+        reduction = legacy[acks_key] / max(1, batched[acks_key])
+        assert reduction >= REDUCTION_FLOOR, (
+            f"{transport}: only {reduction:.1f}x fewer ack frames "
+            f"({legacy[acks_key]} -> {batched[acks_key]})"
+        )
+    # The wire protocol is medium-independent: byte-identical delta
+    # frames whichever transport carries them.
+    assert (
+        row("tcp", "per_frame")["delta_bytes"]
+        == row("inprocess", "per_frame")["delta_bytes"]
+    )
+    assert (
+        row("tcp", "batched")["delta_bytes"]
+        == row("inprocess", "batched")["delta_bytes"]
+    )
+
+    emit(
+        f"Ack batching: frames for {UPDATES} eager updates "
+        f"(ack_every={BATCH_ACK_EVERY})",
+        "ack_batching",
+        ["transport", "protocol", "delta frames", "delta bytes",
+         "ack frames", "sync s"],
+        [
+            (s["transport"], s["protocol"], s["delta_frames"],
+             s["delta_bytes"],
+             s.get("ack_frames", s.get("ack_frames_observed")),
+             round(s["sync_seconds"], 3))
+            for s in series
+        ],
+    )
+    path = os.path.join(results_dir(), "ack_batching.json")
+    with open(path, "w") as fh:
+        json.dump({"series": series}, fh, indent=2)
+    print(f"[json series written to {os.path.relpath(path)}]")
+
+    benchmark.pedantic(
+        _inprocess_run, args=("batched", BATCH_ACK_EVERY),
+        rounds=1, iterations=1,
+    )
+
+
+def test_adaptive_window_convergence(benchmark):
+    """The AIMD window grows on a fast link and shrinks back under an
+    injected slow-hold fault (observed ack latency spikes)."""
+    window_init, window_max = 4, 16
+
+    # Fast link: instant in-process acks grow the window to the ceiling.
+    central = _make_central(1, fanout_window=window_init,
+                            fanout_window_max=window_max)
+    central.spawn_edge_server("fast")
+    _run_updates(central)
+    fast_size = central.fanout.peer("fast").window.size
+    assert fast_size == window_max, f"fast link stuck at {fast_size}"
+
+    # Slow-hold fault: frames sit in the link, settle late, and the
+    # high observed latency walks the window back down.
+    central = _make_central(1, fanout_window=window_init,
+                            fanout_window_max=window_max)
+    central.fanout.ack_latency_target = 0.02
+    central.spawn_edge_server("slow")
+    peer = central.fanout.peer("slow")
+    for i in range(6):  # grow it first on the healthy link
+        central.insert("items", (60_000 + i, *["uu"] * 4))
+    grown = peer.window.size
+    assert grown > window_init
+    peer.transport.faults.hold = True
+    for i in range(4):
+        central.insert("items", (61_000 + i, *["uu"] * 4))
+    time.sleep(0.25)  # the frames age inside the slow link
+    peer.transport.faults.clear()
+    central.propagate("items")
+    shrunk = peer.window.size
+    assert central.staleness("slow", "items") == 0
+    assert shrunk < grown, f"window did not shrink ({grown} -> {shrunk})"
+    assert shrunk >= peer.window.floor
+
+    emit(
+        "Adaptive window: fast link vs slow-hold fault "
+        f"(init {window_init}, ceiling {window_max})",
+        "ack_window",
+        ["scenario", "window"],
+        [("fast link (converged)", fast_size),
+         ("after slow-hold fault", shrunk)],
+    )
+    path = os.path.join(results_dir(), "ack_window.json")
+    with open(path, "w") as fh:
+        json.dump(
+            {"series": [
+                {"scenario": "fast", "window": fast_size},
+                {"scenario": "slow_hold", "window": shrunk},
+            ]},
+            fh,
+            indent=2,
+        )
+    print(f"[json series written to {os.path.relpath(path)}]")
+
+    def fresh_run():
+        c = _make_central(1, fanout_window=window_init,
+                          fanout_window_max=window_max)
+        c.spawn_edge_server("fast")
+        _run_updates(c)
+
+    benchmark.pedantic(fresh_run, rounds=1, iterations=1)

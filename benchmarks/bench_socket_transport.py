@@ -51,6 +51,18 @@ def _run_updates(central) -> None:
         central.insert("items", (50_000 + i, *["uu"] * 4))
 
 
+def _replication_bytes(link) -> int:
+    """Replication payload bytes (snapshots + deltas) on the link.
+
+    Control frames (cursor probes the batched-ack settle may solicit —
+    DESIGN.md section 10) are excluded: how many probe rounds a settle
+    needs depends on ack arrival timing over a real socket, while the
+    payload stream is byte-exact on every medium.
+    """
+    kinds = link.down_channel.bytes_by_kind()
+    return kinds.get("snapshot", 0) + kinds.get("delta", 0)
+
+
 def _inprocess_sync(n_edges: int) -> dict:
     central = _make_central()
     edges = [central.spawn_edge_server(f"edge-{i}") for i in range(n_edges)]
@@ -61,7 +73,7 @@ def _inprocess_sync(n_edges: int) -> dict:
     _run_updates(central)
     elapsed = time.perf_counter() - start
     assert all(central.staleness(e, "items") == 0 for e in edges)
-    total = sum(link.down_channel.total_bytes for link in links)
+    total = sum(_replication_bytes(link) for link in links)
     return {
         "transport": "inprocess",
         "edges": n_edges,
@@ -89,7 +101,7 @@ def _tcp_sync(n_edges: int) -> dict:
         deploy.sync("items")
         elapsed = time.perf_counter() - start
         assert all(central.staleness(n, "items") == 0 for n in names)
-        total = sum(link.down_channel.total_bytes for link in links)
+        total = sum(_replication_bytes(link) for link in links)
     return {
         "transport": "tcp",
         "edges": n_edges,

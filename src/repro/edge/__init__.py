@@ -17,7 +17,12 @@ from repro.edge.central import (
 from repro.edge.client import Client
 from repro.edge.deploy import Deployment, EdgeProcess
 from repro.edge.edge_server import EdgeConfig, EdgeResponse, EdgeServer
-from repro.edge.fanout import FanoutEngine, PeerState
+from repro.edge.fanout import (
+    AdaptiveWindow,
+    FanoutEngine,
+    PeerState,
+    SentRecord,
+)
 from repro.edge.network import Channel, Transfer
 from repro.edge.router import (
     DeploymentQueryChannel,
@@ -34,6 +39,8 @@ from repro.edge.socket_transport import TcpTransport
 from repro.edge.transport import (
     AckFrame,
     ConfigFrame,
+    CursorAckFrame,
+    CursorProbeFrame,
     DeltaFrame,
     FaultInjector,
     HelloFrame,
@@ -46,11 +53,14 @@ from repro.edge.transport import (
 
 __all__ = [
     "AckFrame",
+    "AdaptiveWindow",
     "CentralServer",
     "Channel",
     "Client",
     "ClientConfig",
     "ConfigFrame",
+    "CursorAckFrame",
+    "CursorProbeFrame",
     "DeltaFrame",
     "Deployment",
     "DeploymentQueryChannel",
@@ -73,6 +83,7 @@ __all__ = [
     "ResponseTamper",
     "RoutedResponse",
     "RoutingPolicy",
+    "SentRecord",
     "SnapshotFrame",
     "SpuriousTuple",
     "StaleReplay",

@@ -93,11 +93,22 @@ class CentralServer:
             benches; costs one extra signature pass per insert).
         max_log_entries: Per-table delta-log retention; edges that fall
             further behind than this resync via full snapshot.
-        fanout_window: Per-edge bound on unacknowledged in-flight
-            replication frames (flow control — see
+        fanout_window: Initial per-edge bound on unacknowledged
+            in-flight replication frames (flow control — see
             :class:`~repro.edge.fanout.FanoutEngine`).
         fanout_workers: Thread-pool size for concurrent per-edge
             delivery; 1 (default) is a deterministic serial sweep.
+        fanout_window_min: Adaptive-window floor (see
+            :class:`~repro.edge.fanout.AdaptiveWindow`).
+        fanout_window_max: Adaptive-window ceiling; ``None`` pins the
+            window at ``fanout_window`` — the fixed, deterministic
+            default.  Raise it to let fast links grow their pipeline.
+        ack_every: Ack-coalescing frame threshold pushed to every edge
+            (DESIGN.md section 10).  ``1`` (default) acknowledges every
+            replication frame — the exact pre-batching cadence;
+            deployments and benches raise it to cut ack traffic (one
+            cumulative cursor ack per ``ack_every`` frames).
+        ack_bytes: Ack-coalescing byte threshold pushed to every edge.
     """
 
     def __init__(
@@ -111,11 +122,17 @@ class CentralServer:
         max_log_entries: int = 1024,
         fanout_window: int = 8,
         fanout_workers: int = 1,
+        fanout_window_min: int = 1,
+        fanout_window_max: int | None = None,
+        ack_every: int = 1,
+        ack_bytes: int = 1 << 18,
     ) -> None:
         self.db_name = db_name
         self.policy = policy
         self.replication = replication
         self.enable_naive = enable_naive
+        self.ack_every = max(1, ack_every)
+        self.ack_bytes = max(1, ack_bytes)
         self.replicator = Replicator(max_log_entries=max_log_entries)
         self.keyring = KeyRing()
         self._keypair: RSAKeyPair = generate_keypair(bits=rsa_bits, seed=seed)
@@ -133,7 +150,11 @@ class CentralServer:
         self.txn_manager = TransactionManager()
         self._edges: list = []
         self.fanout = FanoutEngine(
-            self, window=fanout_window, workers=fanout_workers
+            self,
+            window=fanout_window,
+            workers=fanout_workers,
+            window_min=fanout_window_min,
+            window_max=fanout_window_max,
         )
 
     # ------------------------------------------------------------------
@@ -553,7 +574,12 @@ class CentralServer:
         """
         from repro.edge.edge_server import EdgeServer
 
-        edge = EdgeServer(name=name, config=self.edge_config())
+        edge = EdgeServer(
+            name=name,
+            config=self.edge_config(),
+            ack_every=self.ack_every,
+            ack_bytes=self.ack_bytes,
+        )
         link = transport or InProcessTransport(name, faults=faults)
         edge.attach_transport(link)
         self.fanout.attach(name, link)

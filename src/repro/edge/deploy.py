@@ -80,12 +80,17 @@ class EdgeProcess:
             for externally launched edges that just dialed in).
         transport: Link over the edge's most recent connection.
         registered: Set each time the edge completes a handshake.
+        log: The open log-file handle the current process writes to
+            (``None`` when logging to ``/dev/null``).  Kept per edge so
+            a restart closes the superseded handle instead of leaking
+            one file descriptor per relaunch.
     """
 
     name: str
     process: Optional[subprocess.Popen] = None
     transport: Optional[TcpTransport] = None
     registered: threading.Event = field(default_factory=threading.Event)
+    log: Any = None
 
     @property
     def connected(self) -> bool:
@@ -121,7 +126,6 @@ class Deployment:
         self.io_timeout = io_timeout
         self.log_dir = log_dir
         self.edges: dict[str, EdgeProcess] = {}
-        self._logs: list = []
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -169,7 +173,11 @@ class Deployment:
             raise TransportError(
                 f"expected HelloFrame, got {type(hello).__name__}"
             )
-        config = config_to_frame(self.central.edge_config())
+        config = config_to_frame(
+            self.central.edge_config(),
+            ack_every=self.central.ack_every,
+            ack_bytes=self.central.ack_bytes,
+        )
         send_frame(conn, frame_to_bytes(config))
         transport = TcpTransport(hello.edge, conn, timeout=self.io_timeout)
         # Seed the peer with the epoch of the bundle we *actually sent*
@@ -204,14 +212,23 @@ class Deployment:
         env["PYTHONPATH"] = _src_root() + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
+        handle = self.edges.setdefault(name, EdgeProcess(name))
+        if handle.log is not None:
+            # Relaunch under the same name: the dead process's log
+            # handle is superseded — close it now or every restart
+            # leaks one file descriptor.
+            try:
+                handle.log.close()
+            except OSError:
+                pass
+            handle.log = None
         stdout: Any = subprocess.DEVNULL
         if self.log_dir is not None:
             os.makedirs(self.log_dir, exist_ok=True)
-            stdout = open(  # noqa: SIM115 - closed in shutdown()
+            stdout = open(  # noqa: SIM115 - closed on relaunch/shutdown
                 os.path.join(self.log_dir, f"{name}.log"), "ab"
             )
-            self._logs.append(stdout)
-        handle = self.edges.setdefault(name, EdgeProcess(name))
+            handle.log = stdout
         handle.registered.clear()
         handle.process = subprocess.Popen(
             [
@@ -317,6 +334,11 @@ class Deployment:
             raise TransportError(
                 f"expected QueryResponseFrame, got {type(reply).__name__}"
             )
+        # The response rode the same ordered link replication uses, so
+        # its piggybacked cursors are acks the central can bank — under
+        # coalescing this keeps the authoritative staleness view fresh
+        # between settle points without a single extra frame.
+        self.central.fanout.observe_response_cursors(name, reply.cursors)
         if reply.error:
             raise TransportError(
                 f"edge {name!r} rejected query: {reply.error}"
@@ -444,11 +466,13 @@ class Deployment:
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait(timeout=timeout)
-        for log in self._logs:
-            try:
-                log.close()
-            except OSError:
-                pass
+        for handle in handles:
+            if handle.log is not None:
+                try:
+                    handle.log.close()
+                except OSError:
+                    pass
+                handle.log = None
         self._accept_thread.join(timeout=timeout)
 
     def __enter__(self) -> "Deployment":

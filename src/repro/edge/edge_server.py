@@ -50,6 +50,8 @@ from repro.edge.network import Channel, Transfer
 from repro.edge.transport import (
     AckFrame,
     ConfigFrame,
+    CursorAckFrame,
+    CursorProbeFrame,
     DeltaFrame,
     QueryRequestFrame,
     QueryResponseFrame,
@@ -109,6 +111,19 @@ class EdgeServer:
         config: Public verification parameters (:class:`EdgeConfig`).
         channel: Network channel to clients (byte accounting); created
             with this edge's cost meter if not given.
+        ack_every: Ack-coalescing frame threshold (DESIGN.md section
+            10): replication frames are acknowledged with one
+            cumulative :class:`~repro.edge.transport.CursorAckFrame`
+            once this many have been absorbed unacknowledged.  ``1``
+            (the default) acknowledges every frame — the exact
+            pre-batching cadence, which in-process simulations rely on
+            for synchronous cursor convergence.  Deployments raise it
+            (via the handshake :class:`~repro.edge.transport.ConfigFrame`)
+            to cut ack traffic.  Rejections always nack immediately,
+            whatever the threshold.
+        ack_bytes: Ack-coalescing byte threshold — an ack is emitted
+            once this many unacknowledged replication payload bytes
+            have been absorbed, even below ``ack_every`` frames.
     """
 
     def __init__(
@@ -116,9 +131,17 @@ class EdgeServer:
         name: str,
         config: EdgeConfig,
         channel: Channel | None = None,
+        ack_every: int = 1,
+        ack_bytes: int = 1 << 18,
     ) -> None:
         self.name = name
         self.config = config
+        self.ack_every = max(1, ack_every)
+        self.ack_bytes = max(1, ack_bytes)
+        #: Replication frames / payload bytes absorbed since the last
+        #: cumulative ack left (the coalescing state).
+        self._unacked_frames = 0
+        self._unacked_bytes = 0
         self.meter = CostMeter()
         if channel is None:
             channel = Channel(meter=self.meter)
@@ -169,12 +192,20 @@ class EdgeServer:
     def handle_frame(self, data: bytes) -> list[bytes]:
         """Process one serialized frame; returns serialized replies.
 
-        Replication frames (snapshot/delta) always produce exactly one
-        :class:`~repro.edge.transport.AckFrame` — a delta the replica
-        rejects yields a *nack* carrying the edge's cursor and a reason
-        code, never an exception back through the transport.  Query
-        frames produce one
-        :class:`~repro.edge.transport.QueryResponseFrame`.
+        Replication acknowledgements are **coalesced** (DESIGN.md
+        section 10): an accepted delta produces no reply until
+        ``ack_every`` frames / ``ack_bytes`` payload bytes have been
+        absorbed, at which point one cumulative
+        :class:`~repro.edge.transport.CursorAckFrame` acknowledges
+        everything at once.  Heal boundaries (snapshot installs) and
+        :class:`~repro.edge.transport.CursorProbeFrame` solicitations
+        ack immediately; a *rejected* frame always nacks immediately
+        with an :class:`~repro.edge.transport.AckFrame` carrying the
+        edge's cursor and a reason code — coalescing can therefore
+        never mask a tamper/gap signal, it only thins the ok-traffic.
+        Query frames produce one
+        :class:`~repro.edge.transport.QueryResponseFrame` (with the
+        cumulative cursors piggybacked).
         """
         frame = frame_from_bytes(data)
         if isinstance(frame, SnapshotFrame):
@@ -184,10 +215,13 @@ class EdgeServer:
                 # Malformed payload or unacceptable epoch: nack so the
                 # sender's heal path retries, never an exception back
                 # through the transport.
-                reply = self._ack(frame.table, ok=False, reason="error")
-            else:
-                reply = self._ack(frame.table)
-            return [frame_to_bytes(reply)]
+                return [frame_to_bytes(
+                    self._ack(frame.table, ok=False, reason="error")
+                )]
+            # A heal boundary: the sender is waiting on this O(tree)
+            # transfer — always acknowledge it (and everything else)
+            # immediately.
+            return [frame_to_bytes(self._cursor_ack())]
         if isinstance(frame, DeltaFrame):
             try:
                 self.apply_delta(frame.table, frame.payload)
@@ -202,12 +236,27 @@ class EdgeServer:
             except Exception:
                 # Anything else (e.g. at-rest tampering broke the tree
                 # underneath the apply) is replica divergence too: a
-                # replication frame must *always* produce an ack, so the
-                # sender's heal escalation runs instead of a wedge.
+                # rejected replication frame must *always* produce an
+                # immediate nack, so the sender's heal escalation runs
+                # instead of a wedge.
                 reply = self._ack(frame.table, ok=False, reason="diverged")
             else:
-                reply = self._ack(frame.table)
+                # Accepted: coalesce.  The ack leaves once the
+                # count/byte threshold trips, or when a heal boundary /
+                # probe forces it.
+                self._unacked_frames += 1
+                self._unacked_bytes += len(frame.payload)
+                if (
+                    self._unacked_frames >= self.ack_every
+                    or self._unacked_bytes >= self.ack_bytes
+                ):
+                    return [frame_to_bytes(self._cursor_ack())]
+                return []
             return [frame_to_bytes(reply)]
+        if isinstance(frame, CursorProbeFrame):
+            # Ack solicitation: the central is settling (a sync point)
+            # and wants the cumulative cursors now.
+            return [frame_to_bytes(self._cursor_ack())]
         if isinstance(frame, QueryRequestFrame):
             self._last_query_exc = None
             try:
@@ -232,8 +281,11 @@ class EdgeServer:
             # Key-ring refresh (rotation reached this edge): replace the
             # verification bundle — the paper's "well-known location"
             # re-fetched, pushed over the same channel.  The ack's empty
-            # table marks it as a control ack (no cursor to move).
+            # table marks it as a control ack (no cursor to move).  The
+            # frame also carries the central's ack-coalescing policy.
             self.config = config_from_frame(frame)
+            self.ack_every = max(1, frame.ack_every)
+            self.ack_bytes = max(1, frame.ack_bytes)
             reply = AckFrame(
                 edge=self.name, table="", ok=True, lsn=0,
                 epoch=self.config.keyring.current_epoch, reason="config",
@@ -251,6 +303,15 @@ class EdgeServer:
             lsn=self.replica_lsns.get(table, 0),
             epoch=self.replica_epochs.get(table, 0),
             reason=reason,
+        )
+
+    def _cursor_ack(self) -> CursorAckFrame:
+        """One cumulative ack covering every replica; resets the
+        coalescing counters (everything up to here is now spoken for)."""
+        self._unacked_frames = 0
+        self._unacked_bytes = 0
+        return CursorAckFrame(
+            edge=self.name, cursors=self.replication_cursors()
         )
 
     # ------------------------------------------------------------------
@@ -522,12 +583,17 @@ class EdgeServer:
         # every response so clients can route by staleness without a
         # central round-trip.  For secondary queries this is the
         # *index* replica's cursor — the replica that produced the
-        # result, which is the one whose freshness matters.
+        # result, which is the one whose freshness matters.  The full
+        # cumulative cursor set is piggybacked too (DESIGN.md section
+        # 10): the response was travelling anyway, so every replica's
+        # staleness hint — and, over a deployment link, the central
+        # fan-out engine's ack state — rides along for a few bytes.
         return QueryResponseFrame(
             edge=self.name,
             payload=payload,
             lsn=self.replica_lsns.get(name, 0),
             epoch=self.replica_epochs.get(name, 0),
+            cursors=self.replication_cursors(),
         )
 
     def _respond(

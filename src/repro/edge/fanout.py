@@ -7,15 +7,24 @@ edge delayed all the others.  The fan-out engine decouples that:
 mutations only *record* deltas; delivery happens in :meth:`pump` cycles
 that walk the attached edges (serially or on a thread pool), with
 
-* **per-edge cursors** — each peer's delta cursor is central-side state
-  fed exclusively by :class:`~repro.edge.transport.AckFrame` replies
-  (the edge is untrusted, so acks are treated as routing hints: a lying
-  cursor can only cause redundant sends or a snapshot heal, never an
-  integrity violation — every payload is signed);
-* **a bounded in-flight window** — at most ``window`` unacknowledged
-  frames per edge; a slow (frame-holding) link absorbs up to the window
-  and is then skipped, so the write path and the other edges never wait
-  on it;
+* **per-edge cumulative cursors** — each peer's delta cursor is
+  central-side state fed exclusively by the edge's acknowledgements
+  (:class:`~repro.edge.transport.CursorAckFrame` cumulative acks, the
+  cursors piggybacked on query responses, and immediate
+  :class:`~repro.edge.transport.AckFrame` nacks).  Cursor application
+  is **monotonic**: a delayed, duplicated, or reordered ack can never
+  regress a newer cumulative one.  The edge is untrusted, so acks are
+  treated as routing hints: a lying cursor can only cause redundant
+  sends or a snapshot heal, never an integrity violation — every
+  payload is signed;
+* **batched acknowledgement settle** — a cursor ≥ a sent frame's LSN
+  acknowledges that frame and everything at or below it, so one
+  cumulative ack (or one probe round) settles an entire pipelined
+  window instead of one ack per frame (DESIGN.md section 10);
+* **an adaptive in-flight window** — per-edge AIMD flow control
+  (:class:`AdaptiveWindow`) driven by observed ack latency: fast links
+  grow toward a ceiling, slow acks shrink toward a floor, and a nack
+  or link fault halves the window instantly;
 * **nack → retry → snapshot-heal escalation** — a ``gap`` nack gets one
   retry from the cursor the edge reports; ``tamper``/``diverged`` nacks
   (and a failed retry) escalate to a full snapshot;
@@ -31,13 +40,16 @@ standard lazy-catch-up machinery, no special recovery code.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.core.wire import snapshot_to_bytes
 from repro.edge.transport import (
     AckFrame,
+    CursorAckFrame,
+    CursorProbeFrame,
     DeltaFrame,
     InProcessTransport,
     SnapshotFrame,
@@ -49,7 +61,91 @@ from repro.exceptions import DeltaGapError, ReplicationError, StaleKeyError
 if TYPE_CHECKING:  # pragma: no cover
     from repro.edge.central import CentralServer
 
-__all__ = ["PeerState", "FanoutEngine"]
+__all__ = ["AdaptiveWindow", "SentRecord", "PeerState", "FanoutEngine"]
+
+#: Settle rounds a wait-drain attempts before giving up on a peer that
+#: keeps losing frames (each round is probe → poll → apply).
+_DRAIN_ROUNDS = 4
+
+
+@dataclass
+class AdaptiveWindow:
+    """AIMD-style per-edge in-flight window (DESIGN.md section 10.3).
+
+    Replaces the engine-wide fixed ``window`` constant: each peer's
+    bound adapts to what its link can actually absorb.  Additive
+    increase — every settled ack whose smoothed latency is at or under
+    ``target`` grows the window by one, up to ``ceiling``; decrease —
+    a slow ack shrinks it by one, and :meth:`on_fault` (nack, failed
+    or dropped send, dead link) halves it instantly, never below
+    ``floor``.  With ``ceiling == size`` (the default wiring) the
+    window is effectively the classic fixed bound, so simulations that
+    depend on an exact constant keep their determinism.
+
+    Attributes:
+        size: Current bound on unacknowledged in-flight frames.
+        floor: Hard lower bound (a link must always be probed-able).
+        ceiling: Hard upper bound (memory/burst safety).
+        target: Smoothed ack latency (seconds) at or under which the
+            link counts as fast; above it the window shrinks.
+        alpha: EWMA smoothing factor for observed ack latency.
+        ewma: Smoothed observed ack latency, ``None`` until the first
+            settle.
+
+    Latency samples are capped at ``8 × target`` before entering the
+    EWMA: under deferred acks a frame can sit settled-but-unclaimed
+    until the next sync point, and one idle-period settle measuring
+    seconds would otherwise poison the average for dozens of
+    subsequent fast acks (the engine additionally skips latency credit
+    entirely for settles *it* solicited — see
+    :meth:`FanoutEngine._settle`).
+    """
+
+    size: int
+    floor: int = 1
+    ceiling: int = 8
+    target: float = 0.05
+    alpha: float = 0.3
+    ewma: Optional[float] = None
+
+    def on_ack(self, latency: float) -> None:
+        """One frame settled after ``latency`` seconds in flight."""
+        sample = min(latency, 8 * self.target)
+        if self.ewma is None:
+            self.ewma = sample
+        else:
+            self.ewma = self.alpha * sample + (1 - self.alpha) * self.ewma
+        if self.ewma <= self.target:
+            self.size = min(self.ceiling, self.size + 1)
+        else:
+            self.size = max(self.floor, self.size - 1)
+
+    def on_fault(self) -> None:
+        """Instant multiplicative shrink (nack or link fault)."""
+        self.size = max(self.floor, self.size // 2)
+
+
+@dataclass
+class SentRecord:
+    """One replication frame awaiting acknowledgement coverage.
+
+    Attributes:
+        kind: ``delta`` / ``snapshot`` / ``config``.
+        table: Replica the frame addresses (``""`` for config).
+        lsn: Highest LSN the frame carries — covered (settled) once the
+            peer's acknowledged cursor reaches it.
+        epoch: Key epoch the frame was issued under (snapshots must
+            match it before settling; deltas settle on LSN alone, LSNs
+            being globally monotonic per table across epochs).
+        sent_at: Monotonic send timestamp — ack latency feeds the
+            peer's :class:`AdaptiveWindow` at settle time.
+    """
+
+    kind: str
+    table: str
+    lsn: int
+    epoch: int
+    sent_at: float
 
 
 @dataclass
@@ -59,31 +155,57 @@ class PeerState:
     Attributes:
         name: The edge's name (transport link label).
         transport: The link to the edge.
-        acked_lsns: Per-table cursor confirmed by the edge's acks.
+        acked_lsns: Per-table cursor confirmed by the edge's acks
+            (monotonic — see :meth:`FanoutEngine._advance_cursor`).
         acked_epochs: Per-table key epoch confirmed by acks.
         sent_lsns: Optimistic per-table cursor including frames still
             in flight (queued in a slow link); falls back to the acked
             cursor when a send is known lost.
-        inflight: Unacknowledged frames sitting in the link.
+        outstanding: Sent replication frames not yet covered by an
+            acknowledged cursor; its length is the in-flight count the
+            window bounds.
+        window: This peer's adaptive in-flight bound.
+        probe_inflight: A cursor probe is in the link — suppresses
+            duplicate probes until its (or any) cumulative ack arrives.
         needs_snapshot: Tables flagged for a full-resync heal.
         snapshot_inflight: Tables whose snapshot sits unacknowledged in
             a slow link — suppresses duplicate O(tree) sends until the
-            edge acks (any ack for the table clears it).
+            edge acks (cursor coverage clears it).
         config_epoch: Key epoch of the last verification bundle shipped
             to this peer (handshake or refresh) — suppresses duplicate
             key-ring refreshes when several tables heal after one
             rotation.
+        lock: Serializes every mutation of this record.  The pump and
+            drain paths were single-writer per peer by construction,
+            but piggybacked query-response cursors
+            (:meth:`FanoutEngine.observe_response_cursors`) arrive on
+            whatever thread served the query — without the lock a
+            settle there could race an append in the pump and drop a
+            sent-frame record.
     """
 
     name: str
     transport: Transport
+    #: Required — sized by the owning engine's window configuration
+    #: (:meth:`FanoutEngine.attach`), never defaulted: a silently
+    #: misconfigured flow-control bound is worse than a TypeError.
+    window: AdaptiveWindow
     acked_lsns: dict[str, int] = field(default_factory=dict)
     acked_epochs: dict[str, int] = field(default_factory=dict)
     sent_lsns: dict[str, int] = field(default_factory=dict)
-    inflight: int = 0
+    outstanding: list[SentRecord] = field(default_factory=list)
+    probe_inflight: bool = False
     needs_snapshot: set[str] = field(default_factory=set)
     snapshot_inflight: set[str] = field(default_factory=set)
     config_epoch: int = -1
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False
+    )
+
+    @property
+    def inflight(self) -> int:
+        """Unacknowledged replication frames in the link."""
+        return len(self.outstanding)
 
     def cursor(self, table: str) -> int:
         """The cursor to extend with the next send."""
@@ -99,16 +221,31 @@ class FanoutEngine:
 
     Args:
         central: The owning central server (same trust domain).
-        window: Per-edge bound on unacknowledged in-flight frames.
+        window: Initial per-edge bound on unacknowledged in-flight
+            frames (each peer's :class:`AdaptiveWindow` starts here).
         workers: Thread-pool size for concurrent per-edge delivery;
             ``1`` (default) uses a deterministic serial sweep.
+        window_min: Adaptive-window floor.
+        window_max: Adaptive-window ceiling; ``None`` pins it to
+            ``window`` (a fixed window — the deterministic default).
+        ack_latency_target: Smoothed ack latency (seconds) at or under
+            which a link counts as fast and its window grows.
     """
 
     def __init__(
-        self, central: "CentralServer", window: int = 8, workers: int = 1
+        self,
+        central: "CentralServer",
+        window: int = 8,
+        workers: int = 1,
+        window_min: int = 1,
+        window_max: Optional[int] = None,
+        ack_latency_target: float = 0.05,
     ) -> None:
         self.central = central
         self.window = window
+        self.window_min = min(window_min, window)
+        self.window_max = max(window_max or window, window)
+        self.ack_latency_target = ack_latency_target
         self.workers = workers
         self.peers: dict[str, PeerState] = {}
         self._payload_lock = threading.Lock()
@@ -136,7 +273,16 @@ class FanoutEngine:
         sanitized by the caller) are seeded *before* the peer is
         published, so a concurrent pump can never observe the
         cursor-less intermediate state and ship a redundant snapshot."""
-        peer = PeerState(name=name, transport=transport)
+        peer = PeerState(
+            name=name,
+            transport=transport,
+            window=AdaptiveWindow(
+                size=self.window,
+                floor=self.window_min,
+                ceiling=self.window_max,
+                target=self.ack_latency_target,
+            ),
+        )
         if config_epoch is not None:
             peer.config_epoch = config_epoch
         else:
@@ -165,10 +311,11 @@ class FanoutEngine:
     def bootstrap(self, name: str) -> int:
         """Ship every table's snapshot to a newly attached edge."""
         peer = self.peer(name)
-        shipped = 0
-        for table in self.central.vbtrees:
-            shipped += self._send_snapshot(peer, table, {})
-        return shipped
+        with peer.lock:
+            shipped = 0
+            for table in self.central.vbtrees:
+                shipped += self._send_snapshot(peer, table, {})
+            return shipped
 
     def staleness(self, name: str, table: str) -> int:
         """How many LSNs the edge's *acknowledged* replica of ``table``
@@ -228,45 +375,108 @@ class FanoutEngine:
     def _sync_peer(
         self, peer: PeerState, names: list, force_snapshot: bool, payloads: dict
     ) -> int:
-        self._drain(peer)
-        shipped = 0
-        for table in names:
-            if force_snapshot:
-                shipped += self._send_snapshot(peer, table, payloads)
-            else:
-                shipped += self._sync_table(peer, table, payloads)
-        return shipped
+        with peer.lock:
+            self._drain(peer)
+            shipped = 0
+            for table in names:
+                if force_snapshot:
+                    shipped += self._send_snapshot(peer, table, payloads)
+                else:
+                    shipped += self._sync_table(peer, table, payloads)
+            return shipped
 
     def drain(self, name: Optional[str] = None, wait: bool = False) -> None:
-        """Collect and apply outstanding acks without sending anything.
+        """Collect and apply outstanding acks without sending deltas.
 
         Pipelining transports (the socket transport's non-blocking
         sends) leave acks in the link until the next pump; deployments
-        call this to settle cursors after a propagation round
-        (``wait=True`` blocks until every outstanding ack arrives —
-        never do that on the write path).
+        call this to settle cursors after a propagation round.  With
+        ``wait=True`` this is the batched-ack settle loop: apply what
+        is buffered, and while frames remain outstanding on a live
+        link, solicit a :class:`~repro.edge.transport.CursorProbeFrame`
+        and poll for the cumulative ack — one probe settles the whole
+        window.  A link that dies mid-settle has its optimistic state
+        forgotten (frames the peer never processed are resent by a
+        later pump — a lost tail is never silently dropped), and a
+        held-but-alive in-process link is simply left outstanding,
+        exactly as before.  Never do ``wait=True`` on the write path.
         """
         peers = [self.peer(name)] if name is not None else list(self.peers.values())
         for peer in peers:
-            self._drain(peer, wait=wait)
+            with peer.lock:
+                self._drain(peer, wait=wait)
 
     def _drain(self, peer: PeerState, wait: bool = False) -> None:
-        for reply in peer.transport.flush(wait=wait):
-            # Every reply settles one in-flight frame, whatever its
-            # type — an edge that answers a replication frame with an
-            # error response (serve loop catch-all) must still release
-            # the window slot, or the peer starves permanently.
-            peer.inflight = max(0, peer.inflight - 1)
-            if isinstance(reply, AckFrame):
-                self._apply_ack(peer, reply)
-            else:
-                # A non-ack reply to a replication frame is an edge-side
-                # failure with no table attribution: forget *all*
-                # optimistic progress so later pumps resend (and, via
-                # the edge's nacks, heal) instead of assuming delivery.
-                peer.snapshot_inflight.clear()
-                for table in list(peer.sent_lsns):
-                    peer.reset_cursor(table)
+        self._process_replies(peer, peer.transport.flush(wait=False))
+        if not wait:
+            return
+        for _round in range(_DRAIN_ROUNDS):
+            if not peer.outstanding and not peer.probe_inflight:
+                return
+            if not peer.transport.connected:
+                self._forget_outstanding(peer)
+                return
+            status = self._solicit(peer)
+            if status in ("failed", "dropped"):
+                # The probe itself could not travel (the solicit
+                # already charged the window); if the link object is
+                # dead the optimism is forgotten, otherwise (a
+                # partitioned in-process link) the frames may still be
+                # delivered later — leave them outstanding.
+                if not peer.transport.connected:
+                    self._forget_outstanding(peer, fault=False)
+                return
+            if not peer.outstanding and not peer.probe_inflight:
+                return  # delivered probe settled everything synchronously
+            replies = peer.transport.poll()
+            if not replies:
+                if not peer.transport.connected:
+                    self._forget_outstanding(peer)
+                return  # held-but-alive link: keep optimism, retry later
+            self._process_replies(peer, replies)
+        # Settle rounds exhausted with frames still uncovered: the link
+        # is losing frames (drop injection, or a peer rejecting frames
+        # without nacks).  Forget the optimism so later pumps resend —
+        # the tail must never be silently dropped.
+        if peer.outstanding:
+            self._forget_outstanding(peer)
+
+    def _solicit(self, peer: PeerState) -> str:
+        """Ask the peer for its cumulative cursors (ack solicitation)."""
+        if peer.probe_inflight:
+            return "pending"
+        outcome = peer.transport.send(CursorProbeFrame())
+        if outcome.status in ("failed", "dropped"):
+            peer.window.on_fault()
+            return outcome.status
+        if outcome.status == "queued":
+            peer.probe_inflight = True
+            return "queued"
+        # Delivered synchronously (in-process): mark the probe in
+        # flight *before* applying its replies, so the cumulative ack
+        # is recognized as solicited and skips the latency credit —
+        # frames it settles aged at the workload's pace, not the
+        # link's.  The ack clears the flag; reset defensively in case
+        # none came back.
+        peer.probe_inflight = True
+        self._process_replies(peer, outcome.replies)
+        peer.probe_inflight = False
+        return "delivered"
+
+    def _forget_outstanding(self, peer: PeerState, fault: bool = True) -> None:
+        """A link fault lost (or may have lost) every in-flight frame:
+        drop the optimistic state so later pumps resend and heal —
+        delivery failures surface as resends/nacks, never as a
+        silently-dropped tail.  ``fault=False`` when the caller already
+        charged the window for this same event (one fault, one halving
+        — §10.3's AIMD contract)."""
+        peer.outstanding.clear()
+        peer.snapshot_inflight.clear()
+        peer.probe_inflight = False
+        for table in list(peer.sent_lsns):
+            peer.reset_cursor(table)
+        if fault:
+            peer.window.on_fault()
 
     def _sync_table(self, peer: PeerState, table: str, payloads: dict) -> int:
         central = self.central
@@ -283,7 +493,7 @@ class FanoutEngine:
             cursor = peer.cursor(table)
             if cursor >= log.last_lsn:
                 return shipped
-            if peer.inflight >= self.window:
+            if self._window_blocked(peer):
                 return shipped  # flow control: revisit on a later pump
             try:
                 payload = self._batch_payload(table, cursor, payloads)
@@ -293,17 +503,29 @@ class FanoutEngine:
                 return shipped
             outcome = peer.transport.send(DeltaFrame(table, payload))
             if outcome.status == "failed":
+                peer.window.on_fault()
                 peer.reset_cursor(table)
+                if not peer.transport.connected:
+                    # A dead link (mid-batch ECONNRESET/EPIPE) loses
+                    # the whole pipelined tail, not just this frame —
+                    # one event, so the window was charged once above.
+                    self._forget_outstanding(peer, fault=False)
                 return shipped  # partitioned: retry on a later pump
             shipped += 1
             if outcome.status == "dropped":
+                peer.window.on_fault()
                 peer.reset_cursor(table)
                 return shipped  # lost in flight: retry on a later pump
-            if outcome.status == "queued":
-                peer.inflight += 1
-                peer.sent_lsns[table] = log.last_lsn
-                return shipped
+            peer.outstanding.append(
+                SentRecord(
+                    kind="delta", table=table, lsn=log.last_lsn,
+                    epoch=peer.acked_epochs.get(table, 0),
+                    sent_at=time.monotonic(),
+                )
+            )
             peer.sent_lsns[table] = log.last_lsn
+            if outcome.status == "queued":
+                return shipped
             verdict = self._process_replies(peer, outcome.replies)
             if verdict != "gap":
                 if table in peer.needs_snapshot:
@@ -313,10 +535,30 @@ class FanoutEngine:
             # then the loop either succeeds or escalates to a snapshot.
         return shipped + self._send_snapshot(peer, table, payloads)
 
+    def _window_blocked(self, peer: PeerState) -> bool:
+        """Window check, with ack solicitation under coalescing.
+
+        When acks are deferred (``ack_every > 1``), a full window may
+        consist entirely of frames the edge has already *applied* but
+        not yet acknowledged — without solicitation the pipeline would
+        wedge until the next settle point whenever the coalescing
+        threshold exceeds the window.  One probe frees the whole
+        window (synchronously in-process, by the next pump's drain
+        over TCP), so ack traffic stays paced by the window, never by
+        the frame count.  Under per-frame acks a full window means
+        genuinely undelivered frames and probing it is pure noise.
+        """
+        if peer.inflight < peer.window.size:
+            return False
+        if self.central.ack_every > 1:
+            self._solicit(peer)
+            return peer.inflight >= peer.window.size
+        return True
+
     def _send_snapshot(
         self, peer: PeerState, table: str, payloads: dict
     ) -> int:
-        if peer.inflight >= self.window:
+        if self._window_blocked(peer):
             return 0
         if table in peer.snapshot_inflight:
             return 0  # one O(tree) transfer per table in the link at a time
@@ -334,14 +576,24 @@ class FanoutEngine:
             and not isinstance(peer.transport, InProcessTransport)
         ):
             outcome = peer.transport.send(
-                config_to_frame(self.central.edge_config())
+                config_to_frame(
+                    self.central.edge_config(),
+                    ack_every=self.central.ack_every,
+                    ack_bytes=self.central.ack_bytes,
+                )
             )
             if outcome.status in ("failed", "dropped"):
+                peer.window.on_fault()
                 return 0  # link is down; retry the heal on a later pump
             peer.config_epoch = current_epoch
+            peer.outstanding.append(
+                SentRecord(
+                    kind="config", table="", lsn=0, epoch=current_epoch,
+                    sent_at=time.monotonic(),
+                )
+            )
             if outcome.status == "queued":
-                peer.inflight += 1
-                if peer.inflight >= self.window:
+                if peer.inflight >= peer.window.size:
                     # The refresh consumed the last window slot; the
                     # O(tree) snapshot waits for a later pump rather
                     # than overshooting the bound.
@@ -351,52 +603,227 @@ class FanoutEngine:
         frame = self._snapshot_frame(table, payloads)
         outcome = peer.transport.send(frame)
         if outcome.status == "failed":
+            peer.window.on_fault()
+            if not peer.transport.connected:
+                self._forget_outstanding(peer, fault=False)
             return 0
         if outcome.status == "dropped":
+            peer.window.on_fault()
             return 1
+        peer.outstanding.append(
+            SentRecord(
+                kind="snapshot", table=table, lsn=frame.lsn,
+                epoch=frame.epoch, sent_at=time.monotonic(),
+            )
+        )
+        peer.sent_lsns[table] = frame.lsn
         if outcome.status == "queued":
-            peer.inflight += 1
-            peer.sent_lsns[table] = frame.lsn
             peer.snapshot_inflight.add(table)
             return 1
-        peer.sent_lsns[table] = frame.lsn
         self._process_replies(peer, outcome.replies)
         return 1
 
-    def _process_replies(self, peer: PeerState, replies: list) -> str:
+    # ------------------------------------------------------------------
+    # Acknowledgement application (DESIGN.md section 10)
+    # ------------------------------------------------------------------
+
+    def _process_replies(self, peer: PeerState, replies: Sequence) -> str:
+        """Apply every reply frame; returns the *worst* verdict seen
+        (``snapshot`` > ``gap`` > ``ok``), so a nack travelling next to
+        a cumulative ack still drives the escalation."""
+        rank = {"ok": 0, "gap": 1, "snapshot": 2}
         verdict = "ok"
         for reply in replies:
-            if isinstance(reply, AckFrame):
-                verdict = self._apply_ack(peer, reply)
+            if isinstance(reply, CursorAckFrame):
+                self._apply_cursor_ack(peer, reply)
+                outcome = "ok"
+            elif isinstance(reply, AckFrame):
+                outcome = self._apply_ack(peer, reply)
+            else:
+                # A non-ack reply to a replication frame is an edge-side
+                # failure with no table attribution: forget *all*
+                # optimistic progress so later pumps resend (and, via
+                # the edge's nacks, heal) instead of assuming delivery.
+                self._forget_outstanding(peer)
+                outcome = "ok"
+            if rank[outcome] > rank[verdict]:
+                verdict = outcome
         return verdict
+
+    def _advance_cursor(
+        self, peer: PeerState, table: str, lsn: int, epoch: int
+    ) -> None:
+        """Monotonic cursor application, with untrusted-input
+        sanitization.
+
+        Every cursor here came from an edge (cumulative ack, nack, or
+        a piggybacked query response), so the hello-path rules apply
+        at this one choke point too: unknown replicas are dropped
+        (else fabricated table names grow ``acked_lsns`` without
+        bound) and the LSN/epoch are clamped to the log head / current
+        epoch — a lying cursor *ahead* of the log would otherwise make
+        ``_sync_table`` skip the table forever (silent permanent
+        staleness, the outcome §10.2 promises cannot happen), and an
+        epoch from the future would pin the cross-epoch check into a
+        perpetual snapshot loop.
+
+        Table LSNs are globally monotonic (key rotation burns a
+        barrier LSN instead of restarting the sequence), so the newest
+        information always carries the highest ``(lsn, epoch)`` — any
+        out-of-order, duplicate, or stale ack is simply outranked and
+        can never regress ``acked_lsns``/``acked_epochs`` (the
+        regression the pre-batching engine allowed by assigning
+        cursors unconditionally).
+        """
+        if table not in self.central.vbtrees:
+            return
+        log = self.central.replicator.logs.get(table)
+        lsn = min(lsn, log.last_lsn if log is not None else 0)
+        try:
+            epoch = min(epoch, self.central.keyring.current_epoch)
+        except StaleKeyError:
+            pass  # no epoch registered yet (bare central in unit tests)
+        current = peer.acked_lsns.get(table)
+        if current is None or lsn > current:
+            peer.acked_lsns[table] = lsn
+            peer.acked_epochs[table] = epoch
+        elif lsn == current and epoch > peer.acked_epochs.get(table, -1):
+            peer.acked_epochs[table] = epoch
+        peer.sent_lsns[table] = max(
+            peer.sent_lsns.get(table, 0), peer.acked_lsns[table]
+        )
+
+    def _settle(self, peer: PeerState, credit_latency: bool = True) -> None:
+        """Retire every outstanding frame the acknowledged cursors now
+        cover — the batched-ack core: one cumulative cursor settles an
+        entire window.  Each settled frame feeds its observed ack
+        latency into the peer's adaptive window, except when
+        ``credit_latency`` is off: a settle *we* solicited (probe
+        reply) or happened upon (piggybacked query cursors) measures
+        the central's own settle timing, not the link's speed, and
+        must not walk a fast link's window down."""
+        if not peer.outstanding:
+            return
+        now = time.monotonic()
+        remaining: list[SentRecord] = []
+        for record in peer.outstanding:
+            if record.kind == "config":
+                remaining.append(record)  # settled by its control ack
+                continue
+            acked = peer.acked_lsns.get(record.table)
+            covered = acked is not None and acked >= record.lsn
+            if covered and record.kind == "snapshot":
+                covered = (
+                    peer.acked_epochs.get(record.table, -1) >= record.epoch
+                )
+            if covered:
+                if credit_latency:
+                    peer.window.on_ack(now - record.sent_at)
+                if record.kind == "snapshot":
+                    peer.snapshot_inflight.discard(record.table)
+                    peer.needs_snapshot.discard(record.table)
+            else:
+                remaining.append(record)
+        peer.outstanding = remaining
+
+    def _drop_outstanding(self, peer: PeerState, table: str) -> None:
+        """Retire (without ack credit) every outstanding frame for
+        ``table`` — they were nacked or superseded; the escalation
+        path owns the table now."""
+        peer.outstanding = [
+            r for r in peer.outstanding if r.table != table
+        ]
+        peer.snapshot_inflight.discard(table)
+
+    def _apply_cursor_ack(self, peer: PeerState, ack: CursorAckFrame) -> None:
+        """One cumulative ack: advance every cursor monotonically, then
+        settle the outstanding frames those cursors cover.  An ack that
+        answers *our* probe carries no link-speed information (the
+        frames may have sat settled-but-unclaimed until we asked), so
+        solicited settles skip the latency feedback."""
+        solicited = peer.probe_inflight
+        for table, lsn, epoch in ack.cursors:
+            self._advance_cursor(peer, table, lsn, epoch)
+        peer.probe_inflight = False
+        self._settle(peer, credit_latency=not solicited)
+
+    def observe_response_cursors(
+        self, name: str, cursors: Sequence[tuple[str, int, int]]
+    ) -> None:
+        """Feed the cursors piggybacked on a query response into the
+        peer's ack state (the deployment layer calls this — query
+        responses travel on the same ordered link as replication, so a
+        piggybacked cursor is exactly as authoritative as a
+        :class:`~repro.edge.transport.CursorAckFrame`).  Unknown peers
+        are ignored; application is monotonic like every other ack."""
+        peer = self.peers.get(name)
+        if peer is None or not cursors:
+            return
+        # This is the one PeerState writer that runs on a query thread
+        # rather than the pump's; the peer lock keeps its settle from
+        # racing a concurrent send's bookkeeping.
+        with peer.lock:
+            for table, lsn, epoch in cursors:
+                self._advance_cursor(peer, table, lsn, epoch)
+            self._settle(peer, credit_latency=False)
 
     def _apply_ack(self, peer: PeerState, ack: AckFrame) -> str:
         table = ack.table
+        if table and table not in self.central.vbtrees:
+            # Untrusted input: a fabricated replica name must not grow
+            # needs_snapshot (or any per-table state) without bound.
+            return "ok"
         if not table:
-            return "ok"  # control ack (e.g. a key-ring refresh): no cursor
-        peer.snapshot_inflight.discard(table)
+            # Control ack (a key-ring refresh): settle the config frame.
+            now = time.monotonic()
+            remaining = []
+            for record in peer.outstanding:
+                if record.kind == "config":
+                    peer.window.on_ack(now - record.sent_at)
+                else:
+                    remaining.append(record)
+            peer.outstanding = remaining
+            return "ok"
         if ack.ok or ack.reason == "stale":
             # `stale` means the edge already holds the range — a benign
-            # duplicate (e.g. a resend racing a queued frame).
-            peer.acked_lsns[table] = max(
-                peer.acked_lsns.get(table, 0), ack.lsn
-            )
-            peer.acked_epochs[table] = ack.epoch
-            peer.sent_lsns[table] = max(
-                peer.sent_lsns.get(table, 0), peer.acked_lsns[table]
-            )
-            peer.needs_snapshot.discard(table)
+            # duplicate (e.g. a resend racing a queued frame).  The
+            # carried cursor still advances central state (monotonic).
+            self._advance_cursor(peer, table, ack.lsn, ack.epoch)
+            self._settle(peer)
             return "ok"
         if ack.reason == "gap":
+            if ack.lsn < peer.acked_lsns.get(table, 0):
+                # An outranked gap nack is never a mere delay: replies
+                # travel the ordered link in generation order and the
+                # edge's cursor is monotone, so a cursor *behind* what
+                # this edge already acknowledged means the replica
+                # regressed underneath us (state loss, at-rest
+                # tampering).  Obeying it would regress `acked_lsns`
+                # (the monotonicity bug); ignoring it would retry the
+                # same gapping delta forever.  Escalate: replace the
+                # replica wholesale — monotonic cursors must never
+                # mask divergence.
+                peer.needs_snapshot.add(table)
+                self._drop_outstanding(peer, table)
+                peer.reset_cursor(table)
+                peer.window.on_fault()
+                return "snapshot"
             # Trust the reported cursor as a routing hint only; the
             # retried batch is signed, so a lying edge gains nothing.
-            peer.acked_lsns[table] = ack.lsn
-            peer.sent_lsns[table] = ack.lsn
+            # The retry resumes from the *sanitized* acknowledged
+            # cursor (reset, not the raw ack.lsn — a lying cursor
+            # ahead of the log must not park sent_lsns in the future).
+            self._advance_cursor(peer, table, ack.lsn, ack.epoch)
+            peer.reset_cursor(table)
+            self._drop_outstanding(peer, table)
+            peer.window.on_fault()
             return "gap"
         # tamper / diverged / unknown: the replica cannot be trusted to
         # extend — replace it wholesale.
         peer.needs_snapshot.add(table)
+        self._drop_outstanding(peer, table)
         peer.reset_cursor(table)
+        peer.window.on_fault()
         return "snapshot"
 
     # ------------------------------------------------------------------

@@ -55,7 +55,16 @@ from repro.edge.transport import (
 )
 from repro.exceptions import RouterError, TransportError
 
+#: Bound on per-edge staleness-hint entries a router will hold.
+#: Piggybacked cursors are untrusted input: a hostile edge appending
+#: fabricated replica names to every response must not grow a
+#: long-lived client's state without limit.  Real fleets replicate far
+#: fewer tables than this; once full, hints for *known* replicas keep
+#: updating and unknown names are dropped.
+MAX_CURSOR_HINTS = 512
+
 __all__ = [
+    "MAX_CURSOR_HINTS",
     "RoutingPolicy",
     "EdgeStats",
     "RoutedResponse",
@@ -261,6 +270,13 @@ class DeploymentQueryChannel:
                 f"edge {self.name!r} answered a query with "
                 f"{type(reply).__name__}"
             )
+        # Bank the piggybacked cursors centrally: the response shared
+        # the ordered replication link, so they are acks (DESIGN.md
+        # section 10) — query traffic keeps the fan-out engine's
+        # staleness view current between settle points for free.
+        self.deployment.central.fanout.observe_response_cursors(
+            self.name, reply.cursors
+        )
         return reply, self._clock() - start
 
 
@@ -664,6 +680,20 @@ class EdgeRouter(_QuerySurface):
         if reply.lsn >= stats.cursors.get(replica, 0):
             stats.cursors[replica] = reply.lsn
             stats.epochs[replica] = reply.epoch
+        # Piggybacked cumulative cursors: one response refreshes the
+        # staleness hint for *every* replica this edge holds, so a
+        # `freshest` router learns about tables it has never queried
+        # there.  Monotonic, like every hint, and bounded — the names
+        # come from an untrusted edge.
+        for table, lsn, epoch in reply.cursors:
+            if (
+                table not in stats.cursors
+                and len(stats.cursors) >= MAX_CURSOR_HINTS
+            ):
+                continue
+            if lsn >= stats.cursors.get(table, 0):
+                stats.cursors[table] = lsn
+                stats.epochs[table] = epoch
 
     def _record_failure(
         self, stats: EdgeStats, error: str, link_fault: bool = True
@@ -745,6 +775,15 @@ class VerifyingRouter(_QuerySurface):
                 self.router.queries -= 1
                 self.router.failovers += 1
             attempts.extend(routed.attempts)
+            # Every edge tried this round is spent for this logical
+            # query: the answering edge is about to be judged, and the
+            # ones that failed in transport have already fed the health
+            # cooldown once.  Excluding them from later verify-rounds
+            # keeps that "exactly once" — without this, a reject round
+            # re-attempted the same down edge and double-counted its
+            # failure streak (probing it toward cooldown on the back of
+            # a *different* edge's tampering).
+            excluded.update(routed.attempts)
             verdict = self.client.verify(routed.result)
             if verdict.ok:
                 self.accepts += 1
@@ -764,4 +803,3 @@ class VerifyingRouter(_QuerySurface):
                 routed.edge, reason=f"verification rejected: {verdict.reason}"
             )
             rejected.append(routed.edge)
-            excluded.add(routed.edge)

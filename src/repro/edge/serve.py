@@ -75,12 +75,20 @@ def serve_connection(sock: socket.socket, name: str, edge=None):
             f"expected ConfigFrame, got {type(reply).__name__}"
         )
     if edge is None:
-        edge = EdgeServer(name=name, config=config_from_frame(reply))
+        edge = EdgeServer(
+            name=name,
+            config=config_from_frame(reply),
+            ack_every=reply.ack_every,
+            ack_bytes=reply.ack_bytes,
+        )
     else:
         # A reconnect's handshake carries the *current* verification
         # bundle — apply it so a key rotation that happened while this
         # edge was disconnected is already known before any frame.
+        # Ack-coalescing policy travels with it.
         edge.config = config_from_frame(reply)
+        edge.ack_every = max(1, reply.ack_every)
+        edge.ack_bytes = max(1, reply.ack_bytes)
     while True:
         try:
             data = recv_frame(sock)

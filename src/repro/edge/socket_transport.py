@@ -58,7 +58,9 @@ from typing import Optional
 
 from repro.edge.network import Channel
 from repro.edge.transport import (
+    CursorAckFrame,
     Frame,
+    QueryResponseFrame,
     SendOutcome,
     Transport,
     frame_from_bytes,
@@ -306,19 +308,51 @@ class TcpTransport(Transport):
         window and the engine skips it, exactly like a frame-holding
         in-process link.
 
-        With ``wait=True`` (a settle point, e.g.
-        :meth:`~repro.edge.deploy.Deployment.sync`) this blocks until
-        every pending reply has arrived, bounded by the receive
-        timeout.  On EOF / reset / timeout the link is closed and
-        whatever was collected is returned — in-flight frames are
-        forgotten, leaving the peer's cursors behind so a later pump
-        (or a reconnect handshake) retries or heals.
+        With ``wait=True`` this blocks until the link *settles*:
+        either every sent frame has been answered one-for-one (the
+        pre-batching cadence) or a cumulative
+        :class:`~repro.edge.transport.CursorAckFrame` arrives — a
+        cumulative ack zeroes the pending count, so replies its
+        cursors do not yet cover (frames still queued behind the ack
+        point) surface on a *later* flush rather than being blocked
+        for here.  Settle points that must cover a coalescing peer's
+        whole pipeline therefore use the probe-then-:meth:`poll` drain
+        (the fan-out engine's), not this.  On EOF / reset / timeout
+        the link is closed and whatever was collected is returned —
+        in-flight frames are forgotten, leaving the peer's cursors
+        behind so a later pump (or a reconnect handshake) retries or
+        heals.
         """
         with self._lock:
             replies = list(self._stray)
             self._stray.clear()
-            while self._pending:
+            while True:
+                if wait and not self._pending:
+                    break
                 reply = self._read_reply(wait=wait)
+                if reply is _NOT_READY or reply is None:
+                    break
+                replies.append(reply)
+            return replies
+
+    def poll(self) -> list:
+        """Block for at least one reply frame; return all available.
+
+        The batched-ack settle primitive (see
+        :meth:`Transport.poll <repro.edge.transport.Transport.poll>`):
+        the caller has just solicited a cursor ack and knows *a* reply
+        is coming, but not how many frames it will cover.  A receive
+        timeout or EOF closes the link and returns whatever arrived.
+        """
+        with self._lock:
+            replies = list(self._stray)
+            self._stray.clear()
+            if not replies:
+                reply = self._read_reply(wait=True)
+                if reply is not None and reply is not _NOT_READY:
+                    replies.append(reply)
+            while True:  # drain whatever else is already buffered
+                reply = self._read_reply(wait=False)
                 if reply is _NOT_READY or reply is None:
                     break
                 replies.append(reply)
@@ -337,30 +371,32 @@ class TcpTransport(Transport):
     def request(self, frame: Frame) -> Frame:
         """One synchronous request/reply round-trip (query path).
 
-        Outstanding replication replies are drained first (and saved
-        for the next :meth:`flush`), so the reply returned here is the
-        one matching ``frame``.
+        Replies arrive strictly in order, so the query's answer is the
+        first :class:`~repro.edge.transport.QueryResponseFrame` to
+        arrive after the send; replication replies read on the way
+        (acks a coalescing edge was holding, or pipelined per-frame
+        acks) are stashed for the next :meth:`flush`.  Matching by
+        *type* instead of by count matters under batched acks: a peer
+        with deferred acks outstanding answers fewer frames than it
+        received, and the old drain-``pending``-replies-first protocol
+        would block on acks that are never coming.
 
         Raises:
             TransportError: If the link is down or drops mid-exchange.
         """
         with self._lock:
-            while self._pending:
-                drained = self._read_reply()
-                if drained is None:
-                    raise TransportError(
-                        f"link to {self.name!r} lost while draining replies"
-                    )
-                self._stray.append(drained)
             outcome = self.send(frame)
             if outcome.status != "queued":
                 raise TransportError(f"link to {self.name!r} is down")
-            reply = self._read_reply()
-            if reply is None:
-                raise TransportError(
-                    f"link to {self.name!r} lost awaiting reply"
-                )
-            return reply
+            while True:
+                reply = self._read_reply()
+                if reply is None:
+                    raise TransportError(
+                        f"link to {self.name!r} lost awaiting reply"
+                    )
+                if isinstance(reply, QueryResponseFrame):
+                    return reply
+                self._stray.append(reply)
 
     def _buffered_frame(self) -> Optional[bytes]:
         """Pop one complete frame from the receive buffer, if present.
@@ -408,11 +444,20 @@ class TcpTransport(Transport):
                 self._mark_closed()
                 return None
             self._rbuf += chunk
-        self._pending = max(0, self._pending - 1)
         try:
             reply = frame_from_bytes(data)
         except TransportError:
             self._mark_closed()
             return None
+        if isinstance(reply, CursorAckFrame):
+            # A cumulative ack answers *everything* the peer received
+            # before emitting it (FIFO link, cursors cover the lot) —
+            # one-for-one pending accounting would otherwise drift
+            # upward forever on a coalescing link, and a later
+            # ``flush(wait=True)`` would block on replies that are
+            # never coming until the timeout tore the link down.
+            self._pending = 0
+        else:
+            self._pending = max(0, self._pending - 1)
         self._record_reply(data, reply)
         return reply

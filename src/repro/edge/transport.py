@@ -46,6 +46,8 @@ __all__ = [
     "SnapshotFrame",
     "DeltaFrame",
     "AckFrame",
+    "CursorAckFrame",
+    "CursorProbeFrame",
     "QueryRequestFrame",
     "QueryResponseFrame",
     "HelloFrame",
@@ -122,6 +124,43 @@ class AckFrame:
 
 
 @dataclass(frozen=True)
+class CursorAckFrame:
+    """Edge→central cumulative acknowledgement (DESIGN.md section 10).
+
+    One frame acknowledges *everything* the edge has applied: it
+    carries the edge's per-table ``(lsn, epoch)`` cursors, and the
+    fan-out engine treats any cursor ≥ a sent frame's LSN as
+    acknowledging that frame and everything below it.  Edges emit it on
+    a count/byte threshold (not per frame — the whole point), on heal
+    boundaries (snapshot installs), and in reply to a
+    :class:`CursorProbeFrame`; rejections still travel as immediate
+    :class:`AckFrame` nacks, so coalescing can never mask a
+    tamper/gap signal.
+
+    Attributes:
+        edge: Responding edge server's name.
+        cursors: ``(table, lsn, epoch)`` for every replica the edge
+            holds — cumulative, never incremental.
+    """
+
+    edge: str
+    cursors: tuple[tuple[str, int, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class CursorProbeFrame:
+    """Central→edge ack solicitation (DESIGN.md section 10).
+
+    A tiny control frame the fan-out engine sends when it needs the
+    edge's cursors *now* (a settle point — ``drain(wait=True)``) and
+    coalescing may be holding them back.  The edge answers immediately
+    with a cumulative :class:`CursorAckFrame`.  One probe settles an
+    entire pipelined window, which is what makes batched acks safe to
+    wait on.
+    """
+
+
+@dataclass(frozen=True)
 class QueryRequestFrame:
     """A client query addressed to an edge server.
 
@@ -167,6 +206,14 @@ class QueryResponseFrame:
             everything from an edge — a lying cursor can only skew
             routing, never verification.
         epoch: Cursor echo — the replica's key epoch at answer time.
+        cursors: Piggybacked cumulative cursors — the same
+            ``(table, lsn, epoch)`` payload a
+            :class:`CursorAckFrame` carries, riding on a response the
+            edge was sending anyway (DESIGN.md section 10).  Routers
+            feed them into per-edge staleness hints for *every* replica
+            (not just the queried one), and the deployment layer feeds
+            them back into the fan-out engine's ack cursors.  Untrusted,
+            exactly like the ``lsn`` echo.
     """
 
     edge: str
@@ -174,6 +221,7 @@ class QueryResponseFrame:
     error: str = ""
     lsn: int = 0
     epoch: int = 0
+    cursors: tuple[tuple[str, int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -211,6 +259,12 @@ class ConfigFrame:
         clock: Key-ring logical clock.
         epochs: ``(epoch, n, e, issued_at, expires_at)`` records;
             ``expires_at`` is ``-1`` for still-current epochs.
+        ack_every: Ack-coalescing frame threshold the central server
+            wants this edge to run with (1 = acknowledge every frame,
+            the pre-batching cadence).
+        ack_bytes: Ack-coalescing byte threshold — an ack is emitted
+            once this many replication payload bytes have been absorbed
+            unacknowledged, whatever the frame count.
     """
 
     db_name: str
@@ -218,6 +272,8 @@ class ConfigFrame:
     grace: int
     clock: int
     epochs: tuple[tuple[int, int, int, int, int], ...]
+    ack_every: int = 1
+    ack_bytes: int = 1 << 18
 
 
 def range_query_frame(
@@ -275,8 +331,11 @@ def select_query_frame(
     )
 
 
-def config_to_frame(config) -> ConfigFrame:
-    """Serialize a :class:`~repro.edge.central.ClientConfig` bundle."""
+def config_to_frame(
+    config, ack_every: int = 1, ack_bytes: int = 1 << 18
+) -> ConfigFrame:
+    """Serialize a :class:`~repro.edge.central.ClientConfig` bundle
+    plus the central server's ack-coalescing policy for this edge."""
     ring = config.keyring
     return ConfigFrame(
         db_name=config.db_name,
@@ -287,6 +346,8 @@ def config_to_frame(config) -> ConfigFrame:
             (epoch, n, e, issued_at, -1 if expires_at is None else expires_at)
             for epoch, n, e, issued_at, expires_at in ring.export_records()
         ),
+        ack_every=ack_every,
+        ack_bytes=ack_bytes,
     )
 
 
@@ -311,7 +372,7 @@ def config_from_frame(frame: ConfigFrame):
     )
 
 
-Frame = Any  # union of the seven frame dataclasses
+Frame = Any  # union of the nine frame dataclasses
 
 _FRAME_SNAPSHOT = 0
 _FRAME_DELTA = 1
@@ -320,17 +381,44 @@ _FRAME_QUERY = 3
 _FRAME_RESPONSE = 4
 _FRAME_HELLO = 5
 _FRAME_CONFIG = 6
+_FRAME_CURSOR_ACK = 7
+_FRAME_CURSOR_PROBE = 8
 
 #: Channel transfer kind per frame type (byte accounting breakdown).
 _FRAME_KINDS = {
     SnapshotFrame: "snapshot",
     DeltaFrame: "delta",
     AckFrame: "ack",
+    CursorAckFrame: "ack",
+    CursorProbeFrame: "control",
     QueryRequestFrame: "query",
     QueryResponseFrame: "payload",
     HelloFrame: "control",
     ConfigFrame: "control",
 }
+
+
+def _encode_cursors(cursors: Sequence[tuple[str, int, int]]) -> bytes:
+    """Shared ``(table, lsn, epoch)`` list encoding (hello / acks)."""
+    parts = [encode_uint(len(cursors))]
+    for table, lsn, epoch in cursors:
+        parts.append(encode_value(table))
+        parts.append(encode_uint(lsn))
+        parts.append(encode_uint(epoch))
+    return b"".join(parts)
+
+
+def _decode_cursors(
+    data: bytes, offset: int
+) -> tuple[tuple[tuple[str, int, int], ...], int]:
+    count, offset = decode_uint(data, offset)
+    cursors = []
+    for _ in range(count):
+        table, offset = decode_value(data, offset)
+        lsn, offset = decode_uint(data, offset)
+        epoch, offset = decode_uint(data, offset)
+        cursors.append((table, lsn, epoch))
+    return tuple(cursors), offset
 
 
 def frame_kind(frame: Frame) -> str:
@@ -395,16 +483,27 @@ def frame_to_bytes(frame: Frame) -> bytes:
                 encode_value(frame.error),
                 encode_uint(frame.lsn),
                 encode_uint(frame.epoch),
+                _encode_cursors(frame.cursors),
             )
         )
+    if isinstance(frame, CursorAckFrame):
+        return b"".join(
+            (
+                bytes([_FRAME_CURSOR_ACK]),
+                encode_value(frame.edge),
+                _encode_cursors(frame.cursors),
+            )
+        )
+    if isinstance(frame, CursorProbeFrame):
+        return bytes([_FRAME_CURSOR_PROBE])
     if isinstance(frame, HelloFrame):
-        parts = [bytes([_FRAME_HELLO]), encode_value(frame.edge),
-                 encode_uint(len(frame.cursors))]
-        for table, lsn, epoch in frame.cursors:
-            parts.append(encode_value(table))
-            parts.append(encode_uint(lsn))
-            parts.append(encode_uint(epoch))
-        return b"".join(parts)
+        return b"".join(
+            (
+                bytes([_FRAME_HELLO]),
+                encode_value(frame.edge),
+                _encode_cursors(frame.cursors),
+            )
+        )
     if isinstance(frame, ConfigFrame):
         parts = [
             bytes([_FRAME_CONFIG]),
@@ -416,6 +515,8 @@ def frame_to_bytes(frame: Frame) -> bytes:
         ]
         for record in frame.epochs:
             parts.extend(encode_value(field_) for field_ in record)
+        parts.append(encode_uint(frame.ack_every))
+        parts.append(encode_uint(frame.ack_bytes))
         return b"".join(parts)
     raise TransportError(f"cannot serialize frame {type(frame).__name__}")
 
@@ -485,19 +586,21 @@ def frame_from_bytes(data: bytes) -> Frame:
             error, offset = decode_value(data, offset)
             lsn, offset = decode_uint(data, offset)
             epoch, offset = decode_uint(data, offset)
+            cursors, offset = _decode_cursors(data, offset)
             frame = QueryResponseFrame(
-                edge=edge, payload=payload, error=error, lsn=lsn, epoch=epoch
+                edge=edge, payload=payload, error=error, lsn=lsn,
+                epoch=epoch, cursors=cursors,
             )
+        elif tag == _FRAME_CURSOR_ACK:
+            edge, offset = decode_value(data, offset)
+            cursors, offset = _decode_cursors(data, offset)
+            frame = CursorAckFrame(edge=edge, cursors=cursors)
+        elif tag == _FRAME_CURSOR_PROBE:
+            frame = CursorProbeFrame()
         elif tag == _FRAME_HELLO:
             edge, offset = decode_value(data, offset)
-            count, offset = decode_uint(data, offset)
-            cursors = []
-            for _ in range(count):
-                table, offset = decode_value(data, offset)
-                lsn, offset = decode_uint(data, offset)
-                epoch, offset = decode_uint(data, offset)
-                cursors.append((table, lsn, epoch))
-            frame = HelloFrame(edge=edge, cursors=tuple(cursors))
+            cursors, offset = _decode_cursors(data, offset)
+            frame = HelloFrame(edge=edge, cursors=cursors)
         elif tag == _FRAME_CONFIG:
             db_name, offset = decode_value(data, offset)
             policy, offset = decode_value(data, offset)
@@ -511,9 +614,12 @@ def frame_from_bytes(data: bytes) -> Frame:
                     value, offset = decode_value(data, offset)
                     record.append(value)
                 epochs.append(tuple(record))
+            ack_every, offset = decode_uint(data, offset)
+            ack_bytes, offset = decode_uint(data, offset)
             frame = ConfigFrame(
                 db_name=db_name, policy=policy, grace=grace, clock=clock,
-                epochs=tuple(epochs),
+                epochs=tuple(epochs), ack_every=ack_every,
+                ack_bytes=ack_bytes,
             )
         else:
             raise TransportError(f"unknown frame tag {tag}")
@@ -625,6 +731,17 @@ class Transport:
         """Frames in the link (sent, not yet acknowledged/processed)."""
         return 0
 
+    @property
+    def connected(self) -> bool:
+        """False once the link is known dead (socket fault, closed).
+
+        A *faulted but recoverable* link (partitioned/held in-process
+        injection) still reports True — connectedness is about whether
+        replies can ever arrive on this object, not about the current
+        weather.
+        """
+        return True
+
     def connect(self, handler: Callable[[bytes], Sequence[bytes]]) -> None:
         """Register the peer's handler (receives and returns *bytes*)."""
         raise NotImplementedError
@@ -641,8 +758,26 @@ class Transport:
         is already available without blocking the caller (safe on a
         write path), ``True`` blocks until every outstanding reply has
         arrived (a settle point, e.g. before checking staleness).
+        ``wait=True`` assumes the pre-batching one-reply-per-frame
+        cadence; callers settling a *coalescing* peer must instead
+        drive :meth:`poll` themselves (the fan-out engine's
+        probe-then-poll drain), because the number of replies is no
+        longer knowable from the number of sends.
         """
         raise NotImplementedError
+
+    def poll(self) -> list:
+        """Block until at least one reply frame is available (or the
+        link dies), then return everything available.
+
+        The settle primitive for the batched-ack protocol (DESIGN.md
+        section 10): after soliciting a :class:`CursorProbeFrame`, the
+        fan-out engine polls for the cumulative ack instead of
+        counting one reply per sent frame.  Returns ``[]`` only when
+        nothing can arrive anymore — the link is dead, held, or timed
+        out — never as "not yet".
+        """
+        return self.flush(wait=True)
 
     def request(self, frame: Frame) -> Frame:
         """One synchronous request/reply round-trip (the query path).
@@ -699,6 +834,12 @@ class InProcessTransport(Transport):
     def queued_frames(self) -> int:
         """Frames sitting in the link awaiting :meth:`flush`."""
         return len(self._queue)
+
+    @property
+    def connected(self) -> bool:
+        """An in-process link is alive once a handler is wired; fault
+        injection (partition/hold) is weather, not death."""
+        return self._handler is not None
 
     def send(self, frame: Frame) -> SendOutcome:
         if self._handler is None:

@@ -158,6 +158,104 @@ class TestMultiProcessDeployment:
         assert client.verify(resp).ok
 
 
+class TestKillMidWindow:
+    def test_peer_killed_mid_window_nacks_heals_and_drops_no_tail(
+        self, tmp_path
+    ):
+        """Satellite regression (DESIGN.md section 10.4): pipelined
+        sends under *deferred* acks, then SIGKILL the edge with the
+        window full.  The failure must surface as failed sends and a
+        forgotten optimistic tail — never a hang in the settle loop
+        (the old one-reply-per-frame drain would block on acks that
+        are never coming) and never a silently-dropped tail: after the
+        restart the snapshot heal must reach cursor parity with every
+        committed row present."""
+        import time
+
+        central = make_central(ack_every=64)  # acks far beyond the window
+        deploy = Deployment(central, log_dir=str(tmp_path / "edge-logs"))
+        try:
+            client = central.make_client()
+            deploy.launch_edge("edge-0")
+            deploy.wait_for_edge("edge-0")
+            # Pipeline a window of deltas the edge will never ack (the
+            # coalescing threshold is far away), then kill it.
+            for key in range(9001, 9006):
+                central.insert("items", (key, "a", "b", "c"))
+            assert central.fanout.peer("edge-0").inflight > 0
+            deploy.kill_edge("edge-0")
+            # Mid-batch writes against the dead peer: ECONNRESET/EPIPE
+            # must map to failed sends, never an exception or a stall.
+            start = time.perf_counter()
+            for key in range(9006, 9011):
+                central.insert("items", (key, "x", "y", "z"))
+            deploy.sync()
+            elapsed = time.perf_counter() - start
+            assert elapsed < 8.0, f"settle hung {elapsed:.1f}s on a dead peer"
+            assert not deploy.edges["edge-0"].connected
+            # The optimistic tail was forgotten, not silently dropped:
+            # nothing is left pretending to be in flight.
+            assert central.fanout.peer("edge-0").inflight == 0
+            assert central.staleness("edge-0", "items") > 0
+
+            deploy.restart_edge("edge-0")
+            deploy.wait_for_edge("edge-0")
+            assert central.staleness("edge-0", "items") == 0
+            kinds = deploy.edges["edge-0"].transport.down_channel.bytes_by_kind()
+            assert kinds.get("snapshot", 0) > 0, "heal must ship a snapshot"
+            resp = deploy.range_query("edge-0", "items", low=9001, high=9010)
+            assert len(resp.result.rows) == 10  # the full tail survived
+            assert client.verify(resp).ok
+        finally:
+            deploy.shutdown()
+
+
+class TestRestartHygiene:
+    def test_restart_reresolves_connections_and_leaks_no_fds(self, tmp_path):
+        """Regression: every relaunch under a ``log_dir`` opened a new
+        per-edge log handle while the superseded one stayed open until
+        shutdown — one leaked file descriptor per restart.  Restart
+        must re-resolve the query connection to the new process and
+        return the process-wide fd count to its baseline."""
+        import os
+
+        if not os.path.isdir("/proc/self/fd"):
+            pytest.skip("needs /proc (Linux)")
+
+        def fd_count() -> int:
+            return len(os.listdir("/proc/self/fd"))
+
+        central = make_central()
+        deploy = Deployment(central, log_dir=str(tmp_path / "edge-logs"))
+        try:
+            client = central.make_client()
+            deploy.launch_edge("edge-0")
+            deploy.wait_for_edge("edge-0")
+            baseline = fd_count()
+            first_transport = deploy.edges["edge-0"].transport
+            for round_ in range(4):
+                deploy.restart_edge("edge-0")
+                deploy.wait_for_edge("edge-0")
+                central.insert("items", (9100 + round_, "a", "b", "c"))
+                deploy.sync()
+                resp = deploy.range_query(
+                    "edge-0", "items", low=9100, high=9100 + round_
+                )
+                assert len(resp.result.rows) == round_ + 1
+                assert client.verify(resp).ok
+            # The query path resolved a fresh connection, and the old
+            # one is closed — not lingering as a stale socket.
+            assert deploy.edges["edge-0"].transport is not first_transport
+            assert not first_transport.connected
+            # Four restarts must not accumulate descriptors (old log
+            # handles + old sockets are closed on relaunch).
+            assert fd_count() <= baseline + 1, (
+                f"fd leak: baseline {baseline}, now {fd_count()}"
+            )
+        finally:
+            deploy.shutdown()
+
+
 class TestServeCli:
     def test_handshake_failure_exits_nonzero(self):
         """`python -m repro.edge.serve` against a dead port must fail

@@ -528,6 +528,98 @@ class TestAdversaryUnderRouting:
         assert len(laggard_resp.result.rows) == 0  # stale: inserts unseen
 
 
+class TestFailureAccounting:
+    def test_transport_failure_feeds_cooldown_exactly_once_per_query(self):
+        """Regression: one logical verifying query re-ran the routing
+        core after a verify-reject *without* excluding the edges that
+        had already failed in transport — a partitioned edge ordered
+        first by ``freshest`` was probed again in the reject round and
+        its cooldown streak double-counted, so another edge's tampering
+        pushed a merely-unreachable edge toward cooldown twice as fast.
+        A transport failure must feed the health state exactly once per
+        logical query."""
+        central = CentralServer(db_name=DB, rsa_bits=512, seed=31)
+        schema, rows = generate_table(
+            TableSpec(name="items", rows=90, columns=4, seed=6)
+        )
+        central.create_table(schema, rows, fanout_override=6)
+        edges = [central.spawn_edge_server(f"edge-{i}") for i in range(3)]
+        channels = [in_process_query_channel(e) for e in edges]
+        channels[0].transport.faults.partitioned = True  # probe will fail
+        ValueTamper(
+            table="items", key=20, column="a1", new_value="evil"
+        ).apply(edges[1])
+        verifying = central.make_router(
+            channels=channels, policy="freshest", failure_threshold=2
+        )
+        router = verifying.router
+        # Deterministic freshest order: edge-0 first, then 1, then 2.
+        router.observe_cursor("edge-0", "items", 1000)
+        router.observe_cursor("edge-1", "items", 500)
+        router.observe_cursor("edge-2", "items", 100)
+
+        resp = verifying.range_query("items", low=10, high=40)
+        assert resp.verdict.ok
+        assert resp.edge == "edge-2"
+        assert resp.rejected == ("edge-1",)
+        stats = router.edge_stats("edge-0")
+        assert stats.failures == 1
+        assert stats.consecutive_failures == 1
+        # threshold=2: a double-counted failure would have armed the
+        # cooldown off the back of a single unreachable attempt.
+        assert stats.cooldown_until == 0.0
+
+    def test_piggybacked_cursor_hints_are_bounded(self, result_payload):
+        """Piggybacked cursors are untrusted: an edge flooding every
+        response with fabricated replica names must not grow a
+        long-lived router's per-edge state without bound."""
+        from repro.edge.router import MAX_CURSOR_HINTS
+
+        router = make_router([ScriptedChannel("a", payload=result_payload)])
+        stats = router.edge_stats("a")
+        flood = QueryResponseFrame(
+            edge="a",
+            payload=result_payload,
+            lsn=1,
+            cursors=tuple(
+                (f"fake-{i}", 1, 0) for i in range(MAX_CURSOR_HINTS + 200)
+            ),
+        )
+        router._record_success(stats, flood, 0.01, "items")
+        assert len(stats.cursors) <= MAX_CURSOR_HINTS + 1  # + queried echo
+        # Known replicas keep updating even once the bound is hit.
+        update = QueryResponseFrame(
+            edge="a", payload=result_payload, lsn=9,
+            cursors=(("fake-0", 9, 0),),
+        )
+        router._record_success(stats, update, 0.01, "items")
+        assert stats.cursors["fake-0"] == 9
+
+    def test_failed_edge_recovers_on_later_queries(self):
+        """The exactly-once rule is per logical query: later queries
+        still probe the edge, and a recovery clears the streak."""
+        central = CentralServer(db_name=DB, rsa_bits=512, seed=31)
+        schema, rows = generate_table(
+            TableSpec(name="items", rows=90, columns=4, seed=6)
+        )
+        central.create_table(schema, rows, fanout_override=6)
+        edges = [central.spawn_edge_server(f"edge-{i}") for i in range(2)]
+        channels = [in_process_query_channel(e) for e in edges]
+        channels[0].transport.faults.partitioned = True
+        verifying = central.make_router(
+            channels=channels, policy="freshest", failure_threshold=3
+        )
+        router = verifying.router
+        router.observe_cursor("edge-0", "items", 1000)
+        router.observe_cursor("edge-1", "items", 100)
+        for expected in (1, 2):
+            assert verifying.range_query("items", low=5, high=15).verdict.ok
+            assert router.edge_stats("edge-0").consecutive_failures == expected
+        channels[0].transport.faults.clear()
+        assert verifying.range_query("items", low=5, high=15).edge == "edge-0"
+        assert router.edge_stats("edge-0").consecutive_failures == 0
+
+
 # ---------------------------------------------------------------------------
 # Query-path fault injection + metering (InProcessTransport.request)
 # ---------------------------------------------------------------------------

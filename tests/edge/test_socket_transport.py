@@ -262,6 +262,38 @@ class TestTcpTransport:
         assert [r.lsn for r in replies] == [1]
         assert transport.queued_frames == 0
 
+    def test_cumulative_ack_settles_all_pending(self, pair):
+        """A coalescing peer answers many sends with one cumulative
+        ack.  Per-frame pending accounting would drift upward forever
+        and make ``flush(wait=True)`` block (then tear down the healthy
+        link) waiting for replies that are never coming — the
+        cumulative ack must zero the pending count."""
+        from repro.edge.transport import CursorAckFrame
+
+        left, right = pair
+        transport = TcpTransport("stub", left, timeout=5)
+
+        def coalescing_peer():
+            for _ in range(3):
+                recv_frame(right)
+            ack = CursorAckFrame(edge="stub", cursors=(("t", 3, 0),))
+            send_frame(right, frame_to_bytes(ack))
+
+        thread = threading.Thread(target=coalescing_peer)
+        thread.start()
+        try:
+            for i in range(3):
+                transport.send(DeltaFrame("t", b"d%d" % i))
+            start = time.perf_counter()
+            replies = transport.flush(wait=True)
+            elapsed = time.perf_counter() - start
+        finally:
+            thread.join()
+        assert elapsed < 3.0, f"flush blocked {elapsed:.1f}s on a settled link"
+        assert [type(r).__name__ for r in replies] == ["CursorAckFrame"]
+        assert transport.queued_frames == 0
+        assert transport.connected
+
     def test_request_round_trip_and_stray_replies(self, pair):
         """A query issued while replication acks are outstanding gets
         *its* reply; the drained acks surface on the next flush."""

@@ -15,6 +15,9 @@ from repro.db.expressions import AlwaysTrue, And, Comparison, Not, Or
 from repro.edge.central import CentralServer
 from repro.edge.transport import (
     AckFrame,
+    ConfigFrame,
+    CursorAckFrame,
+    CursorProbeFrame,
     DeltaFrame,
     InProcessTransport,
     QueryRequestFrame,
@@ -51,6 +54,15 @@ class TestFrameCodec:
             QueryRequestFrame(kind="secondary", table="t", attribute="a2",
                               low="aa", high=None),
             QueryResponseFrame(edge="e1", payload=b"result-bytes"),
+            QueryResponseFrame(edge="e1", payload=b"r", lsn=12, epoch=1,
+                               cursors=(("t", 12, 1), ("t__by_a1", 9, 1))),
+            CursorAckFrame(edge="e1"),
+            CursorAckFrame(edge="e1",
+                           cursors=(("t", 7, 0), ("u", 1234567, 3))),
+            CursorProbeFrame(),
+            ConfigFrame(db_name="db", policy="flattened", grace=2, clock=9,
+                        epochs=((0, 12345, 3, 1, -1),),
+                        ack_every=16, ack_bytes=1 << 20),
         ],
     )
     def test_round_trip(self, frame):
