@@ -8,19 +8,66 @@ update batch, and runs a slow-edge scenario demonstrating that the
 write path is not blocked by one wedged edge.  Series are written as
 JSON (``benchmarks/results/fanout_scale.json``) in the same shape
 ``bench_replication.py`` uses, plus the usual CSV.
+
+The event-loop rows (DESIGN.md section 11) push the same bench to
+fleet scale: one central process driving **2000 connected in-process
+edges** (``mode="fleet"``, per-edge memory must stay flat) and **500
+real loopback-TCP edges** served by a single
+:class:`~repro.edge.event_loop.EdgeHost` reactor thread, under both
+central I/O paths (``mode="tcp-reactor"`` / ``"tcp-threaded"``).  Each
+row reports wall-clock sync, send-side syscalls per delta batch, and
+frames/sec; the bench asserts the reactor needs ≥5× fewer send
+syscalls than the threaded path at 500 edges and that delta bytes per
+edge are **exactly** identical across all three media — same frames on
+the wire, only the syscall schedule differs.
 """
 
 import json
 import os
 import time
+import tracemalloc
 
 from repro.bench.series import emit, results_dir
 from repro.edge.central import CentralServer, ReplicationMode
+from repro.edge.deploy import Deployment
+from repro.edge.event_loop import EdgeHost
 from repro.workloads.generator import TableSpec, generate_table
 
 EDGE_COUNTS = (1, 2, 4, 8, 16, 32)
 UPDATES = 8
 ROWS = 300
+
+#: Fleet-scale sweep (event-loop rows): in-process simulated edges and
+#: real loopback-TCP edges.  The fleet table is smaller than the 1..32
+#: sweep's — these rows measure *delivery* scaling, not snapshot apply.
+FLEET_COUNTS = (50, 500, 2000)
+TCP_COUNTS = (50, 500)
+FLEET_ROWS = 60
+
+
+def _merge_series(path: str, rows: list[dict]) -> list[dict]:
+    """Merge ``rows`` into the results file keyed by ``(mode, edges)``.
+
+    The 1..32 eager/lazy sweep and the fleet/TCP sweep run as separate
+    tests but gate against one committed baseline, so each test must
+    preserve the other's rows whichever order (or subset) ran.
+    """
+    existing: list[dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh).get("series", [])
+        except (OSError, ValueError):
+            existing = []
+    fresh = {(r["mode"], r["edges"]) for r in rows}
+    merged = [
+        r for r in existing if (r.get("mode"), r.get("edges")) not in fresh
+    ]
+    merged.extend(rows)
+    with open(path, "w") as fh:
+        json.dump({"series": merged}, fh, indent=2)
+    print(f"[json series written to {os.path.relpath(path)}]")
+    return merged
 
 
 def _deployment(n_edges: int, replication: ReplicationMode, **kwargs):
@@ -84,9 +131,7 @@ def test_fanout_scaling(benchmark):
         ],
     )
     path = os.path.join(results_dir(), "fanout_scale.json")
-    with open(path, "w") as fh:
-        json.dump({"series": series}, fh, indent=2)
-    print(f"[json series written to {os.path.relpath(path)}]")
+    _merge_series(path, series)
 
     # Per-edge replication cost is flat as the fleet grows (each edge
     # receives the same O(path) deltas), so total bytes scale linearly.
@@ -177,3 +222,168 @@ def test_slow_edge_does_not_block_writes(benchmark):
         _run_updates(central3)
 
     benchmark.pedantic(fresh_run, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Event-loop fleet scale: 2000 in-process edges, 500 TCP edges
+# ---------------------------------------------------------------------------
+
+
+def _fleet_central() -> CentralServer:
+    central = CentralServer(
+        db_name="fanoutbench",
+        rsa_bits=512,
+        seed=505,
+        replication=ReplicationMode.EAGER,
+    )
+    spec = TableSpec(name="items", rows=FLEET_ROWS, columns=5, seed=12)
+    schema, data = generate_table(spec)
+    central.create_table(schema, data)
+    return central
+
+
+def _delta_bytes(channel) -> int:
+    kinds = channel.bytes_by_kind()
+    return kinds.get("delta", 0) + kinds.get("snapshot", 0)
+
+
+def _fleet_cost(n_edges: int) -> dict:
+    """One central process driving ``n_edges`` in-process edges.
+
+    Per-edge memory is measured with ``tracemalloc`` across the fleet
+    bootstrap (replica trees + transports are the per-edge state);
+    snapshot payloads are serialized once for the whole fleet
+    (:meth:`~repro.edge.central.CentralServer.spawn_edge_fleet`), which
+    is what makes the 2000-edge point affordable.
+    """
+    central = _fleet_central()
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    edges = central.spawn_edge_fleet([f"edge-{i}" for i in range(n_edges)])
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    for edge in edges:
+        edge.replication_channel.reset()
+    start = time.perf_counter()
+    _run_updates(central)
+    central.fanout.drain(wait=True)
+    elapsed = time.perf_counter() - start
+    assert all(central.staleness(e, "items") == 0 for e in edges)
+    total_bytes = sum(_delta_bytes(e.replication_channel) for e in edges)
+    return {
+        "edges": n_edges,
+        "mode": "fleet",
+        "updates": UPDATES,
+        "sync_seconds": elapsed,
+        "replication_bytes": total_bytes,
+        "bytes_per_edge": total_bytes // n_edges,
+        "per_edge_kb": round((after - before) / 1024 / n_edges, 1),
+        "frames_per_sec": round(UPDATES * n_edges / elapsed),
+    }
+
+
+def _tcp_cost(io_mode: str, n_edges: int) -> dict:
+    """``n_edges`` real loopback-TCP edges hosted by one reactor thread.
+
+    The central side runs the requested I/O path; the edge side is the
+    same :class:`~repro.edge.event_loop.EdgeHost` in both runs, so the
+    send-syscall comparison isolates exactly the central hot path.
+    """
+    central = _fleet_central()
+    deploy = Deployment(central, io_mode=io_mode)
+    host = EdgeHost(*deploy.address)
+    names = [f"edge-{i}" for i in range(n_edges)]
+    try:
+        host.launch_fleet(names)
+        for name in names:
+            deploy.wait_for_edge(name, sync=False)
+        deploy.sync()  # bootstrap snapshots, excluded from the row
+        transports = [deploy.edges[name].transport for name in names]
+        for transport in transports:
+            transport.down_channel.reset()
+        if io_mode == "reactor":
+            sends_before = deploy.reactor.syscalls["sendmsg"]
+        start = time.perf_counter()
+        _run_updates(central)
+        deploy.sync()
+        elapsed = time.perf_counter() - start
+        assert all(central.staleness(n, "items") == 0 for n in names)
+        if io_mode == "reactor":
+            sends = deploy.reactor.syscalls["sendmsg"] - sends_before
+        else:
+            sends = sum(t.syscalls["send"] for t in transports)
+        total_bytes = sum(_delta_bytes(t.down_channel) for t in transports)
+        return {
+            "edges": n_edges,
+            "mode": f"tcp-{io_mode}",
+            "updates": UPDATES,
+            "sync_seconds": elapsed,
+            "replication_bytes": total_bytes,
+            "bytes_per_edge": total_bytes // n_edges,
+            "send_syscalls": sends,
+            "syscalls_per_batch": round(sends / n_edges, 2),
+            "frames_per_sec": round(UPDATES * n_edges / elapsed),
+        }
+    finally:
+        host.close()
+        deploy.shutdown()
+
+
+def test_event_loop_fleet_scale(benchmark):
+    """Fleet-scale acceptance (DESIGN.md section 11): 2000 connected
+    in-process edges at flat per-edge memory, 500 TCP edges to cursor
+    parity under both I/O paths, ≥5× fewer send syscalls per delta
+    batch on the reactor, and exact delta-byte parity across media."""
+    fleet = [_fleet_cost(n) for n in FLEET_COUNTS]
+    tcp = [
+        _tcp_cost(io_mode, n)
+        for io_mode in ("reactor", "threaded")
+        for n in TCP_COUNTS
+    ]
+    series = fleet + tcp
+    emit(
+        "Event-loop fan-out: fleet scale (in-process + TCP, both I/O paths)",
+        "fanout_fleet",
+        ["mode", "edges", "sync s", "bytes/edge", "syscalls/batch",
+         "frames/s", "KiB/edge"],
+        [
+            (s["mode"], s["edges"], round(s["sync_seconds"], 3),
+             s["bytes_per_edge"], s.get("syscalls_per_batch", "-"),
+             s["frames_per_sec"], s.get("per_edge_kb", "-"))
+            for s in series
+        ],
+    )
+    path = os.path.join(results_dir(), "fanout_scale.json")
+    _merge_series(path, series)
+
+    # Flat per-edge memory: the 2000-edge fleet costs no more per edge
+    # than the 50-edge fleet (shared payloads, no per-edge threads).
+    small, large = fleet[0], fleet[-1]
+    assert large["edges"] >= 2000
+    assert large["per_edge_kb"] <= small["per_edge_kb"] * 1.5, (
+        f"per-edge memory grew {small['per_edge_kb']} → "
+        f"{large['per_edge_kb']} KiB"
+    )
+
+    # The tentpole's syscall claim at 500 TCP edges: a whole pipelined
+    # delta batch rides one vectored write per edge on the reactor,
+    # versus one blocking sendall per frame (plus probe traffic) on the
+    # threaded path.
+    by_row = {(s["mode"], s["edges"]): s for s in series}
+    reactor = by_row[("tcp-reactor", 500)]
+    threaded = by_row[("tcp-threaded", 500)]
+    assert reactor["send_syscalls"] * 5 <= threaded["send_syscalls"], (
+        f"reactor {reactor['send_syscalls']} vs threaded "
+        f"{threaded['send_syscalls']} send syscalls"
+    )
+
+    # Exact delta-byte parity across media: in-process vs TCP and
+    # reactor vs threaded ship byte-identical replication traffic.
+    for n in TCP_COUNTS:
+        assert (
+            by_row[("fleet", n)]["bytes_per_edge"]
+            == by_row[("tcp-reactor", n)]["bytes_per_edge"]
+            == by_row[("tcp-threaded", n)]["bytes_per_edge"]
+        ), f"delta bytes diverge across media at {n} edges"
+
+    benchmark.pedantic(_fleet_cost, args=(50,), rounds=1, iterations=1)

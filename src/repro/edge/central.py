@@ -587,6 +587,38 @@ class CentralServer:
         self.fanout.bootstrap(name)
         return edge
 
+    def spawn_edge_fleet(self, names: Sequence[str]) -> list:
+        """Spawn many in-process edge servers, sharing bootstrap work.
+
+        Identical to calling :meth:`spawn_edge_server` per name except
+        that every snapshot payload is serialized **once** for the
+        whole fleet (the per-sweep payload cache is shared across the
+        bootstraps), which is what makes attaching thousands of
+        simulated edges affordable — the per-edge cost is applying the
+        snapshot, not re-signing and re-serializing it.
+
+        Returns:
+            The edge servers, in ``names`` order.
+        """
+        from repro.edge.edge_server import EdgeServer
+
+        payloads: dict = {}
+        edges = []
+        for name in names:
+            edge = EdgeServer(
+                name=name,
+                config=self.edge_config(),
+                ack_every=self.ack_every,
+                ack_bytes=self.ack_bytes,
+            )
+            link = InProcessTransport(name)
+            edge.attach_transport(link)
+            self.fanout.attach(name, link)
+            self._edges.append(edge)
+            self.fanout.bootstrap(name, payloads)
+            edges.append(edge)
+        return edges
+
     def attach_remote_edge(
         self,
         name: str,

@@ -46,9 +46,11 @@ from repro.core.vo import VOFormat
 from repro.core.wire import predicate_to_bytes, result_from_bytes
 from repro.edge.central import CentralServer
 from repro.edge.edge_server import EdgeResponse
+from repro.edge.event_loop import EdgeEventLoop, ReactorTransport
 from repro.edge.socket_transport import TcpTransport, recv_frame, send_frame
 from repro.edge.transport import (
     HelloFrame,
+    Transport,
     QueryRequestFrame,
     QueryResponseFrame,
     config_to_frame,
@@ -88,7 +90,7 @@ class EdgeProcess:
 
     name: str
     process: Optional[subprocess.Popen] = None
-    transport: Optional[TcpTransport] = None
+    transport: Optional[Transport] = None
     registered: threading.Event = field(default_factory=threading.Event)
     log: Any = None
 
@@ -112,6 +114,14 @@ class Deployment:
         io_timeout: Receive timeout on every accepted edge link.
         log_dir: Directory for per-edge stdout/stderr logs; edges are
             silenced (``/dev/null``) when not given.
+        io_mode: ``"reactor"`` (default) serves every accepted edge
+            link from one shared :class:`~repro.edge.event_loop.EdgeEventLoop`
+            — single-threaded, non-blocking, vectored writes; the
+            fan-out engine's settle points become readiness-driven.
+            ``"threaded"`` is the blocking-``sendall``
+            :class:`~repro.edge.socket_transport.TcpTransport` path,
+            kept as a selectable fallback (every deployment test runs
+            against both; see the ``REPRO_IO_MODE`` env override).
     """
 
     def __init__(
@@ -121,10 +131,22 @@ class Deployment:
         port: int = 0,
         io_timeout: float = 10.0,
         log_dir: str | None = None,
+        io_mode: str | None = None,
     ) -> None:
         self.central = central
         self.io_timeout = io_timeout
         self.log_dir = log_dir
+        self.io_mode = (
+            io_mode or os.environ.get("REPRO_IO_MODE", "reactor")
+        ).lower()
+        if self.io_mode not in ("reactor", "threaded"):
+            raise ValueError(
+                f"io_mode must be 'reactor' or 'threaded', got {self.io_mode!r}"
+            )
+        self.reactor: EdgeEventLoop | None = None
+        if self.io_mode == "reactor":
+            self.reactor = EdgeEventLoop()
+            central.fanout.reactor = self.reactor
         self.edges: dict[str, EdgeProcess] = {}
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -179,7 +201,13 @@ class Deployment:
             ack_bytes=self.central.ack_bytes,
         )
         send_frame(conn, frame_to_bytes(config))
-        transport = TcpTransport(hello.edge, conn, timeout=self.io_timeout)
+        transport: Transport
+        if self.reactor is not None:
+            transport = ReactorTransport(
+                hello.edge, self.reactor, conn, timeout=self.io_timeout
+            )
+        else:
+            transport = TcpTransport(hello.edge, conn, timeout=self.io_timeout)
         # Seed the peer with the epoch of the bundle we *actually sent*
         # — a rotation racing this handshake must still trigger a
         # refresh on the next pump.
@@ -293,7 +321,11 @@ class Deployment:
         Each round pumps the fan-out engine and then drains the
         pipelined acks; multiple rounds let the nack→retry→snapshot
         escalation run to quiescence (a heal needs one round to learn
-        of the problem and one to ship the fix).
+        of the problem and one to ship the fix).  Under the reactor
+        the drain is readiness-driven: every edge's queued frames and
+        its cursor probe leave in one vectored write, and one shared
+        ``select`` loop settles the whole fleet as acks land — no
+        per-peer probe→poll rounds, no busy polling.
 
         Returns:
             Total frames shipped.
@@ -456,6 +488,10 @@ class Deployment:
         for handle in handles:
             if handle.transport is not None:
                 handle.transport.close()
+        if self.reactor is not None:
+            self.reactor.close()
+            if self.central.fanout.reactor is self.reactor:
+                self.central.fanout.reactor = None
         for handle in handles:
             proc = handle.process
             if proc is None or proc.poll() is not None:

@@ -1,0 +1,689 @@
+"""Single-threaded non-blocking fan-out: the reactor hot path.
+
+The threaded deployment spends one blocking ``sendall`` (and, at settle
+points, one blocking reply read) per edge per frame — fine for tens of
+edges, hopeless for the fleet sizes the paper's edge model targets.
+This module rewrites the central-side delivery hot path as a classic
+reactor (DESIGN.md section 11):
+
+* :class:`EdgeEventLoop` — a ``selectors``-based event loop owning all
+  edge sockets in non-blocking mode.  Each connection keeps an
+  outbound queue of header/payload buffers; flushing gathers a whole
+  queued delta batch into **one** ``sendmsg`` syscall (vectored
+  writes), and inbound bytes land in the shared
+  :class:`~repro.edge.socket_transport.FrameDecoder` via ``recv_into``
+  (no per-frame ``bytes`` concatenation).  Write interest is
+  registered only while a send would block (``EWOULDBLOCK`` / partial
+  write) — the selector never spins on always-writable sockets.
+* :class:`ReactorTransport` — the :class:`~repro.edge.transport.Transport`
+  over one reactor connection.  ``send`` only *enqueues* (bytes reach
+  the socket on the next loop spin), so the fan-out engine's AIMD
+  window is the backpressure signal: a full window parks the edge's
+  queue instead of blocking a thread.  Fault injection mirrors
+  :class:`~repro.edge.transport.InProcessTransport` exactly, byte
+  metering included, so every byte-parity bench holds across media.
+* :class:`EdgeHost` — many in-process :class:`~repro.edge.edge_server.EdgeServer`\\ s
+  behind *real* loopback TCP sockets, all served from one background
+  thread running its own reactor.  This is what lets one test process
+  drive hundreds of TCP edges without hundreds of threads or OS
+  processes.
+
+The wire protocol is byte-identical to the threaded path: the same
+frames, the same cumulative-ack and monotonic-cursor semantics
+(DESIGN.md section 10) — only *when* syscalls happen changes.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional, Sequence
+
+from repro.edge.network import Channel
+from repro.edge.socket_transport import (
+    _IOV_MAX,
+    _RECV_CHUNK,
+    FRAME_HEADER,
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    connect_with_retry,
+    recv_frame,
+    send_frame,
+)
+from repro.edge.transport import (
+    CursorAckFrame,
+    FaultInjector,
+    Frame,
+    HelloFrame,
+    QueryResponseFrame,
+    SendOutcome,
+    Transport,
+    config_from_frame,
+    frame_from_bytes,
+    frame_to_bytes,
+)
+from repro.exceptions import TransportError
+
+__all__ = ["EdgeEventLoop", "ReactorTransport", "EdgeHost"]
+
+
+class _Connection:
+    """One registered socket: queues, decoder, and interest state."""
+
+    __slots__ = (
+        "name", "sock", "decoder", "out", "inbox", "handler",
+        "closed", "want_write", "registered", "gate",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        sock: socket.socket,
+        handler: Optional[Callable[[bytes], Sequence[bytes]]] = None,
+    ) -> None:
+        self.name = name
+        self.sock = sock
+        self.decoder = FrameDecoder()
+        #: Outbound byte buffers (header, payload, header, payload, …).
+        self.out: deque = deque()
+        #: Complete inbound frame payloads awaiting collection
+        #: (transport-owned connections only).
+        self.inbox: list[bytes] = []
+        self.handler = handler
+        self.closed = False
+        self.want_write = False
+        self.registered = False
+        #: Optional writability gate — ``False`` parks the queue
+        #: (fault injection: a held/partitioned link keeps its frames
+        #: queued without ever blocking the loop).
+        self.gate: Optional[Callable[[], bool]] = None
+
+    @property
+    def queued_bytes(self) -> int:
+        return sum(len(b) for b in self.out)
+
+
+class EdgeEventLoop:
+    """A ``selectors`` reactor multiplexing every edge socket.
+
+    One instance owns all its sockets from whichever thread is
+    currently driving :meth:`run_once` (calls are serialized by an
+    internal lock; other threads may :meth:`register` or
+    :meth:`enqueue` concurrently — registration is deferred to the
+    next spin via the wake pipe, enqueueing is lock-free per
+    connection under the loop lock).
+
+    Attributes:
+        syscalls: ``{"sendmsg", "recv", "select"}`` tallies — the
+            bench's evidence that a whole delta batch rides one
+            syscall per edge.
+    """
+
+    def __init__(self) -> None:
+        self._selector = selectors.DefaultSelector()
+        self._lock = threading.RLock()
+        self._reg_lock = threading.Lock()
+        self._pending: list[_Connection] = []
+        self._conns: list[_Connection] = []
+        self._closed = False
+        self.syscalls: dict[str, int] = {"sendmsg": 0, "recv": 0, "select": 0}
+        # Wake pipe: lets another thread (accept loop, shutdown) make a
+        # blocked select() return immediately.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+
+    # ------------------------------------------------------------------
+    # Registration (any thread)
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        sock: socket.socket,
+        handler: Optional[Callable[[bytes], Sequence[bytes]]] = None,
+    ) -> _Connection:
+        """Adopt ``sock`` (ownership transfers; set non-blocking).
+
+        The connection is usable immediately (``enqueue`` buffers in
+        user space); the selector registration itself happens on the
+        next :meth:`run_once` so only the loop-driving thread ever
+        touches the selector.
+        """
+        sock.setblocking(False)
+        conn = _Connection(name, sock, handler)
+        with self._reg_lock:
+            if self._closed:
+                raise TransportError("event loop is closed")
+            self._pending.append(conn)
+        self.wakeup()
+        return conn
+
+    def wakeup(self) -> None:
+        """Make a concurrent blocked ``select`` return promptly."""
+        try:
+            self._wake_w.send(b"\x00")
+        except (OSError, ValueError):
+            pass  # buffer full (already pending) or shutting down
+
+    def _admit_pending(self) -> None:
+        with self._reg_lock:
+            fresh, self._pending = self._pending, []
+        for conn in fresh:
+            if conn.closed:
+                continue
+            try:
+                self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+            except (OSError, ValueError):
+                conn.closed = True
+                continue
+            conn.registered = True
+            self._conns.append(conn)
+
+    def close_conn(self, conn: _Connection) -> None:
+        """Tear one connection down (idempotent, any thread)."""
+        self.wakeup()
+        with self._lock:
+            self._close_conn(conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        conn.out.clear()
+        if conn.registered:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, OSError, ValueError):
+                pass
+            conn.registered = False
+            try:
+                self._conns.remove(conn)
+            except ValueError:
+                pass
+        try:
+            conn.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Outbound
+    # ------------------------------------------------------------------
+
+    def enqueue(self, conn: _Connection, data: bytes) -> None:
+        """Queue one length-prefixed frame for the next flush."""
+        if len(data) > MAX_FRAME_BYTES:
+            raise TransportError(f"frame of {len(data)} bytes exceeds limit")
+        conn.out.append(FRAME_HEADER.pack(len(data)))
+        conn.out.append(data)
+
+    def _flush_conn(self, conn: _Connection) -> None:
+        """Drain one connection's queue with vectored writes.
+
+        The whole queue — however many frames a pump cycle parked
+        there — goes out in ``ceil(len/IOV_MAX)`` ``sendmsg`` calls.
+        ``EWOULDBLOCK`` or a partial write registers write interest;
+        the selector finishes the job when the kernel buffer drains.
+        """
+        while conn.out and not conn.closed:
+            if conn.gate is not None and not conn.gate():
+                return  # parked by fault injection — keep the queue
+            bufs = [
+                conn.out[i] for i in range(min(len(conn.out), _IOV_MAX))
+            ]
+            self.syscalls["sendmsg"] += 1
+            try:
+                sent = conn.sock.sendmsg(bufs)
+            except (BlockingIOError, InterruptedError):
+                self._want_write(conn, True)
+                return
+            except OSError:
+                self._close_conn(conn)
+                return
+            while conn.out and sent >= len(conn.out[0]):
+                sent -= len(conn.out[0])
+                conn.out.popleft()
+            if sent:
+                head = conn.out.popleft()
+                conn.out.appendleft(memoryview(head)[sent:])
+                self._want_write(conn, True)
+                return
+        self._want_write(conn, False)
+
+    def _want_write(self, conn: _Connection, want: bool) -> None:
+        if conn.want_write == want or not conn.registered:
+            conn.want_write = want and conn.registered
+            return
+        conn.want_write = want
+        events = selectors.EVENT_READ
+        if want:
+            events |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, events, conn)
+        except (KeyError, OSError, ValueError):
+            self._close_conn(conn)
+
+    # ------------------------------------------------------------------
+    # Inbound
+    # ------------------------------------------------------------------
+
+    def _read_conn(self, conn: _Connection) -> None:
+        while not conn.closed:
+            view = conn.decoder.writable(_RECV_CHUNK)
+            self.syscalls["recv"] += 1
+            try:
+                n = conn.sock.recv_into(view)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            if n == 0:  # clean EOF
+                self._close_conn(conn)
+                return
+            conn.decoder.wrote(n)
+            if n < len(view):
+                break  # socket drained
+        while True:
+            try:
+                data = conn.decoder.next_frame()
+            except TransportError:
+                self._close_conn(conn)
+                return
+            if data is None:
+                return
+            if conn.handler is None:
+                conn.inbox.append(data)
+            else:
+                for reply in conn.handler(data):
+                    self.enqueue(conn, reply)
+
+    # ------------------------------------------------------------------
+    # The spin
+    # ------------------------------------------------------------------
+
+    def run_once(self, timeout: float = 0.0, flush_writes: bool = True) -> int:
+        """One reactor spin; returns the number of ready connections.
+
+        ``flush_writes=False`` is the pump's read-collect mode: apply
+        whatever readiness the kernel already has, but leave outbound
+        queues parked so consecutive pumps keep coalescing — the
+        drain/settle path flushes them in one vectored write per edge.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            self._admit_pending()
+            if flush_writes:
+                for conn in list(self._conns):
+                    if conn.out:
+                        self._flush_conn(conn)
+            self.syscalls["select"] += 1
+            try:
+                events = self._selector.select(timeout)
+            except (OSError, ValueError):
+                return 0
+            processed = 0
+            for key, mask in events:
+                conn = key.data
+                if conn is None:  # wake pipe
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                    continue
+                if conn.closed:
+                    continue
+                if mask & selectors.EVENT_WRITE:
+                    self._flush_conn(conn)
+                if mask & selectors.EVENT_READ:
+                    self._read_conn(conn)
+                processed += 1
+            if flush_writes:
+                # Replies a handler just enqueued go out on this spin,
+                # not the next — one extra pass, zero extra latency.
+                for conn in list(self._conns):
+                    if conn.out and not conn.want_write:
+                        self._flush_conn(conn)
+            return processed
+
+    def close(self) -> None:
+        """Tear the loop down: every connection, then the selector."""
+        with self._reg_lock:
+            self._closed = True
+            pending, self._pending = self._pending, []
+        self.wakeup()
+        with self._lock:
+            for conn in pending + list(self._conns):
+                self._close_conn(conn)
+            try:
+                self._selector.close()
+            except (OSError, ValueError):
+                pass
+            for sock in (self._wake_r, self._wake_w):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+class ReactorTransport(Transport):
+    """Central-side transport over one :class:`EdgeEventLoop` connection.
+
+    The event-driven sibling of
+    :class:`~repro.edge.socket_transport.TcpTransport`: the same frame
+    protocol, the same pipelined surface, but ``send`` never performs a
+    syscall — frames queue on the connection and ship in vectored
+    batches when the loop spins (drain, settle, or query time).  Fault
+    semantics and byte metering mirror
+    :class:`~repro.edge.transport.InProcessTransport` outcome-for-outcome
+    so parity benches compare equals:
+
+    * ``partitioned`` — ``failed``, nothing metered, nothing queued.
+    * ``drop_next`` — metered then dropped (bytes left, frame lost).
+    * ``hold`` — metered and queued, the queue parked via the
+      connection gate until the fault clears.
+
+    Args:
+        name: The edge's name (link label).
+        loop: The owning reactor.
+        sock: Connected socket (ownership transfers to the loop).
+        down_channel / up_channel: Byte accounting, as for every
+            :class:`~repro.edge.transport.Transport`.
+        faults: Initial fault state (healthy by default).
+        timeout: Settle deadline for :meth:`flush(wait=True) <flush>`,
+            :meth:`poll`, and :meth:`request` — a peer silent for
+            longer counts as wedged (the reply just isn't coming).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        loop: EdgeEventLoop,
+        sock: socket.socket,
+        down_channel: Channel | None = None,
+        up_channel: Channel | None = None,
+        faults: FaultInjector | None = None,
+        timeout: float = 10.0,
+    ) -> None:
+        super().__init__(name, down_channel, up_channel)
+        self.faults = faults or FaultInjector()
+        self.timeout = timeout
+        self._loop = loop
+        self._lock = threading.RLock()
+        self._pending = 0
+        self._stray: list[Frame] = []
+        self._conn = loop.register(name, sock)
+        self._conn.gate = self._may_write
+
+    def _may_write(self) -> bool:
+        return not self.faults.blocks_delivery
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """False once the socket is known dead (faults are weather)."""
+        return not self._conn.closed
+
+    @property
+    def queued_frames(self) -> int:
+        """Frames sent but not yet matched with a reply."""
+        if self._conn.closed:
+            return 0
+        return self._pending
+
+    def close(self) -> None:
+        self._loop.close_conn(self._conn)
+
+    # ------------------------------------------------------------------
+    # Transport surface
+    # ------------------------------------------------------------------
+
+    def send(self, frame: Frame) -> SendOutcome:
+        """Enqueue one frame — no syscall, ever, on this path.
+
+        Returns ``status="queued"`` (the fan-out window counts it) or
+        ``status="failed"`` on a dead/partitioned link; ``dropped``
+        under drop injection.  Actual bytes leave in the next loop
+        spin's vectored flush.
+        """
+        with self._lock:
+            if self._conn.closed:
+                return SendOutcome(status="failed")
+            if self.faults.partitioned:
+                return SendOutcome(status="failed")
+            data = frame_to_bytes(frame)
+            transfer = self._record_send(data, frame)
+            if self.faults.drop_next > 0:
+                self.faults.drop_next -= 1
+                return SendOutcome(status="dropped", transfer=transfer)
+            self._loop.enqueue(self._conn, data)
+            self._pending += 1
+            return SendOutcome(status="queued", transfer=transfer)
+
+    def _collect(self) -> list:
+        """Decode and meter everything the loop has landed in the inbox."""
+        replies = list(self._stray)
+        self._stray.clear()
+        inbox, self._conn.inbox = self._conn.inbox, []
+        for data in inbox:
+            try:
+                reply = frame_from_bytes(data)
+            except TransportError:
+                self._loop.close_conn(self._conn)
+                break
+            if isinstance(reply, CursorAckFrame):
+                # Cumulative: answers everything received before it
+                # (same accounting as TcpTransport._read_reply).
+                self._pending = 0
+            else:
+                self._pending = max(0, self._pending - 1)
+            self._record_reply(data, reply)
+            replies.append(reply)
+        return replies
+
+    def flush(self, wait: bool = False) -> list:
+        """Collect outstanding reply frames.
+
+        ``wait=False`` (the per-pump drain) performs **no I/O at
+        all** — it only decodes what previous loop spins already
+        delivered, so draining five hundred peers costs five hundred
+        list-swaps, not five hundred selects.  ``wait=True`` spins the
+        loop until every pending frame is answered one-for-one or a
+        cumulative ack zeroes the count (the
+        :meth:`TcpTransport.flush <repro.edge.socket_transport.TcpTransport.flush>`
+        contract), bounded by ``timeout``.
+        """
+        with self._lock:
+            replies = self._collect()
+            if not wait:
+                return replies
+            deadline = time.monotonic() + self.timeout
+            while (
+                self._pending
+                and not self._conn.closed
+                and not self.faults.blocks_delivery
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._loop.close_conn(self._conn)
+                    break
+                self._loop.run_once(min(remaining, 0.2))
+                replies.extend(self._collect())
+            return replies
+
+    def poll(self) -> list:
+        """Spin the loop until at least one reply lands (or the link
+        dies / is held / times out) — the batched-ack settle primitive.
+        A held link returns immediately with whatever was buffered:
+        nothing can arrive while the outbound queue is parked, exactly
+        like the in-process transport's empty flush."""
+        with self._lock:
+            replies = self._collect()
+            if replies or self.faults.blocks_delivery:
+                return replies
+            deadline = time.monotonic() + self.timeout
+            while not replies and not self._conn.closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._loop.close_conn(self._conn)
+                    break
+                self._loop.run_once(min(remaining, 0.2))
+                replies = self._collect()
+            return replies
+
+    def request(self, frame: Frame) -> Frame:
+        """One synchronous request/reply round-trip (query path).
+
+        Matches by *type* like the threaded transport: the first
+        :class:`~repro.edge.transport.QueryResponseFrame` after the
+        send is the answer; replication replies read on the way are
+        stashed for the next :meth:`flush`.  Driving :meth:`run_once`
+        here also flushes any queued replication frames first — the
+        link is FIFO, so the query cannot overtake a delta.
+
+        Raises:
+            TransportError: If the link is down, held, or drops
+                mid-exchange.
+        """
+        with self._lock:
+            outcome = self.send(frame)
+            if outcome.status == "dropped":
+                raise TransportError(f"request to {self.name!r} lost in flight")
+            if outcome.status != "queued":
+                raise TransportError(f"link to {self.name!r} is down")
+            if self.faults.hold:
+                # Mirror InProcessTransport: the frame stays queued in
+                # the slow link, but a synchronous caller cannot wait.
+                raise TransportError(
+                    f"link to {self.name!r} timed out (peer holding frames)"
+                )
+            deadline = time.monotonic() + self.timeout
+            while True:
+                for reply in self._collect():
+                    if isinstance(reply, QueryResponseFrame):
+                        return reply
+                    self._stray.append(reply)
+                if self._conn.closed:
+                    raise TransportError(
+                        f"link to {self.name!r} lost awaiting reply"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._loop.close_conn(self._conn)
+                    raise TransportError(
+                        f"link to {self.name!r} timed out awaiting reply"
+                    )
+                self._loop.run_once(min(remaining, 0.2))
+
+
+class EdgeHost:
+    """A fleet of edge servers over real TCP, one thread, one reactor.
+
+    Each hosted edge dials the central listener, performs the standard
+    registration handshake (blocking, exactly like
+    :func:`repro.edge.serve.serve_connection`), builds its
+    :class:`~repro.edge.edge_server.EdgeServer` from the received
+    config, and then hands its socket to a private
+    :class:`EdgeEventLoop` served by one background thread — hundreds
+    of connected TCP edges for the price of one thread and a selector.
+
+    Args:
+        host / port: The central listener's address (a
+            :class:`~repro.edge.deploy.Deployment`'s ``address``).
+        spin: Select timeout of the serving thread's loop spins.
+    """
+
+    def __init__(self, host: str, port: int, spin: float = 0.2) -> None:
+        self.host = host
+        self.port = port
+        self.spin = spin
+        self.loop = EdgeEventLoop()
+        self.edges: dict = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def launch(self, name: str, io_timeout: float = 10.0) -> None:
+        """Dial, handshake, and adopt one edge into the reactor."""
+        from repro.edge.edge_server import EdgeServer
+
+        sock = connect_with_retry(self.host, self.port, timeout=io_timeout)
+        sock.settimeout(io_timeout)
+        send_frame(sock, frame_to_bytes(HelloFrame(edge=name, cursors=())))
+        data = recv_frame(sock)
+        if data is None:
+            raise TransportError("central closed during handshake")
+        config = frame_from_bytes(data)
+        edge = EdgeServer(
+            name=name,
+            config=config_from_frame(config),
+            ack_every=config.ack_every,
+            ack_bytes=config.ack_bytes,
+        )
+        self.edges[name] = edge
+
+        def handler(frame_bytes: bytes, _edge=edge, _name=name):
+            try:
+                return _edge.handle_frame(frame_bytes)
+            except Exception as exc:  # noqa: BLE001 - mirror serve.py:
+                # one bad frame answers with an error, not a dead edge.
+                return [
+                    frame_to_bytes(
+                        QueryResponseFrame(
+                            edge=_name,
+                            payload=b"",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                ]
+
+        self.loop.register(name, sock, handler=handler)
+
+    def launch_fleet(self, names: Sequence[str], io_timeout: float = 10.0) -> None:
+        """Dial and register many edges, then start serving."""
+        for name in names:
+            self.launch(name, io_timeout=io_timeout)
+        self.start()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._serve, name="edge-host", daemon=True
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.loop.run_once(self.spin)
+            except Exception:  # noqa: BLE001 - a torn socket mid-spin
+                # must not kill the host thread; its conn was closed.
+                continue
+
+    def close(self) -> None:
+        self._stop.set()
+        self.loop.wakeup()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.loop.close()
+
+    def __enter__(self) -> "EdgeHost":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

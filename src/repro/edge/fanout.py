@@ -249,6 +249,17 @@ class FanoutEngine:
         self.workers = workers
         self.peers: dict[str, PeerState] = {}
         self._payload_lock = threading.Lock()
+        #: The event loop owning this engine's remote links, when the
+        #: deployment runs the reactor path (``None`` = threaded /
+        #: in-process only).  Set by
+        #: :class:`~repro.edge.deploy.Deployment`; pumps then collect
+        #: already-ready acks without flushing (frames keep coalescing
+        #: per connection), and ``drain(wait=True)`` becomes one
+        #: readiness-driven settle over *all* peers at once instead of
+        #: per-peer probe→poll rounds.
+        self.reactor = None
+        #: Settle deadline for the reactor drain (seconds).
+        self.drain_timeout = 5.0
 
     # ------------------------------------------------------------------
     # Peer management
@@ -308,13 +319,22 @@ class FanoutEngine:
         except KeyError:
             raise ReplicationError(f"no edge {name!r} attached") from None
 
-    def bootstrap(self, name: str) -> int:
-        """Ship every table's snapshot to a newly attached edge."""
+    def bootstrap(self, name: str, payloads: Optional[dict] = None) -> int:
+        """Ship every table's snapshot to a newly attached edge.
+
+        ``payloads`` is the per-sweep payload cache: callers attaching
+        a whole fleet pass one shared dict so the O(tree) snapshot is
+        serialized once, not once per edge (see
+        :meth:`CentralServer.spawn_edge_fleet
+        <repro.edge.central.CentralServer.spawn_edge_fleet>`).
+        """
         peer = self.peer(name)
+        if payloads is None:
+            payloads = {}
         with peer.lock:
             shipped = 0
             for table in self.central.vbtrees:
-                shipped += self._send_snapshot(peer, table, {})
+                shipped += self._send_snapshot(peer, table, payloads)
             return shipped
 
     def staleness(self, name: str, table: str) -> int:
@@ -356,6 +376,13 @@ class FanoutEngine:
         ]
         if not peers:
             return 0
+        if self.reactor is not None:
+            # Read-collect spin: land whatever acks the kernel already
+            # has (so the per-peer drain below applies them) WITHOUT
+            # flushing outbound queues — consecutive eager pumps keep
+            # stacking frames per connection, and the next settle ships
+            # each edge's whole batch in one vectored write.
+            self.reactor.run_once(0.0, flush_writes=False)
         names = list(tables) if tables is not None else list(central.vbtrees)
         payloads: dict = {}
         if self.workers > 1 and len(peers) > 1:
@@ -402,9 +429,88 @@ class FanoutEngine:
         exactly as before.  Never do ``wait=True`` on the write path.
         """
         peers = [self.peer(name)] if name is not None else list(self.peers.values())
+        if wait and self.reactor is not None:
+            # Reactor-backed peers settle together off readiness
+            # notifications; anything else (in-process links in a mixed
+            # fleet) keeps the per-peer settle loop.
+            shared = [p for p in peers if self._reactor_backed(p)]
+            rest = [p for p in peers if not self._reactor_backed(p)]
+            if shared:
+                self._drain_reactor(shared)
+            peers = rest
         for peer in peers:
             with peer.lock:
                 self._drain(peer, wait=wait)
+
+    def _reactor_backed(self, peer: PeerState) -> bool:
+        return getattr(peer.transport, "_loop", None) is self.reactor
+
+    def _drain_reactor(self, peers: list) -> None:
+        """Settle every reactor peer off the loop's readiness signal.
+
+        The threaded settle is per-peer probe→poll rounds — over N
+        edges that is N blocking reply waits per drain.  Here the
+        probes for *all* peers are enqueued first (each rides the same
+        vectored write as the peer's queued deltas), then one
+        ``select`` loop waits for whichever edges answer, applying
+        cumulative acks as they land — no busy polling, no per-peer
+        blocking, and a dead or held link never delays the rest.
+        Semantics per peer are unchanged: a dead link forgets its
+        optimistic state (later pumps resend), a held-but-alive link
+        keeps it, and a peer still uncovered at the deadline is treated
+        as frame-losing, exactly like exhausted settle rounds.
+        """
+        pending: list = []
+        for peer in peers:
+            with peer.lock:
+                self._process_replies(peer, peer.transport.flush(wait=False))
+                if not peer.outstanding and not peer.probe_inflight:
+                    continue
+                if not peer.transport.connected:
+                    self._forget_outstanding(peer)
+                    continue
+                faults = getattr(peer.transport, "faults", None)
+                if faults is not None and faults.blocks_delivery:
+                    continue  # parked queue: keep optimism, settle later
+                status = self._solicit(peer)
+                if status in ("failed", "dropped"):
+                    if not peer.transport.connected:
+                        self._forget_outstanding(peer, fault=False)
+                    continue
+                pending.append(peer)
+        deadline = time.monotonic() + self.drain_timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self.reactor.run_once(min(remaining, 0.2))
+            still: list = []
+            for peer in pending:
+                with peer.lock:
+                    self._process_replies(
+                        peer, peer.transport.flush(wait=False)
+                    )
+                    if not peer.outstanding and not peer.probe_inflight:
+                        continue
+                    if not peer.transport.connected:
+                        self._forget_outstanding(peer)
+                        continue
+                    faults = getattr(peer.transport, "faults", None)
+                    if faults is not None and faults.blocks_delivery:
+                        continue
+                    if not peer.probe_inflight:
+                        # A partial ack landed (coalescing threshold)
+                        # but frames remain: re-solicit the rest.
+                        self._solicit(peer)
+                    still.append(peer)
+            pending = still
+        for peer in pending:
+            # Deadline exhausted with frames still uncovered on a live,
+            # unparked link: it is losing frames.  Forget the optimism
+            # so later pumps resend — never a silently-dropped tail.
+            with peer.lock:
+                if peer.outstanding:
+                    self._forget_outstanding(peer)
 
     def _drain(self, peer: PeerState, wait: bool = False) -> None:
         self._process_replies(peer, peer.transport.flush(wait=False))

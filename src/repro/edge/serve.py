@@ -26,6 +26,7 @@ from repro.edge.socket_transport import (
     connect_with_retry,
     recv_frame,
     send_frame,
+    send_frames,
 )
 from repro.edge.transport import (
     ConfigFrame,
@@ -113,8 +114,10 @@ def serve_connection(sock: socket.socket, name: str, edge=None):
                 )
             ]
         try:
-            for reply_bytes in replies:
-                send_frame(sock, reply_bytes)
+            # One frame can yield several replies (a delta's ack plus a
+            # nack, a heal's cursor ack): gather them into one vectored
+            # write instead of one syscall per reply.
+            send_frames(sock, replies)
         except OSError:
             break
     return edge

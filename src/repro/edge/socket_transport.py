@@ -71,7 +71,9 @@ from repro.exceptions import TransportError
 __all__ = [
     "FRAME_HEADER",
     "MAX_FRAME_BYTES",
+    "FrameDecoder",
     "send_frame",
+    "send_frames",
     "recv_frame",
     "connect_with_retry",
     "TcpTransport",
@@ -87,8 +89,113 @@ MAX_FRAME_BYTES = 1 << 30
 #: Read granularity for :func:`recv_frame`.
 _RECV_CHUNK = 1 << 16
 
+#: Most buffers one ``sendmsg`` may carry (POSIX IOV_MAX is 1024 on
+#: every platform we run on; staying at half leaves headroom).
+_IOV_MAX = 512
+
 #: Sentinel: no complete reply buffered yet (non-blocking read path).
 _NOT_READY = object()
+
+
+class FrameDecoder:
+    """Incremental zero-copy decoder for length-prefixed frame streams.
+
+    Shared by :class:`TcpTransport` and the event-loop reactor
+    (:mod:`repro.edge.event_loop`).  Bytes land directly in a growable
+    ``bytearray`` via :meth:`writable` + ``recv_into`` (no per-``recv``
+    ``bytes`` concatenation), and :meth:`next_frame` pops complete
+    frames with exactly one copy per frame — the ``bytes`` handed to
+    :func:`~repro.edge.transport.frame_from_bytes`.  Consumed space is
+    reclaimed by compaction only when the tail runs out of room, so a
+    steady stream of small frames never reallocates.
+
+    Usage (socket read path)::
+
+        view = decoder.writable()
+        n = sock.recv_into(view)
+        decoder.wrote(n)
+        while (frame := decoder.next_frame()) is not None:
+            ...
+
+    Raises:
+        TransportError: From :meth:`next_frame` on an implausible
+            length header (stream corruption — the connection is
+            unrecoverable, exactly as for :func:`recv_frame`).
+    """
+
+    __slots__ = ("_buf", "_head", "_tail")
+
+    def __init__(self, initial: int = _RECV_CHUNK) -> None:
+        self._buf = bytearray(max(initial, FRAME_HEADER.size))
+        self._head = 0  # first unconsumed byte
+        self._tail = 0  # one past the last byte written
+
+    def __len__(self) -> int:
+        """Bytes buffered but not yet popped as frames."""
+        return self._tail - self._head
+
+    def writable(self, want: int = _RECV_CHUNK) -> memoryview:
+        """A writable view of at least ``want`` bytes at the tail.
+
+        Compacts (slides the unconsumed region to the front) or grows
+        the buffer as needed; the caller reports how much it actually
+        wrote via :meth:`wrote`.
+        """
+        want = max(1, want)
+        if len(self._buf) - self._tail < want:
+            used = self._tail - self._head
+            if len(self._buf) - used >= want:
+                # Room after compaction: slide in place.  Same-size
+                # slice assignment never resizes, so this is safe even
+                # while a previously handed-out view is still alive.
+                if self._head and used:
+                    self._buf[:used] = self._buf[self._head:self._tail]
+            else:
+                # Grow by swapping in a fresh buffer: resizing in place
+                # raises ``BufferError`` while any earlier view is
+                # still referenced (the read loops keep their last view
+                # bound across iterations).
+                grown = bytearray(max(used + want, 2 * len(self._buf)))
+                grown[:used] = self._buf[self._head:self._tail]
+                self._buf = grown
+            self._head, self._tail = 0, used
+        return memoryview(self._buf)[self._tail:self._tail + want]
+
+    def wrote(self, n: int) -> None:
+        """Commit ``n`` bytes just written into :meth:`writable`."""
+        self._tail += n
+
+    def feed(self, data) -> None:
+        """Append ``data`` (bytes-like) — the non-``recv_into`` path."""
+        view = self.writable(len(data))
+        view[:len(data)] = data
+        self.wrote(len(data))
+
+    def next_frame(self) -> Optional[bytes]:
+        """Pop one complete frame payload, or ``None`` if not yet here.
+
+        Raises:
+            TransportError: On a length header exceeding
+                :data:`MAX_FRAME_BYTES`.
+        """
+        avail = self._tail - self._head
+        if avail < FRAME_HEADER.size:
+            if avail == 0:
+                self._head = self._tail = 0  # free rewind, no compaction
+            return None
+        (length,) = FRAME_HEADER.unpack_from(self._buf, self._head)
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"declared frame length {length} exceeds limit"
+            )
+        end = self._head + FRAME_HEADER.size + length
+        if end > self._tail:
+            return None
+        data = bytes(memoryview(self._buf)[self._head + FRAME_HEADER.size:end])
+        self._head = end
+        if self._head == self._tail:
+            self._head = self._tail = 0
+        return data
 
 
 def send_frame(sock: socket.socket, data: bytes) -> int:
@@ -103,6 +210,40 @@ def send_frame(sock: socket.socket, data: bytes) -> int:
     payload = FRAME_HEADER.pack(len(data)) + data
     sock.sendall(payload)
     return len(payload)
+
+
+def send_frames(sock: socket.socket, frames) -> int:
+    """Write many length-prefixed frames with vectored (gathered) I/O.
+
+    Packs every header+payload pair into as few ``sendmsg`` syscalls as
+    the iovec limit allows — an edge answering a pipelined delta batch
+    ships all its acks in one syscall instead of one ``sendall`` per
+    reply.  Semantics match :func:`send_frame`: all bytes ship or
+    ``OSError`` is raised (blocking socket assumed).
+
+    Returns:
+        Total bytes put on the wire.
+    """
+    bufs: list = []
+    total = 0
+    for data in frames:
+        if len(data) > MAX_FRAME_BYTES:
+            raise TransportError(f"frame of {len(data)} bytes exceeds limit")
+        bufs.append(FRAME_HEADER.pack(len(data)))
+        bufs.append(data)
+        total += FRAME_HEADER.size + len(data)
+    if not hasattr(sock, "sendmsg"):  # pragma: no cover - exotic platform
+        for i in range(0, len(bufs), 2):
+            sock.sendall(bufs[i] + bufs[i + 1])
+        return total
+    while bufs:
+        sent = sock.sendmsg(bufs[:_IOV_MAX])
+        while bufs and sent >= len(bufs[0]):
+            sent -= len(bufs[0])
+            bufs.pop(0)
+        if sent:
+            bufs[0] = memoryview(bufs[0])[sent:]
+    return total
 
 
 def _recv_exactly(sock: socket.socket, n: int, *, at_boundary: bool) -> Optional[bytes]:
@@ -237,8 +378,11 @@ class TcpTransport(Transport):
         self._lock = threading.RLock()
         self._pending = 0
         self._stray: list[Frame] = []
-        self._rbuf = b""
+        self._decoder = FrameDecoder()
         self._closed = False
+        #: Syscall tally (``send``/``recv``/``select``) — the threaded
+        #: baseline the event-loop bench compares its reactor against.
+        self.syscalls: dict[str, int] = {"send": 0, "recv": 0, "select": 0}
 
     # ------------------------------------------------------------------
     # State
@@ -292,6 +436,7 @@ class TcpTransport(Transport):
             except (OSError, TransportError):
                 self._mark_closed()
                 return SendOutcome(status="failed")
+            self.syscalls["send"] += 1
             transfer = self._record_send(data, frame)
             self._pending += 1
             return SendOutcome(status="queued", transfer=transfer)
@@ -362,6 +507,7 @@ class TcpTransport(Transport):
         """True if at least one reply byte is waiting in the buffer."""
         if self._closed:
             return False
+        self.syscalls["select"] += 1
         try:
             ready, _, _ = select.select([self._sock], [], [], 0)
         except (OSError, ValueError):
@@ -398,28 +544,8 @@ class TcpTransport(Transport):
                     return reply
                 self._stray.append(reply)
 
-    def _buffered_frame(self) -> Optional[bytes]:
-        """Pop one complete frame from the receive buffer, if present.
-
-        Raises:
-            TransportError: On an implausible length header.
-        """
-        if len(self._rbuf) < FRAME_HEADER.size:
-            return None
-        (length,) = FRAME_HEADER.unpack_from(self._rbuf)
-        if length > MAX_FRAME_BYTES:
-            raise TransportError(
-                f"declared frame length {length} exceeds limit"
-            )
-        end = FRAME_HEADER.size + length
-        if len(self._rbuf) < end:
-            return None
-        data = self._rbuf[FRAME_HEADER.size:end]
-        self._rbuf = self._rbuf[end:]
-        return data
-
     def _read_reply(self, wait: bool = True) -> Optional[Frame]:
-        """One reply frame through the receive buffer.
+        """One reply frame through the shared :class:`FrameDecoder`.
 
         Returns ``_NOT_READY`` when ``wait=False`` and no *complete*
         frame has arrived (partial bytes stay buffered — never handed
@@ -427,7 +553,7 @@ class TcpTransport(Transport):
         """
         while True:
             try:
-                data = self._buffered_frame()
+                data = self._decoder.next_frame()
             except TransportError:
                 self._mark_closed()
                 return None
@@ -435,15 +561,17 @@ class TcpTransport(Transport):
                 break
             if not wait and not self._readable():
                 return _NOT_READY
+            view = self._decoder.writable(_RECV_CHUNK)
+            self.syscalls["recv"] += 1
             try:
-                chunk = self._sock.recv(_RECV_CHUNK)
+                n = self._sock.recv_into(view)
             except (OSError, TransportError):
                 self._mark_closed()
                 return None
-            if not chunk:  # clean EOF
+            if n == 0:  # clean EOF
                 self._mark_closed()
                 return None
-            self._rbuf += chunk
+            self._decoder.wrote(n)
         try:
             reply = frame_from_bytes(data)
         except TransportError:

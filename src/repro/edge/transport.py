@@ -23,7 +23,11 @@ control and healing paths can be exercised deterministically:
   window this models per-edge backpressure.
 
 A real-socket transport only needs to reimplement ``send``/``flush``
-over its medium; the frame codec is already byte-exact.
+over its medium; the frame codec is already byte-exact.  Two exist:
+the thread-per-edge :class:`~repro.edge.socket_transport.TcpTransport`
+and the event-loop :class:`~repro.edge.event_loop.ReactorTransport`,
+which honours the same three fault states by gating its connection's
+outbound queue (see :attr:`FaultInjector.blocks_delivery`).
 """
 
 from __future__ import annotations
@@ -651,6 +655,17 @@ class FaultInjector:
     partitioned: bool = False
     drop_next: int = 0
     hold: bool = False
+
+    @property
+    def blocks_delivery(self) -> bool:
+        """True while queued frames must stay in the link.
+
+        Both the held (slow-edge) and partitioned states park a
+        reactor connection's outbound queue — the event loop skips it
+        entirely, so a faulted edge costs zero syscalls per spin and
+        can never delay a healthy edge's flush (DESIGN.md section 11).
+        """
+        return self.partitioned or self.hold
 
     def clear(self) -> None:
         """Return the link to healthy operation."""
