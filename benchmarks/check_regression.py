@@ -7,10 +7,16 @@ metric drifts outside its tolerance — in either direction: an
 unexplained *improvement* usually means the workload changed, and the
 baseline should be re-committed deliberately rather than silently.
 
-Only deterministic metrics are gated (replication byte counts — fixed
-seeds make them exactly reproducible); wall-clock series are reported
-in the benches but deliberately **not** gated, CI timing being far too
-noisy.
+Only deterministic metrics are gated by default (replication byte
+counts — fixed seeds make them exactly reproducible); wall-clock series
+are reported in the benches but deliberately **not** gated, CI timing
+being far too noisy.  Where a throughput-derived metric *is* worth
+gating (e.g. the sharding bench's speedup ratio, which is stable
+because it is a ratio of same-machine measurements), the committed
+baseline JSON can carry a top-level ``"tolerances"`` object mapping
+metric name → relative tolerance, overriding the default per-metric
+tolerance for that series only — loose bounds live next to the numbers
+they qualify, not in code.
 
 Usage::
 
@@ -80,6 +86,19 @@ CHECKS: dict[str, SeriesCheck] = {
             "delta_bytes": 0.10,
         },
     ),
+    # `speedup_vs_1shard` is wall-clock-derived but gated anyway: as a
+    # ratio of same-machine, same-run measurements it tracks shard
+    # balance, not host speed.  Its committed baseline carries a
+    # "tolerances" override loosening the default ±10% — see the
+    # module docstring.
+    "sharding": SeriesCheck(
+        key=("shards", "workload"),
+        metrics={
+            "replication_bytes": 0.10,
+            "inserts": 0.10,
+            "speedup_vs_1shard": 0.10,
+        },
+    ),
 }
 
 
@@ -105,13 +124,32 @@ class Finding:
         return abs(self.deviation) <= self.tolerance
 
 
-def _load_series(path: str) -> list[dict]:
+def _load_payload(path: str) -> dict:
     with open(path) as fh:
         payload = json.load(fh)
-    series = payload.get("series")
-    if not isinstance(series, list):
+    if not isinstance(payload.get("series"), list):
         raise ValueError(f"{path}: no 'series' list")
-    return series
+    return payload
+
+
+def _load_series(path: str) -> list[dict]:
+    return _load_payload(path)["series"]
+
+
+def _tolerance_overrides(payload: dict, name: str) -> dict[str, float]:
+    """The baseline's per-metric tolerance overrides, validated."""
+    overrides = payload.get("tolerances", {})
+    if not isinstance(overrides, dict):
+        raise ValueError(f"{name}: 'tolerances' must be an object")
+    out: dict[str, float] = {}
+    for metric, tolerance in overrides.items():
+        if not isinstance(tolerance, (int, float)) or tolerance < 0:
+            raise ValueError(
+                f"{name}: tolerance override for {metric!r} must be a "
+                f"non-negative number, got {tolerance!r}"
+            )
+        out[metric] = float(tolerance)
+    return out
 
 
 def _index(series: list[dict], key: tuple[str, ...]) -> dict[tuple, dict]:
@@ -126,10 +164,17 @@ def compare_series(
     baseline: list[dict],
     current: list[dict],
     check: SeriesCheck,
+    overrides: dict[str, float] | None = None,
 ) -> tuple[list[Finding], list[str]]:
-    """Compare one series; returns (findings, structural errors)."""
+    """Compare one series; returns (findings, structural errors).
+
+    ``overrides`` (metric → tolerance, from the baseline JSON's
+    ``"tolerances"`` object) replace the check's default tolerance per
+    metric — the hook that lets a throughput-derived metric ride the
+    same gate as byte-exact ones, just with honest bounds."""
     findings: list[Finding] = []
     errors: list[str] = []
+    overrides = overrides or {}
     base_rows = _index(baseline, check.key)
     cur_rows = _index(current, check.key)
     for row_key, base_row in base_rows.items():
@@ -138,6 +183,7 @@ def compare_series(
             errors.append(f"{name}: row {row_key} missing from current run")
             continue
         for metric, tolerance in check.metrics.items():
+            tolerance = overrides.get(metric, tolerance)
             if metric not in base_row:
                 continue  # baseline predates the metric: nothing to gate
             if metric not in cur_row:
@@ -184,8 +230,13 @@ def run_checks(
                 errors.append(f"{name}: no current results at {cur_path} "
                               "(did the bench run?)")
             continue  # unrequested series without results: skip quietly
+        base_payload = _load_payload(base_path)
         findings, errs = compare_series(
-            name, _load_series(base_path), _load_series(cur_path), check
+            name,
+            base_payload["series"],
+            _load_series(cur_path),
+            check,
+            overrides=_tolerance_overrides(base_payload, name),
         )
         all_findings.extend(findings)
         errors.extend(errs)
@@ -246,8 +297,21 @@ def self_test() -> int:
         print("self-test FAILED: vanished rows not reported")
         return 1
 
-    print("self-test passed: gate accepts identical series and rejects "
-          "perturbed/missing ones")
+    loose, _ = compare_series(
+        "fanout_scale", baseline, perturbed, check,
+        overrides={"replication_bytes": 0.50},
+    )
+    if not all(f.ok for f in loose):
+        print("self-test FAILED: ±50% override did not admit a +20% drift")
+        return 1
+    if any(
+        f.metric == "bytes_per_edge" and f.tolerance != 0.10 for f in loose
+    ):
+        print("self-test FAILED: override leaked onto an unrelated metric")
+        return 1
+
+    print("self-test passed: gate accepts identical series, rejects "
+          "perturbed/missing ones, and honors tolerance overrides")
     return 0
 
 

@@ -15,7 +15,7 @@ from repro.edge.central import (
     ReplicationMode,
 )
 from repro.edge.client import Client
-from repro.edge.deploy import Deployment, EdgeProcess
+from repro.edge.deploy import Deployment, EdgeProcess, ShardedDeployment
 from repro.edge.edge_server import EdgeConfig, EdgeResponse, EdgeServer
 from repro.edge.fanout import (
     AdaptiveWindow,
@@ -28,13 +28,16 @@ from repro.edge.router import (
     DeploymentQueryChannel,
     EdgeRouter,
     EdgeStats,
+    MergedResponse,
     RoutedResponse,
     RoutingPolicy,
+    ScatterGatherRouter,
     TransportQueryChannel,
     VerifiedResponse,
     VerifyingRouter,
     in_process_query_channel,
 )
+from repro.edge.sharding import ShardMap, ShardedCentral, stable_hash
 from repro.edge.socket_transport import TcpTransport
 from repro.edge.transport import (
     AckFrame,
@@ -75,6 +78,7 @@ __all__ = [
     "FaultInjector",
     "HelloFrame",
     "InProcessTransport",
+    "MergedResponse",
     "PeerState",
     "QueryRequestFrame",
     "QueryResponseFrame",
@@ -83,7 +87,11 @@ __all__ = [
     "ResponseTamper",
     "RoutedResponse",
     "RoutingPolicy",
+    "ScatterGatherRouter",
     "SentRecord",
+    "ShardMap",
+    "ShardedCentral",
+    "ShardedDeployment",
     "SnapshotFrame",
     "SpuriousTuple",
     "StaleReplay",
@@ -95,4 +103,5 @@ __all__ = [
     "VerifyingRouter",
     "ValueTamper",
     "in_process_query_channel",
+    "stable_hash",
 ]

@@ -109,6 +109,10 @@ class CentralServer:
             deployments and benches raise it to cut ack traffic (one
             cumulative cursor ack per ``ack_every`` frames).
         ack_bytes: Ack-coalescing byte threshold pushed to every edge.
+        shard_id: This server's slot in a sharded central plane
+            (see :class:`~repro.edge.sharding.ShardedCentral`); ``-1``
+            (default) means standalone — the single-signer deployment,
+            wire-compatible with every pre-sharding peer.
     """
 
     def __init__(
@@ -126,8 +130,10 @@ class CentralServer:
         fanout_window_max: int | None = None,
         ack_every: int = 1,
         ack_bytes: int = 1 << 18,
+        shard_id: int = -1,
     ) -> None:
         self.db_name = db_name
+        self.shard_id = shard_id
         self.policy = policy
         self.replication = replication
         self.enable_naive = enable_naive

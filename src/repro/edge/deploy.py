@@ -62,7 +62,7 @@ from repro.edge.transport import (
 )
 from repro.exceptions import TransportError
 
-__all__ = ["EdgeProcess", "Deployment"]
+__all__ = ["EdgeProcess", "Deployment", "ShardedDeployment"]
 
 
 def _src_root() -> str:
@@ -122,6 +122,16 @@ class Deployment:
             :class:`~repro.edge.socket_transport.TcpTransport` path,
             kept as a selectable fallback (every deployment test runs
             against both; see the ``REPRO_IO_MODE`` env override).
+        reactor: Share an existing :class:`EdgeEventLoop` instead of
+            owning a private one (reactor mode only).  A sharded
+            deployment runs one ``Deployment`` per signer shard on one
+            machine; sharing the loop keeps every shard's accepted
+            links on a single selector.  A shared reactor is *not*
+            closed by :meth:`shutdown` — its owner closes it.
+        shard_map: A :class:`~repro.edge.sharding.ShardMap` to push to
+            every registering edge in the handshake ``ConfigFrame``
+            (optional trailing fields — absent, the handshake is
+            byte-identical to the unsharded protocol).
     """
 
     def __init__(
@@ -132,10 +142,13 @@ class Deployment:
         io_timeout: float = 10.0,
         log_dir: str | None = None,
         io_mode: str | None = None,
+        reactor: EdgeEventLoop | None = None,
+        shard_map=None,
     ) -> None:
         self.central = central
         self.io_timeout = io_timeout
         self.log_dir = log_dir
+        self.shard_map = shard_map
         self.io_mode = (
             io_mode or os.environ.get("REPRO_IO_MODE", "reactor")
         ).lower()
@@ -144,8 +157,9 @@ class Deployment:
                 f"io_mode must be 'reactor' or 'threaded', got {self.io_mode!r}"
             )
         self.reactor: EdgeEventLoop | None = None
+        self._owns_reactor = reactor is None
         if self.io_mode == "reactor":
-            self.reactor = EdgeEventLoop()
+            self.reactor = reactor if reactor is not None else EdgeEventLoop()
             central.fanout.reactor = self.reactor
         self.edges: dict[str, EdgeProcess] = {}
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -199,6 +213,10 @@ class Deployment:
             self.central.edge_config(),
             ack_every=self.central.ack_every,
             ack_bytes=self.central.ack_bytes,
+            shard_id=self.central.shard_id,
+            shard_map=(
+                self.shard_map.to_wire() if self.shard_map is not None else None
+            ),
         )
         send_frame(conn, frame_to_bytes(config))
         transport: Transport
@@ -489,7 +507,8 @@ class Deployment:
             if handle.transport is not None:
                 handle.transport.close()
         if self.reactor is not None:
-            self.reactor.close()
+            if self._owns_reactor:
+                self.reactor.close()
             if self.central.fanout.reactor is self.reactor:
                 self.central.fanout.reactor = None
         for handle in handles:
@@ -512,6 +531,106 @@ class Deployment:
         self._accept_thread.join(timeout=timeout)
 
     def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class ShardedDeployment:
+    """One listener per signer shard, one shared reactor, one machine.
+
+    The multi-process face of
+    :class:`~repro.edge.sharding.ShardedCentral`: every shard gets its
+    own :class:`Deployment` (own TCP listener, own fan-out engine, own
+    edge processes), while reactor mode shares a single
+    :class:`~repro.edge.event_loop.EdgeEventLoop` across all of them —
+    N signer shards' worth of accepted links on one selector.  Each
+    shard's handshake ``ConfigFrame`` carries the plane's versioned
+    shard map plus that shard's id and public keys, so a registering
+    edge (or a map-restoring router) learns the whole placement from
+    any one shard.
+
+    Args:
+        sharded: The sharded central plane.
+        host: Listen address for every shard listener.
+        io_mode / io_timeout / log_dir: As for :class:`Deployment`.
+    """
+
+    def __init__(
+        self,
+        sharded,
+        host: str = "127.0.0.1",
+        io_timeout: float = 10.0,
+        log_dir: str | None = None,
+        io_mode: str | None = None,
+    ) -> None:
+        self.sharded = sharded
+        mode = (io_mode or os.environ.get("REPRO_IO_MODE", "reactor")).lower()
+        self.reactor: EdgeEventLoop | None = (
+            EdgeEventLoop() if mode == "reactor" else None
+        )
+        self.deployments: list[Deployment] = [
+            Deployment(
+                shard,
+                host=host,
+                io_timeout=io_timeout,
+                log_dir=log_dir,
+                io_mode=mode,
+                reactor=self.reactor,
+                shard_map=sharded.shard_map,
+            )
+            for shard in sharded.shards
+        ]
+
+    def deployment(self, shard_id: int) -> Deployment:
+        """The per-shard deployment (IndexError if unknown)."""
+        return self.deployments[shard_id]
+
+    def address(self, shard_id: int) -> tuple[str, int]:
+        """The ``(host, port)`` edges of shard ``shard_id`` dial."""
+        return self.deployments[shard_id].address
+
+    def launch_edge(self, shard_id: int, name: str) -> EdgeProcess:
+        """Start an edge process attached to shard ``shard_id``."""
+        return self.deployments[shard_id].launch_edge(name)
+
+    def wait_for_edge(
+        self, shard_id: int, name: str, timeout: float = 30.0
+    ) -> EdgeProcess:
+        """Block until the edge has registered with its shard."""
+        return self.deployments[shard_id].wait_for_edge(name, timeout=timeout)
+
+    def sync(self) -> int:
+        """Propagate every shard until its connected edges are current.
+
+        Shards are share-nothing, so per-shard sync rounds compose
+        without any cross-shard ordering concern.
+
+        Returns:
+            Total frames shipped across all shards.
+        """
+        return sum(deploy.sync() for deploy in self.deployments)
+
+    def make_router(self, policy="round_robin", **kwargs):
+        """A :class:`~repro.edge.router.ScatterGatherRouter` over every
+        shard's TCP edge processes: per-shard verify-or-failover
+        routers (each holding its own shard's public keys) composed
+        with the plane's shard map."""
+        routers = {
+            shard_id: deploy.make_router(policy=policy, **kwargs)
+            for shard_id, deploy in enumerate(self.deployments)
+        }
+        return self.sharded.make_sharded_router(routers)
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Shut down every shard deployment, then the shared reactor."""
+        for deploy in self.deployments:
+            deploy.shutdown(timeout=timeout)
+        if self.reactor is not None:
+            self.reactor.close()
+
+    def __enter__(self) -> "ShardedDeployment":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -604,13 +604,26 @@ class EdgeHost:
         host / port: The central listener's address (a
             :class:`~repro.edge.deploy.Deployment`'s ``address``).
         spin: Select timeout of the serving thread's loop spins.
+        loop: Share an existing reactor instead of owning a private
+            one.  A sharded deployment runs one host per signer shard;
+            passing the same loop to every host keeps the whole edge
+            side on a single selector and a single serving thread (the
+            owner's).  A host given a shared loop neither starts a
+            serving thread nor closes the loop.
     """
 
-    def __init__(self, host: str, port: int, spin: float = 0.2) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        spin: float = 0.2,
+        loop: Optional[EdgeEventLoop] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.spin = spin
-        self.loop = EdgeEventLoop()
+        self._owns_loop = loop is None
+        self.loop = loop if loop is not None else EdgeEventLoop()
         self.edges: dict = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -658,7 +671,9 @@ class EdgeHost:
         self.start()
 
     def start(self) -> None:
-        if self._thread is not None:
+        if self._thread is not None or not self._owns_loop:
+            # A shared loop is served by its owning host's thread;
+            # spinning a second one would double-drive the selector.
             return
         self._stop.clear()
         self._thread = threading.Thread(
@@ -680,7 +695,8 @@ class EdgeHost:
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
-        self.loop.close()
+        if self._owns_loop:
+            self.loop.close()
 
     def __enter__(self) -> "EdgeHost":
         return self

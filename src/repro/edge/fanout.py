@@ -351,6 +351,31 @@ class FanoutEngine:
             return self.central.vbtrees[table].version + 1
         return log.last_lsn - peer.acked_lsns.get(table, 0)
 
+    def stats(self) -> dict[str, dict]:
+        """Per-peer delivery summary (benches / operator dashboards).
+
+        One entry per attached edge: the in-flight count, the adaptive
+        window's current bound, per-table acked cursors, and — where
+        the link meters traffic — replication bytes shipped down the
+        link.  In a sharded plane every shard engine reports only its
+        own fleet, which is what makes per-shard fan-out cost a
+        directly observable quantity."""
+        out: dict[str, dict] = {}
+        for name, peer in self.peers.items():
+            with peer.lock:
+                down = getattr(peer.transport, "down_channel", None)
+                out[name] = {
+                    "inflight": peer.inflight,
+                    "window": peer.window.size,
+                    "needs_snapshot": sorted(peer.needs_snapshot),
+                    "acked_lsns": dict(peer.acked_lsns),
+                    "bytes_down": down.total_bytes if down is not None else 0,
+                    "bytes_by_kind": (
+                        down.bytes_by_kind() if down is not None else {}
+                    ),
+                }
+        return out
+
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------

@@ -69,11 +69,13 @@ __all__ = [
     "EdgeStats",
     "RoutedResponse",
     "VerifiedResponse",
+    "MergedResponse",
     "TransportQueryChannel",
     "DeploymentQueryChannel",
     "in_process_query_channel",
     "EdgeRouter",
     "VerifyingRouter",
+    "ScatterGatherRouter",
 ]
 
 
@@ -803,3 +805,202 @@ class VerifyingRouter(_QuerySurface):
                 routed.edge, reason=f"verification rejected: {verdict.reason}"
             )
             rejected.append(routed.edge)
+
+
+# ---------------------------------------------------------------------------
+# Shard-aware scatter/gather
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergedResponse:
+    """A scatter/gather answer assembled from verified shard sub-results.
+
+    Every sub-result was verified against *its own shard's* public
+    keys before merging, and a range partition's shards are visited in
+    key order — so the merged ``rows``/``keys`` read exactly like one
+    verified unsharded answer.  Completeness across shards follows
+    from the shard map: the half-open ranges tile the key domain, so
+    the union of per-shard completeness proofs covers the whole query
+    range (DESIGN.md section 12).
+
+    Attributes:
+        table: Queried table name.
+        rows: Result tuples, concatenated across shards in shard (=
+            key) order.
+        keys: Primary key per result row, same order.
+        parts: The per-shard :class:`VerifiedResponse` sub-results, in
+            shard order.
+        shards: Shard id of each entry in ``parts``.
+        attempts: Every edge tried, across all shards, in order.
+        rejected: Edges quarantined for failing verification during
+            this query (tampering is contained per shard — the other
+            shards' sub-results are all present in ``parts``).
+    """
+
+    table: str
+    rows: list[tuple[Any, ...]]
+    keys: list[Any]
+    parts: tuple[VerifiedResponse, ...]
+    shards: tuple[int, ...]
+    attempts: tuple[str, ...]
+    rejected: tuple[str, ...]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def verified(self) -> bool:
+        """Always True by construction: every part carried an ACCEPT
+        verdict from its shard's verifying router before merging."""
+        return all(part.verdict.ok for part in self.parts)
+
+
+class ScatterGatherRouter:
+    """Shard-aware query planning over per-shard verifying routers.
+
+    A range query is *planned* against the shard map — only the shards
+    whose key ranges overlap the query are contacted, each with the
+    query clamped to its own range — then *gathered*: every sub-result
+    arrives through that shard's :class:`VerifyingRouter` (verify or
+    fail over within the shard, quarantine on REJECT) and the verified
+    sub-results merge into one :class:`MergedResponse`.  A tampering
+    edge in shard ``k`` therefore costs shard ``k`` a failover; shards
+    ``≠ k`` never notice.
+
+    Args:
+        shard_map: Placement map (anything with ``plan(table, low,
+            high)`` and ``shards_for_table(table)`` —
+            :class:`~repro.edge.sharding.ShardMap` or a map restored
+            from ConfigFrame wire tuples).
+        routers: shard id → that shard's :class:`VerifyingRouter`.
+    """
+
+    def __init__(self, shard_map, routers: dict[int, VerifyingRouter]) -> None:
+        if not routers:
+            raise RouterError("a scatter/gather router needs shard routers")
+        self.shard_map = shard_map
+        self.routers = dict(routers)
+        self.queries = 0
+        self.scattered_queries = 0
+
+    def router_for(self, shard_id: int) -> VerifyingRouter:
+        """The verifying router of one shard (RouterError if absent)."""
+        try:
+            return self.routers[shard_id]
+        except KeyError:
+            raise RouterError(f"no router for shard {shard_id}") from None
+
+    def _gather(
+        self, table: str, plan: Sequence[tuple[int, Any, Any]], query
+    ) -> MergedResponse:
+        parts: list[VerifiedResponse] = []
+        shards: list[int] = []
+        rows: list[tuple[Any, ...]] = []
+        keys: list[Any] = []
+        attempts: list[str] = []
+        rejected: list[str] = []
+        for shard_id, low, high in plan:
+            sub = query(self.router_for(shard_id), low, high)
+            parts.append(sub)
+            shards.append(shard_id)
+            rows.extend(sub.result.rows)
+            keys.extend(sub.result.keys)
+            attempts.extend(sub.attempts)
+            rejected.extend(sub.rejected)
+        return MergedResponse(
+            table=table,
+            rows=rows,
+            keys=keys,
+            parts=tuple(parts),
+            shards=tuple(shards),
+            attempts=tuple(attempts),
+            rejected=tuple(rejected),
+        )
+
+    def range_query(
+        self,
+        table: str,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+        vo_format=None,
+    ) -> MergedResponse:
+        """Scattered primary-key range query, merged in key order.
+
+        Raises:
+            RouterError: When some overlapping shard cannot produce a
+                verified sub-result (its whole fleet exhausted).
+        """
+        plan = self.shard_map.plan(table, low, high)
+        self.queries += 1
+        if len(plan) > 1:
+            self.scattered_queries += 1
+        return self._gather(
+            table,
+            plan,
+            lambda router, lo, hi: router.range_query(
+                table, lo, hi, columns, vo_format
+            ),
+        )
+
+    def secondary_range_query(
+        self,
+        table: str,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        columns: Optional[Sequence[str]] = None,
+        vo_format=None,
+    ) -> MergedResponse:
+        """Secondary-attribute range query, scattered to *every* shard
+        holding the table (a key-range partition says nothing about
+        where attribute values live).  Rows concatenate in shard
+        order; each shard's slice is attribute-ordered."""
+        plan = [
+            (shard_id, low, high)
+            for shard_id in self.shard_map.shards_for_table(table)
+        ]
+        self.queries += 1
+        if len(plan) > 1:
+            self.scattered_queries += 1
+        return self._gather(
+            table,
+            plan,
+            lambda router, lo, hi: router.secondary_range_query(
+                table, attribute, lo, hi, columns, vo_format
+            ),
+        )
+
+    def select_query(
+        self,
+        table: str,
+        predicate,
+        columns: Optional[Sequence[str]] = None,
+        vo_format=None,
+    ) -> MergedResponse:
+        """General-predicate selection, scattered to every shard
+        holding the table."""
+        shard_ids = self.shard_map.shards_for_table(table)
+        self.queries += 1
+        if len(shard_ids) > 1:
+            self.scattered_queries += 1
+        return self._gather(
+            table,
+            [(shard_id, None, None) for shard_id in shard_ids],
+            lambda router, lo, hi: router.select_query(
+                table, predicate, columns, vo_format
+            ),
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict summary: scatter counters + per-shard snapshots."""
+        return {
+            "queries": self.queries,
+            "scattered_queries": self.scattered_queries,
+            "shards": {
+                shard_id: router.snapshot()
+                for shard_id, router in self.routers.items()
+            },
+        }

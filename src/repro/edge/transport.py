@@ -269,6 +269,15 @@ class ConfigFrame:
         ack_bytes: Ack-coalescing byte threshold — an ack is emitted
             once this many replication payload bytes have been absorbed
             unacknowledged, whatever the frame count.
+        shard_id: Which signer shard this bundle belongs to (``-1`` =
+            unsharded central — the default, and the only value a
+            pre-sharding peer ever sees).
+        shard_map: The sharded plane's versioned placement map as
+            :meth:`~repro.edge.sharding.ShardMap.to_wire` tuples, or
+            ``None``.  Both shard fields ride as *optional trailing
+            bytes*: they are encoded only when a map is present, so a
+            single-shard deployment's config frame is byte-identical
+            to the pre-sharding wire protocol.
     """
 
     db_name: str
@@ -278,6 +287,8 @@ class ConfigFrame:
     epochs: tuple[tuple[int, int, int, int, int], ...]
     ack_every: int = 1
     ack_bytes: int = 1 << 18
+    shard_id: int = -1
+    shard_map: tuple | None = None
 
 
 def range_query_frame(
@@ -336,10 +347,16 @@ def select_query_frame(
 
 
 def config_to_frame(
-    config, ack_every: int = 1, ack_bytes: int = 1 << 18
+    config,
+    ack_every: int = 1,
+    ack_bytes: int = 1 << 18,
+    shard_id: int = -1,
+    shard_map: tuple | None = None,
 ) -> ConfigFrame:
     """Serialize a :class:`~repro.edge.central.ClientConfig` bundle
-    plus the central server's ack-coalescing policy for this edge."""
+    plus the central server's ack-coalescing policy for this edge —
+    and, in a sharded plane, the shard id and placement map wire
+    tuples (:meth:`~repro.edge.sharding.ShardMap.to_wire`)."""
     ring = config.keyring
     return ConfigFrame(
         db_name=config.db_name,
@@ -352,6 +369,8 @@ def config_to_frame(
         ),
         ack_every=ack_every,
         ack_bytes=ack_bytes,
+        shard_id=shard_id,
+        shard_map=shard_map,
     )
 
 
@@ -521,8 +540,51 @@ def frame_to_bytes(frame: Frame) -> bytes:
             parts.extend(encode_value(field_) for field_ in record)
         parts.append(encode_uint(frame.ack_every))
         parts.append(encode_uint(frame.ack_bytes))
+        if frame.shard_map is not None:
+            # Optional trailing shard fields: absent for an unsharded
+            # central, so the single-shard frame stays byte-identical
+            # to the pre-sharding protocol (and a pre-sharding decoder
+            # would accept it unchanged).
+            parts.append(encode_uint(frame.shard_id + 1))  # -1 → 0
+            parts.append(_encode_shard_map(frame.shard_map))
         return b"".join(parts)
     raise TransportError(f"cannot serialize frame {type(frame).__name__}")
+
+
+def _encode_shard_map(wire: tuple) -> bytes:
+    """Encode :meth:`~repro.edge.sharding.ShardMap.to_wire` tuples."""
+    version, nshards, seed, entries = wire
+    parts = [
+        encode_uint(version),
+        encode_uint(nshards),
+        encode_value(seed),
+        encode_uint(len(entries)),
+    ]
+    for name, kind, payload in entries:
+        parts.append(encode_value(name))
+        parts.append(bytes([0 if kind == "hash" else 1]))
+        parts.append(encode_uint(len(payload)))
+        parts.extend(encode_value(v) for v in payload)
+    return b"".join(parts)
+
+
+def _decode_shard_map(data: bytes, offset: int) -> tuple[tuple, int]:
+    version, offset = decode_uint(data, offset)
+    nshards, offset = decode_uint(data, offset)
+    seed, offset = decode_value(data, offset)
+    count, offset = decode_uint(data, offset)
+    entries = []
+    for _ in range(count):
+        name, offset = decode_value(data, offset)
+        kind = "hash" if data[offset] == 0 else "range"
+        offset += 1
+        width, offset = decode_uint(data, offset)
+        payload = []
+        for _ in range(width):
+            value, offset = decode_value(data, offset)
+            payload.append(value)
+        entries.append((name, kind, tuple(payload)))
+    return (version, nshards, seed, tuple(entries)), offset
 
 
 def frame_from_bytes(data: bytes) -> Frame:
@@ -620,10 +682,18 @@ def frame_from_bytes(data: bytes) -> Frame:
                 epochs.append(tuple(record))
             ack_every, offset = decode_uint(data, offset)
             ack_bytes, offset = decode_uint(data, offset)
+            # Optional trailing shard fields (sharded planes only) —
+            # their absence is exactly the pre-sharding encoding.
+            shard_id, shard_map = -1, None
+            if offset < len(data):
+                raw_shard, offset = decode_uint(data, offset)
+                shard_id = raw_shard - 1
+                shard_map, offset = _decode_shard_map(data, offset)
             frame = ConfigFrame(
                 db_name=db_name, policy=policy, grace=grace, clock=clock,
                 epochs=tuple(epochs), ack_every=ack_every,
-                ack_bytes=ack_bytes,
+                ack_bytes=ack_bytes, shard_id=shard_id,
+                shard_map=shard_map,
             )
         else:
             raise TransportError(f"unknown frame tag {tag}")

@@ -15,7 +15,13 @@ from repro.db.schema import Column, TableSchema
 from repro.db.types import IntType, VarcharType
 from repro.exceptions import SchemaError
 
-__all__ = ["TableSpec", "generate_table", "generate_rows"]
+__all__ = [
+    "TableSpec",
+    "generate_table",
+    "generate_rows",
+    "zipf_ranks",
+    "skewed_insert_keys",
+]
 
 _ALPHABET = string.ascii_lowercase + string.digits
 
@@ -84,3 +90,88 @@ def generate_table(spec: TableSpec) -> tuple[TableSchema, list[tuple[Any, ...]]]
     """
     schema = _schema_for(spec)
     return schema, generate_rows(spec, schema)
+
+
+def zipf_ranks(
+    n_items: int, count: int, theta: float = 0.99, seed: int = 0
+) -> list[int]:
+    """``count`` Zipf-distributed ranks in ``[0, n_items)``.
+
+    Rank ``r`` is drawn with probability proportional to
+    ``1 / (r + 1) ** theta`` — the standard skewed-access model (YCSB's
+    default ``theta`` is 0.99, where the most popular item absorbs a
+    disproportionate share and the tail thins out polynomially).
+    Implemented by inverting the cumulative distribution with
+    :func:`bisect.bisect_right`, so it needs no numpy and is exactly
+    reproducible for a given ``seed``.
+
+    Args:
+        n_items: Number of distinct ranks.
+        count: Samples to draw.
+        theta: Skew exponent (0 = uniform; larger = hotter head).
+        seed: PRNG seed.
+    """
+    from bisect import bisect_right
+
+    if n_items < 1:
+        raise SchemaError("zipf_ranks needs n_items >= 1")
+    weights = [1.0 / (r + 1) ** theta for r in range(n_items)]
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cdf.append(acc)
+    rng = random.Random(seed)
+    total = cdf[-1]
+    return [bisect_right(cdf, rng.random() * total) for _ in range(count)]
+
+
+def skewed_insert_keys(
+    count: int,
+    domain: int,
+    theta: float = 0.99,
+    seed: int = 0,
+    buckets: int = 64,
+    key_start: int = 0,
+) -> list[int]:
+    """``count`` *unique* insert keys, Zipf-skewed across the key domain.
+
+    The domain ``[key_start, key_start + domain)`` is cut into
+    ``buckets`` contiguous buckets; each sample picks a bucket by Zipf
+    rank (hot buckets cluster at the low end of the domain) and takes
+    that bucket's next unused key.  The result is a deterministic,
+    duplicate-free insert workload whose *placement* is skewed — under
+    a range-partitioned shard map, the shards owning the hot buckets
+    absorb disproportionate signing load, which is exactly the
+    hot-shard imbalance a sharding bench needs to show.
+
+    Args:
+        count: Keys to generate (must fit: ``count <= domain``).
+        domain: Key-domain width.
+        theta: Zipf skew exponent.
+        seed: PRNG seed.
+        buckets: Contiguous buckets the domain is cut into.
+        key_start: First key of the domain.
+    """
+    if count > domain:
+        raise SchemaError(
+            f"cannot draw {count} unique keys from a domain of {domain}"
+        )
+    buckets = min(buckets, domain)
+    width = domain // buckets
+    ranks = zipf_ranks(buckets, count, theta=theta, seed=seed)
+    next_offset = [0] * buckets
+    keys: list[int] = []
+    for rank in ranks:
+        bucket = rank
+        # A full bucket spills to the next with room (wrapping), so the
+        # workload stays exactly `count` unique keys even when the hot
+        # bucket is exhausted.
+        for _ in range(buckets):
+            limit = width if bucket < buckets - 1 else domain - bucket * width
+            if next_offset[bucket] < limit:
+                break
+            bucket = (bucket + 1) % buckets
+        keys.append(key_start + bucket * width + next_offset[bucket])
+        next_offset[bucket] += 1
+    return keys

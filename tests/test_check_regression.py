@@ -29,10 +29,13 @@ BASE_SERIES = [
 ]
 
 
-def _write(path, series):
+def _write(path, series, tolerances=None):
     os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {"series": series}
+    if tolerances is not None:
+        payload["tolerances"] = tolerances
     with open(path, "w") as fh:
-        json.dump({"series": series}, fh)
+        json.dump(payload, fh)
 
 
 @pytest.fixture
@@ -93,6 +96,40 @@ class TestCompareSeries:
         )
         assert any("missing" in e for e in errors)
 
+    def test_tolerance_override_loosens_one_metric(self):
+        """A baseline ``"tolerances"`` entry replaces the default bound
+        for that metric only — sibling metrics keep theirs."""
+        current = [
+            dict(BASE_SERIES[0], replication_bytes=1300,  # +30%
+                 bytes_per_edge=1300),
+            BASE_SERIES[1],
+        ]
+        findings, errors = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, current,
+            check_regression.CHECKS["fanout_scale"],
+            overrides={"replication_bytes": 0.50},
+        )
+        assert not errors
+        by_metric = {
+            f.metric: f for f in findings if f.row_key == ("eager", 1)
+        }
+        assert by_metric["replication_bytes"].ok
+        assert by_metric["replication_bytes"].tolerance == 0.50
+        assert not by_metric["bytes_per_edge"].ok
+        assert by_metric["bytes_per_edge"].tolerance == 0.10
+
+    def test_override_can_tighten_too(self):
+        current = [dict(BASE_SERIES[0], replication_bytes=1050),
+                   BASE_SERIES[1]]
+        findings, _ = check_regression.compare_series(
+            "fanout_scale", BASE_SERIES, current,
+            check_regression.CHECKS["fanout_scale"],
+            overrides={"replication_bytes": 0.01},
+        )
+        assert any(
+            f.metric == "replication_bytes" and not f.ok for f in findings
+        )
+
     def test_lost_metric_is_an_error(self):
         current = [
             {k: v for k, v in BASE_SERIES[0].items()
@@ -120,6 +157,28 @@ class TestRunChecks:
         _write(os.path.join(results, "fanout_scale.json"), perturbed)
         assert check_regression.run_checks(results, baselines) == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+    def test_baseline_tolerances_read_from_disk(self, dirs, capsys):
+        """End-to-end: a drift inside the committed override passes;
+        the same drift fails once the override is removed."""
+        results, baselines = dirs
+        perturbed = [dict(BASE_SERIES[0], replication_bytes=1300),
+                     BASE_SERIES[1]]
+        _write(os.path.join(results, "fanout_scale.json"), perturbed)
+        _write(os.path.join(baselines, "fanout_scale.json"), BASE_SERIES,
+               tolerances={"replication_bytes": 0.50})
+        assert check_regression.run_checks(results, baselines) == 0
+        assert "tol ±50%" in capsys.readouterr().out
+        _write(os.path.join(baselines, "fanout_scale.json"), BASE_SERIES)
+        assert check_regression.run_checks(results, baselines) == 1
+
+    def test_malformed_tolerances_rejected(self, dirs):
+        results, baselines = dirs
+        _write(os.path.join(results, "fanout_scale.json"), BASE_SERIES)
+        _write(os.path.join(baselines, "fanout_scale.json"), BASE_SERIES,
+               tolerances={"replication_bytes": -0.2})
+        with pytest.raises(ValueError):
+            check_regression.run_checks(results, baselines)
 
     def test_requested_series_without_results_fails(self, dirs, capsys):
         results, baselines = dirs

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.exceptions import SchemaError
-from repro.workloads.generator import TableSpec, generate_rows, generate_table
+from repro.workloads.generator import (
+    TableSpec,
+    generate_rows,
+    generate_table,
+    skewed_insert_keys,
+    zipf_ranks,
+)
 from repro.workloads.queries import QueryWorkload, range_for_selectivity
 
 
@@ -101,3 +107,50 @@ class TestQueryWorkload:
         spec = TableSpec(rows=200)
         for q in QueryWorkload(spec, 0.25, seed=1).queries(20):
             assert q.expected_rows == 50
+
+
+class TestZipfWorkload:
+    def test_ranks_deterministic_and_in_range(self):
+        ranks = zipf_ranks(64, 500, theta=0.99, seed=7)
+        assert ranks == zipf_ranks(64, 500, theta=0.99, seed=7)
+        assert ranks != zipf_ranks(64, 500, theta=0.99, seed=8)
+        assert all(0 <= r < 64 for r in ranks)
+
+    def test_ranks_are_head_heavy(self):
+        ranks = zipf_ranks(64, 2000, theta=0.99, seed=3)
+        head = sum(1 for r in ranks if r < 8)
+        # Under theta=0.99 the hottest 1/8 of ranks absorbs well over
+        # its uniform share (would be 250 of 2000).
+        assert head > 800
+
+    def test_theta_zero_is_uniform(self):
+        ranks = zipf_ranks(4, 4000, theta=0.0, seed=1)
+        counts = [ranks.count(r) for r in range(4)]
+        assert max(counts) - min(counts) < 400
+
+    def test_ranks_validation(self):
+        with pytest.raises(SchemaError):
+            zipf_ranks(0, 10)
+
+    def test_skewed_keys_unique_and_bounded(self):
+        keys = skewed_insert_keys(120, 240, seed=23, buckets=64)
+        assert len(keys) == len(set(keys)) == 120
+        assert all(0 <= k < 240 for k in keys)
+        assert keys == skewed_insert_keys(120, 240, seed=23, buckets=64)
+
+    def test_skewed_keys_cluster_at_hot_buckets(self):
+        keys = skewed_insert_keys(120, 240, theta=0.99, seed=23, buckets=64)
+        low_half = sum(1 for k in keys if k < 120)
+        assert low_half > 80  # hot buckets sit at the low end
+
+    def test_full_domain_is_exactly_covered(self):
+        keys = skewed_insert_keys(30, 30, seed=2, buckets=8)
+        assert sorted(keys) == list(range(30))
+
+    def test_key_start_offsets_domain(self):
+        keys = skewed_insert_keys(10, 50, seed=4, key_start=1000)
+        assert all(1000 <= k < 1050 for k in keys)
+
+    def test_overdraw_rejected(self):
+        with pytest.raises(SchemaError):
+            skewed_insert_keys(31, 30)
