@@ -99,6 +99,17 @@ CHECKS: dict[str, SeriesCheck] = {
             "speedup_vs_1shard": 0.10,
         },
     ),
+    # Relay-tier egress: every metric is a deterministic byte/frame
+    # count over in-process links (fixed seeds), so the default ±10%
+    # is generous; the bench itself asserts the exact scaling ratios.
+    "relay": SeriesCheck(
+        key=("topology", "relays", "edges"),
+        metrics={
+            "central_delta_bytes": 0.10,
+            "central_delta_frames": 0.10,
+            "edge_delivered_delta_bytes": 0.10,
+        },
+    ),
 }
 
 

@@ -62,7 +62,7 @@ from repro.edge.transport import (
 )
 from repro.exceptions import TransportError
 
-__all__ = ["EdgeProcess", "Deployment", "ShardedDeployment"]
+__all__ = ["EdgeProcess", "Deployment", "ShardedDeployment", "RelayDeployment"]
 
 
 def _src_root() -> str:
@@ -531,6 +531,305 @@ class Deployment:
         self._accept_thread.join(timeout=timeout)
 
     def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class RelayDeployment:
+    """Central → k relay processes → n edge processes (DESIGN.md §13).
+
+    The hierarchical face of the fabric: the trusted central runs in
+    this process behind a :class:`Deployment` listener; each **relay**
+    is a separate OS process (``python -m repro.edge.serve --relay``)
+    that dials the central like an edge (``role="relay"`` in its hello)
+    and re-listens for its own downstream edge processes.  The central
+    sees only the k relays — its egress scales with k, not n — while
+    every edge still verifies the byte-identical signed frames
+    end-to-end, so the relays need no trust.
+
+    Relay listen ports are reserved up front and *pinned per name*: a
+    killed relay's replacement rebinds the same address, so its
+    downstream edges' reconnect loops find it again without any
+    coordination.  A relay SIGKILL loses the relay's frame store; its
+    restart re-registers empty, heals from the central via snapshot,
+    and re-seeds the whole subtree — the exact escalation path a killed
+    edge already exercises, one level up.
+
+    Args:
+        central: The trusted central server (lives in this process).
+        host: Listen address for the central and every relay.
+        io_timeout / log_dir / io_mode: As for :class:`Deployment`.
+    """
+
+    def __init__(
+        self,
+        central: CentralServer,
+        host: str = "127.0.0.1",
+        io_timeout: float = 10.0,
+        log_dir: str | None = None,
+        io_mode: str | None = None,
+    ) -> None:
+        self.host = host
+        self.log_dir = log_dir
+        self.deploy = Deployment(
+            central, host=host, io_timeout=io_timeout,
+            log_dir=log_dir, io_mode=io_mode,
+        )
+        self.central = central
+        self.relays: dict[str, EdgeProcess] = {}
+        self.relay_ports: dict[str, int] = {}
+        self.edge_procs: dict[str, EdgeProcess] = {}
+        self.edge_relay: dict[str, str] = {}
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The central listener's ``(host, port)``."""
+        return self.deploy.address
+
+    def relay_address(self, name: str) -> tuple[str, int]:
+        """The ``(host, port)`` edges of relay ``name`` dial."""
+        return (self.host, self.relay_ports[name])
+
+    def _reserve_port(self) -> int:
+        """Pick a currently-free port the relay process will rebind.
+
+        The reservation socket closes before the relay binds, so this
+        is only *probably* free — fine for tests/benches on loopback,
+        and what makes relay restart address-stable.
+        """
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((self.host, 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def _spawn(
+        self, handles: dict[str, EdgeProcess], name: str, args: list[str]
+    ) -> EdgeProcess:
+        """Popen a serve subprocess with the same env/log discipline as
+        :meth:`Deployment.launch_edge`."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _src_root() + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        handle = handles.setdefault(name, EdgeProcess(name))
+        if handle.log is not None:
+            try:
+                handle.log.close()
+            except OSError:
+                pass
+            handle.log = None
+        stdout: Any = subprocess.DEVNULL
+        if self.log_dir is not None:
+            os.makedirs(self.log_dir, exist_ok=True)
+            stdout = open(  # noqa: SIM115 - closed on relaunch/shutdown
+                os.path.join(self.log_dir, f"{name}.log"), "ab"
+            )
+            handle.log = stdout
+        handle.registered.clear()
+        handle.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.edge.serve", *args],
+            env=env,
+            stdout=stdout,
+            stderr=subprocess.STDOUT if stdout is not subprocess.DEVNULL
+            else subprocess.DEVNULL,
+        )
+        return handle
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def launch_relay(
+        self, name: str, *, spot_check_every: int = 0
+    ) -> EdgeProcess:
+        """Start a relay process dialing the central listener.
+
+        The relay's downstream listen port is reserved on the first
+        launch and reused on every relaunch under the same name.
+        """
+        chost, cport = self.deploy.address
+        port = self.relay_ports.get(name)
+        if port is None:
+            port = self._reserve_port()
+            self.relay_ports[name] = port
+        return self._spawn(
+            self.relays,
+            name,
+            [
+                "--relay", "--name", name,
+                "--host", chost, "--port", str(cport),
+                "--listen-host", self.host, "--listen-port", str(port),
+                "--spot-check-every", str(spot_check_every),
+                "--retry-attempts", "120",
+            ],
+        )
+
+    def launch_edge(self, name: str, relay: str) -> EdgeProcess:
+        """Start an edge process dialing relay ``relay``'s listener.
+
+        The generous retry budget keeps the edge re-dialing through a
+        relay kill/restart window instead of giving up.
+        """
+        self.edge_relay[name] = relay
+        return self._spawn(
+            self.edge_procs,
+            name,
+            [
+                "--name", name,
+                "--host", self.host,
+                "--port", str(self.relay_ports[relay]),
+                "--retry-attempts", "120",
+            ],
+        )
+
+    def wait_for_relay(self, name: str, timeout: float = 30.0) -> EdgeProcess:
+        """Block until relay ``name`` has registered with the central.
+
+        Registration is observed at the central listener (the relay's
+        upstream hello), so this also guarantees the relay's downstream
+        listener is up — it binds before dialing.
+        """
+        handle = self.deploy.edges.setdefault(name, EdgeProcess(name))
+        if not handle.registered.wait(timeout):
+            raise TransportError(
+                f"relay {name!r} did not register within {timeout}s"
+            )
+        return self.relays[name]
+
+    def wait_for_edges(
+        self,
+        relay: str,
+        names: Sequence[str],
+        table: str,
+        timeout: float = 30.0,
+    ) -> None:
+        """Block until every named edge answers a query through the
+        relay.
+
+        Edges register with the relay *process*, which this process
+        cannot observe directly — so readiness is probed the way it
+        will be used: round-robin queries through the relay until every
+        name has answered, interleaved with sync rounds so the probed
+        replicas exist.
+
+        Raises:
+            TransportError: If some edge never answered in time.
+        """
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        missing = set(names)
+        while missing:
+            if _time.monotonic() > deadline:
+                raise TransportError(
+                    f"edges {sorted(missing)} behind relay {relay!r} did not "
+                    f"answer within {timeout}s"
+                )
+            self.sync()
+            for _ in range(len(missing) + 1):
+                try:
+                    response = self.deploy.range_query(relay, table)
+                except TransportError:
+                    _time.sleep(0.2)
+                    break
+                missing.discard(response.edge_name)
+            else:
+                continue
+
+    def kill_relay(self, name: str) -> None:
+        """SIGKILL the relay — its frame store dies with it; the
+        central discovers the reset on its next send and the subtree's
+        edges re-dial the (pinned) listen address until a replacement
+        binds it."""
+        handle = self.relays[name]
+        if handle.process is not None and handle.process.poll() is None:
+            handle.process.kill()
+            handle.process.wait(timeout=10)
+        central_handle = self.deploy.edges.get(name)
+        if central_handle is not None:
+            central_handle.registered.clear()
+
+    def restart_relay(self, name: str) -> EdgeProcess:
+        """Relaunch a (killed) relay on the same listen port."""
+        self.kill_relay(name)
+        return self.launch_relay(name)
+
+    def kill_edge(self, name: str) -> None:
+        """SIGKILL a downstream edge process."""
+        handle = self.edge_procs[name]
+        if handle.process is not None and handle.process.poll() is None:
+            handle.process.kill()
+            handle.process.wait(timeout=10)
+
+    def restart_edge(self, name: str) -> EdgeProcess:
+        """Relaunch a (killed) edge under the same name and relay."""
+        self.kill_edge(name)
+        return self.launch_edge(name, self.edge_relay[name])
+
+    # ------------------------------------------------------------------
+    # Replication & queries
+    # ------------------------------------------------------------------
+
+    def sync(self, table: str | None = None, max_rounds: int = 16) -> int:
+        """Propagate until the whole *tree* is current.
+
+        The relay's cumulative acks carry min-cursor aggregates over
+        its connected edges, so the central's ``_settled`` check — all
+        connected peers current — is transitively a statement about the
+        subtree.  The extra rounds (vs a flat deployment) cover the
+        store-and-forward hop: one round lands frames on the relays,
+        later rounds let the relays pump them down and the aggregate
+        acks ride back.
+        """
+        return self.deploy.sync(table, max_rounds=max_rounds)
+
+    def make_router(self, names: Sequence[str] | None = None, **kwargs):
+        """A :class:`~repro.edge.router.VerifyingRouter` over the relay
+        links: each channel queries one relay, which round-robins the
+        request over its own connected edges.  A killed relay fails
+        fast into router cooldown and its sibling serves — failover one
+        tier up, verification still end-to-end."""
+        return self.deploy.make_router(
+            names=list(self.relays) if names is None else names, **kwargs
+        )
+
+    def range_query(self, relay: str, table: str, **kwargs):
+        """Range query routed through ``relay`` to one of its edges."""
+        return self.deploy.range_query(relay, table, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop edges, then relays, then the central listener."""
+        for handles in (self.edge_procs, self.relays):
+            for handle in handles.values():
+                proc = handle.process
+                if proc is not None and proc.poll() is None:
+                    proc.terminate()
+            for handle in handles.values():
+                proc = handle.process
+                if proc is None:
+                    continue
+                try:
+                    proc.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=timeout)
+                if handle.log is not None:
+                    try:
+                        handle.log.close()
+                    except OSError:
+                        pass
+                    handle.log = None
+        self.deploy.shutdown(timeout=timeout)
+
+    def __enter__(self) -> "RelayDeployment":
         return self
 
     def __exit__(self, *exc_info) -> None:

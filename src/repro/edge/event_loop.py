@@ -31,6 +31,21 @@ reactor (DESIGN.md section 11):
 The wire protocol is byte-identical to the threaded path: the same
 frames, the same cumulative-ack and monotonic-cursor semantics
 (DESIGN.md section 10) — only *when* syscalls happen changes.
+
+Role and ownership: this module is plumbing, not policy — it moves
+bytes for whichever seat owns the loop.  Every socket registered with
+an :class:`EdgeEventLoop` is owned by the single thread that calls
+:meth:`EdgeEventLoop.run_once`; transports touched from other threads
+only ever *enqueue* (appends are made safe by the queue lock), and the
+loop thread alone performs syscalls.  One loop can serve several
+seats at once: the central's accepted edge links, an
+:class:`EdgeHost`'s listener plus its in-process edges, and a relay's
+upstream *client* socket alongside its downstream *server* sockets
+(``repro.edge.relay`` runs both faces on one loop, one thread).
+Trust: the reactor holds no signing key and sees only
+already-serialized frames; compromising it can drop or delay bytes —
+which the cursor/nack machinery treats as a lossy link — never forge
+them.
 """
 
 from __future__ import annotations

@@ -35,6 +35,22 @@ Wedged links (partitioned or dropping) simply leave the peer's cursor
 behind; a later pump retries, and if the delta log has been truncated
 past the cursor by then, the peer heals via the snapshot path — the
 standard lazy-catch-up machinery, no special recovery code.
+
+The engine's *frame source* is pluggable: every read of the owning
+server (table list, log heads, key epoch, batch/snapshot payloads,
+config bundles) goes through overridable ``_``-hooks, so the same
+delivery machinery — windows, cursors, nack escalation, settle — fans
+out either the central signer's freshly sealed batches (the default
+wiring here) or a relay's verbatim stored frames
+(:class:`~repro.edge.relay.RelayFanout`, DESIGN.md section 13).
+
+Thread/loop ownership: pumps and drains run on whatever thread calls
+them (the deployment's sync loop, or a reactor tick); per-peer state is
+guarded by ``PeerState.lock`` because piggybacked query-response
+cursors arrive on query threads.  Trust: this module runs **central
+side** — in the default wiring the owning server holds the signing
+key, but the engine itself never touches it except through the payload
+hooks, which is exactly what lets an unkeyed relay reuse it verbatim.
 """
 
 from __future__ import annotations
@@ -262,6 +278,97 @@ class FanoutEngine:
         self.drain_timeout = 5.0
 
     # ------------------------------------------------------------------
+    # Frame source hooks
+    #
+    # Everything the delivery machinery needs to know about the frame
+    # *source* funnels through these overridables.  The defaults read
+    # the owning CentralServer (live signer); RelayFanout overrides
+    # them to read a relay's verbatim frame store instead — same
+    # windows, cursors, and escalation, different upstream truth.
+    # ------------------------------------------------------------------
+
+    def _tables(self) -> list:
+        """Replicated tables, in pump order."""
+        return list(self.central.vbtrees)
+
+    def _has_table(self, table: str) -> bool:
+        """Whether ``table`` is a replica this source can serve (the
+        untrusted-ack sanitization predicate)."""
+        return table in self.central.vbtrees
+
+    def _log_head(self, table: str) -> Optional[int]:
+        """Highest LSN the source holds for ``table``; ``None`` when
+        the table has never been logged (bootstrap-only state)."""
+        log = self.central.replicator.logs.get(table)
+        return None if log is None else log.last_lsn
+
+    def _bootstrap_lag(self, table: str) -> int:
+        """Staleness reported for a never-bootstrapped peer of a
+        never-logged table (every version is missing, plus one for the
+        snapshot itself)."""
+        return self.central.vbtrees[table].version + 1
+
+    def _current_epoch(self) -> int:
+        """The key epoch of the source's verification bundle.
+
+        Raises:
+            StaleKeyError: If the source has no registered epoch yet.
+        """
+        return self.central.keyring.current_epoch
+
+    def _issue_epoch(self, table: str) -> int:
+        """The key epoch the next frame for ``table`` will be issued
+        under.  The central wiring signs everything under the ring's
+        current epoch; a relay serves whatever epoch its stored chain
+        carries — which may lag the ring right after a rotation, and
+        must not be mistaken for a peer needing a (same-chain) snapshot
+        on every pump.
+
+        Raises:
+            StaleKeyError: As :meth:`_current_epoch`.
+        """
+        return self._current_epoch()
+
+    def _peer_order(self) -> list:
+        """Attached peers in delivery order (the central wiring follows
+        the server's edge listing so detached edges drop out)."""
+        return [
+            self.peers[edge.name]
+            for edge in self.central._edges
+            if edge.name in self.peers
+        ]
+
+    def _ack_every(self) -> int:
+        """The ack-coalescing frame threshold peers run with (drives
+        window-full probe solicitation)."""
+        return self.central.ack_every
+
+    def _config_frame(self):
+        """A fresh verification-bundle frame for a config refresh."""
+        return config_to_frame(
+            self.central.edge_config(),
+            ack_every=self.central.ack_every,
+            ack_bytes=self.central.ack_bytes,
+        )
+
+    def _shares_live_ring(self, peer: PeerState) -> bool:
+        """Whether ``peer`` sees the source's *live* key ring (an
+        in-process edge) and must never have it swapped for a
+        frozen-clock copy via a config refresh."""
+        return isinstance(peer.transport, InProcessTransport)
+
+    def _on_cursors_advanced(self, peer: PeerState) -> None:
+        """Called after any ack/settle application for ``peer`` (its
+        lock held).  Default: nothing.  A relay overrides this to
+        recompute its aggregated upstream cursor."""
+
+    def _on_peer_nack(self, peer: PeerState, ack, verdict: str) -> None:
+        """Called when ``peer`` nacked a frame (its lock held);
+        ``verdict`` is the escalation chosen (``gap``/``snapshot``).
+        Default: nothing.  A relay overrides this to spot-check its
+        store and escalate upstream when the store itself is bad."""
+
+    # ------------------------------------------------------------------
     # Peer management
     # ------------------------------------------------------------------
 
@@ -298,7 +405,7 @@ class FanoutEngine:
             peer.config_epoch = config_epoch
         else:
             try:
-                peer.config_epoch = self.central.keyring.current_epoch
+                peer.config_epoch = self._current_epoch()
             except StaleKeyError:
                 pass  # no epoch registered yet (bare central in unit tests)
         for table, lsn, epoch in cursors:
@@ -333,7 +440,7 @@ class FanoutEngine:
             payloads = {}
         with peer.lock:
             shipped = 0
-            for table in self.central.vbtrees:
+            for table in self._tables():
                 shipped += self._send_snapshot(peer, table, payloads)
             return shipped
 
@@ -343,13 +450,13 @@ class FanoutEngine:
         barrier per table, so a replica that missed a rotation reports
         as stale even though no tuple changed."""
         peer = self.peer(name)
-        log = self.central.replicator.logs.get(table)
-        if log is None:
+        head = self._log_head(table)
+        if head is None:
             # Never logged: stale only if the edge was never bootstrapped.
             if table in peer.acked_epochs:
                 return 0
-            return self.central.vbtrees[table].version + 1
-        return log.last_lsn - peer.acked_lsns.get(table, 0)
+            return self._bootstrap_lag(table)
+        return head - peer.acked_lsns.get(table, 0)
 
     def stats(self) -> dict[str, dict]:
         """Per-peer delivery summary (benches / operator dashboards).
@@ -393,12 +500,7 @@ class FanoutEngine:
         replicated trees) subject to its in-flight window.  Peers are
         processed concurrently when ``workers > 1``.
         """
-        central = self.central
-        peers = [
-            self.peers[edge.name]
-            for edge in central._edges
-            if edge.name in self.peers
-        ]
+        peers = self._peer_order()
         if not peers:
             return 0
         if self.reactor is not None:
@@ -408,7 +510,7 @@ class FanoutEngine:
             # stacking frames per connection, and the next settle ships
             # each edge's whole batch in one vectored write.
             self.reactor.run_once(0.0, flush_writes=False)
-        names = list(tables) if tables is not None else list(central.vbtrees)
+        names = list(tables) if tables is not None else self._tables()
         payloads: dict = {}
         if self.workers > 1 and len(peers) > 1:
             with ThreadPoolExecutor(
@@ -541,12 +643,14 @@ class FanoutEngine:
         self._process_replies(peer, peer.transport.flush(wait=False))
         if not wait:
             return
-        for _round in range(_DRAIN_ROUNDS):
+        rounds = 0
+        while rounds < _DRAIN_ROUNDS:
             if not peer.outstanding and not peer.probe_inflight:
                 return
             if not peer.transport.connected:
                 self._forget_outstanding(peer)
                 return
+            before = (dict(peer.acked_lsns), dict(peer.acked_epochs))
             status = self._solicit(peer)
             if status in ("failed", "dropped"):
                 # The probe itself could not travel (the solicit
@@ -559,12 +663,30 @@ class FanoutEngine:
                 return
             if not peer.outstanding and not peer.probe_inflight:
                 return  # delivered probe settled everything synchronously
-            replies = peer.transport.poll()
-            if not replies:
-                if not peer.transport.connected:
-                    self._forget_outstanding(peer)
-                return  # held-but-alive link: keep optimism, retry later
-            self._process_replies(peer, replies)
+            if status != "delivered":
+                replies = peer.transport.poll()
+                if not replies:
+                    if not peer.transport.connected:
+                        self._forget_outstanding(peer)
+                    return  # held-but-alive link: keep optimism, retry later
+                self._process_replies(peer, replies)
+            # else: the probe round-tripped synchronously and its ack
+            # is already applied, yet frames remain uncovered — the
+            # peer's cumulative ack omitted their tables (e.g. a
+            # relay-aggregated ack whose slowest downstream edge lags).
+            # Burn a settle round and probe again; this path used to
+            # return here with the optimism intact, which treated "no
+            # news" as good news — the records stayed outstanding
+            # forever, sent_lsns never reset, no pump resent the tail,
+            # and the window eventually wedged.
+            #
+            # A round whose ack advanced *any* cursor is progress, not
+            # loss: it does not consume budget (bounded — cursors are
+            # monotone and clamped to the log head), so a healthy but
+            # lagging peer is not declared frame-losing and flooded
+            # with resends.
+            if (dict(peer.acked_lsns), dict(peer.acked_epochs)) == before:
+                rounds += 1
         # Settle rounds exhausted with frames still uncovered: the link
         # is losing frames (drop injection, or a peer rejecting frames
         # without nacks).  Forget the optimism so later pumps resend —
@@ -610,27 +732,28 @@ class FanoutEngine:
             peer.window.on_fault()
 
     def _sync_table(self, peer: PeerState, table: str, payloads: dict) -> int:
-        central = self.central
-        log = central.replicator.log_for(table)
         shipped = 0
-        for _attempt in (0, 1):
+        gap_retried = False
+        while True:
             needs_snapshot = (
                 table in peer.needs_snapshot
-                or peer.acked_epochs.get(table)
-                != central.keyring.current_epoch
+                or peer.acked_epochs.get(table) != self._issue_epoch(table)
             )
             if needs_snapshot:
                 return shipped + self._send_snapshot(peer, table, payloads)
             cursor = peer.cursor(table)
-            if cursor >= log.last_lsn:
+            head = self._log_head(table) or 0
+            if cursor >= head:
                 return shipped
             if self._window_blocked(peer):
                 return shipped  # flow control: revisit on a later pump
             try:
-                payload = self._batch_payload(table, cursor, payloads)
+                payload, lsn_last = self._delta_payload(
+                    table, cursor, payloads
+                )
             except DeltaGapError:
                 return shipped + self._send_snapshot(peer, table, payloads)
-            if payload is None:
+            if payload is None or lsn_last <= cursor:
                 return shipped
             outcome = peer.transport.send(DeltaFrame(table, payload))
             if outcome.status == "failed":
@@ -649,22 +772,37 @@ class FanoutEngine:
                 return shipped  # lost in flight: retry on a later pump
             peer.outstanding.append(
                 SentRecord(
-                    kind="delta", table=table, lsn=log.last_lsn,
+                    kind="delta", table=table, lsn=lsn_last,
                     epoch=peer.acked_epochs.get(table, 0),
                     sent_at=time.monotonic(),
                 )
             )
-            peer.sent_lsns[table] = log.last_lsn
+            peer.sent_lsns[table] = lsn_last
             if outcome.status == "queued":
-                return shipped
+                if lsn_last >= head:
+                    return shipped
+                # A stored-frame source (relay) ships pre-sealed
+                # batches one frame at a time: keep forwarding toward
+                # the head, window permitting.  The central's live
+                # batches always reach the head in one frame, so this
+                # branch never loops there.
+                continue
             verdict = self._process_replies(peer, outcome.replies)
-            if verdict != "gap":
-                if table in peer.needs_snapshot:
-                    shipped += self._send_snapshot(peer, table, payloads)
+            if verdict == "gap":
+                # gap nack: one retry from the cursor the edge
+                # reported, then either success or snapshot escalation.
+                if gap_retried:
+                    return shipped + self._send_snapshot(
+                        peer, table, payloads
+                    )
+                gap_retried = True
+                continue
+            if table in peer.needs_snapshot:
+                return shipped + self._send_snapshot(peer, table, payloads)
+            if peer.cursor(table) >= (self._log_head(table) or 0):
                 return shipped
-            # gap nack: one retry from the cursor the edge reported,
-            # then the loop either succeeds or escalates to a snapshot.
-        return shipped + self._send_snapshot(peer, table, payloads)
+            # Delivered mid-stream with ground still to cover (stored
+            # frames ahead): keep forwarding.
 
     def _window_blocked(self, peer: PeerState) -> bool:
         """Window check, with ack solicitation under coalescing.
@@ -681,7 +819,7 @@ class FanoutEngine:
         """
         if peer.inflight < peer.window.size:
             return False
-        if self.central.ack_every > 1:
+        if self._ack_every() > 1:
             self._solicit(peer)
             return peer.inflight >= peer.window.size
         return True
@@ -701,18 +839,12 @@ class FanoutEngine:
         # (expiry clock included) and must never have it swapped for a
         # frozen-clock copy, so the refresh is strictly a
         # process-boundary affair.
-        current_epoch = self.central.keyring.current_epoch
+        current_epoch = self._current_epoch()
         if (
             peer.config_epoch != current_epoch
-            and not isinstance(peer.transport, InProcessTransport)
+            and not self._shares_live_ring(peer)
         ):
-            outcome = peer.transport.send(
-                config_to_frame(
-                    self.central.edge_config(),
-                    ack_every=self.central.ack_every,
-                    ack_bytes=self.central.ack_bytes,
-                )
-            )
+            outcome = peer.transport.send(self._config_frame())
             if outcome.status in ("failed", "dropped"):
                 peer.window.on_fault()
                 return 0  # link is down; retry the heal on a later pump
@@ -731,7 +863,29 @@ class FanoutEngine:
                     return 1
             else:
                 self._process_replies(peer, outcome.replies)
-        frame = self._snapshot_frame(table, payloads)
+        try:
+            frame = self._snapshot_frame(table, payloads)
+        except ReplicationError:
+            # A source that cannot produce the snapshot right now (a
+            # relay whose store was dropped after a tamper escalation)
+            # leaves the table flagged; the heal completes once the
+            # source is re-seeded.  The central wiring never raises.
+            peer.needs_snapshot.add(table)
+            return 0
+        if frame.lsn < peer.acked_lsns.get(table, 0):
+            # Rewind heal: the snapshot is *behind* the peer's banked
+            # cursor.  The central never produces this (its snapshots
+            # are built at the log head, and acked cursors are clamped
+            # to it), but a stored-frame source can — a relay whose
+            # chain was replaced by a coalesced resend serves its
+            # stored snapshot, and a peer that acked a now-vanished
+            # frame boundary must be rewound through it and replayed.
+            # Its banked cursor refers to a chain this source no longer
+            # serves, so drop it; otherwise the monotone-cursor guard
+            # discards the regressed ack and the heal livelocks.
+            peer.acked_lsns.pop(table, None)
+            peer.acked_epochs.pop(table, None)
+            peer.sent_lsns.pop(table, None)
         outcome = peer.transport.send(frame)
         if outcome.status == "failed":
             peer.window.on_fault()
@@ -806,12 +960,11 @@ class FanoutEngine:
         regression the pre-batching engine allowed by assigning
         cursors unconditionally).
         """
-        if table not in self.central.vbtrees:
+        if not self._has_table(table):
             return
-        log = self.central.replicator.logs.get(table)
-        lsn = min(lsn, log.last_lsn if log is not None else 0)
+        lsn = min(lsn, self._log_head(table) or 0)
         try:
-            epoch = min(epoch, self.central.keyring.current_epoch)
+            epoch = min(epoch, self._current_epoch())
         except StaleKeyError:
             pass  # no epoch registered yet (bare central in unit tests)
         current = peer.acked_lsns.get(table)
@@ -877,6 +1030,7 @@ class FanoutEngine:
             self._advance_cursor(peer, table, lsn, epoch)
         peer.probe_inflight = False
         self._settle(peer, credit_latency=not solicited)
+        self._on_cursors_advanced(peer)
 
     def observe_response_cursors(
         self, name: str, cursors: Sequence[tuple[str, int, int]]
@@ -897,10 +1051,11 @@ class FanoutEngine:
             for table, lsn, epoch in cursors:
                 self._advance_cursor(peer, table, lsn, epoch)
             self._settle(peer, credit_latency=False)
+            self._on_cursors_advanced(peer)
 
     def _apply_ack(self, peer: PeerState, ack: AckFrame) -> str:
         table = ack.table
-        if table and table not in self.central.vbtrees:
+        if table and not self._has_table(table):
             # Untrusted input: a fabricated replica name must not grow
             # needs_snapshot (or any per-table state) without bound.
             return "ok"
@@ -921,6 +1076,7 @@ class FanoutEngine:
             # carried cursor still advances central state (monotonic).
             self._advance_cursor(peer, table, ack.lsn, ack.epoch)
             self._settle(peer)
+            self._on_cursors_advanced(peer)
             return "ok"
         if ack.reason == "gap":
             if ack.lsn < peer.acked_lsns.get(table, 0):
@@ -938,6 +1094,7 @@ class FanoutEngine:
                 self._drop_outstanding(peer, table)
                 peer.reset_cursor(table)
                 peer.window.on_fault()
+                self._on_peer_nack(peer, ack, "snapshot")
                 return "snapshot"
             # Trust the reported cursor as a routing hint only; the
             # retried batch is signed, so a lying edge gains nothing.
@@ -948,6 +1105,7 @@ class FanoutEngine:
             peer.reset_cursor(table)
             self._drop_outstanding(peer, table)
             peer.window.on_fault()
+            self._on_peer_nack(peer, ack, "gap")
             return "gap"
         # tamper / diverged / unknown: the replica cannot be trusted to
         # extend — replace it wholesale.
@@ -955,23 +1113,37 @@ class FanoutEngine:
         self._drop_outstanding(peer, table)
         peer.reset_cursor(table)
         peer.window.on_fault()
+        self._on_peer_nack(peer, ack, "snapshot")
         return "snapshot"
 
     # ------------------------------------------------------------------
     # Payload construction (shared across peers within one pump)
     # ------------------------------------------------------------------
 
-    def _batch_payload(
+    def _delta_payload(
         self, table: str, cursor: int, payloads: dict
-    ) -> bytes | None:
+    ) -> tuple[bytes | None, int]:
+        """The next delta payload to send past ``cursor`` and the
+        highest LSN it carries, or ``(None, cursor)`` when there is
+        nothing to ship.  The central wiring seals one batch covering
+        everything up to the log head; a stored-frame source returns
+        its next verbatim frame instead (which may stop short of the
+        head — ``_sync_table`` keeps forwarding).
+
+        Raises:
+            DeltaGapError: When the source cannot bridge from
+                ``cursor`` (log truncated / store gap) — the caller
+                escalates to a snapshot.
+        """
         key = ("delta", table, cursor)
         with self._payload_lock:
             if key not in payloads:
                 central = self.central
-                payloads[key] = central.replicator.batch_since(
+                payload = central.replicator.batch_since(
                     table, cursor, central._signer,
                     central.public_key.signature_len,
                 )
+                payloads[key] = (payload, self._log_head(table) or 0)
             return payloads[key]
 
     def _snapshot_frame(self, table: str, payloads: dict) -> SnapshotFrame:

@@ -1,0 +1,990 @@
+"""Relay tier: store-and-forward fan-out of signed frames (DESIGN.md §13).
+
+A :class:`RelayServer` sits *between* the central signer and a group of
+edge servers — the cloud→relay→edge hierarchy the edge-computing
+deployment model assumes.  It dials upstream exactly like an edge
+(:class:`~repro.edge.transport.HelloFrame` with ``role="relay"``),
+receives the very same signed snapshot/delta frames, and re-fans them
+out **byte-identical** to its downstream edges through its own
+:class:`~repro.edge.fanout.FanoutEngine` (the :class:`RelayFanout`
+subclass, which swaps the engine's frame source from "the live signer"
+to "this relay's verbatim frame store" via the ``_``-hooks).
+
+Trust level: a relay holds **no private signing key** and is exactly as
+untrusted as an edge.  It cannot forge a frame (every delta body and
+every tuple/node digest is RSA-signed by the central server, and edges
+verify end-to-end), and it cannot truncate history undetected (LSN
+chains are signed into the delta bodies; a gap nacks at the edge and
+escalates).  The only verification a relay *can* do is the optional
+spot-check — re-running the edge's signature check over a sample of
+ingested deltas (``spot_check_every``) and over its whole store when a
+downstream nack implicates it — purely to shorten the detection path;
+end-to-end safety never depends on it.
+
+What a relay adds to the protocol:
+
+* **Cursor aggregation** — downstream cursor acks are folded into one
+  cumulative upstream :class:`~repro.edge.transport.CursorAckFrame`
+  with **min-cursor semantics**: the upstream cursor for a table is the
+  minimum acknowledged ``(lsn, epoch)`` over the connected downstream
+  edges (the relay's own store head when none are connected), so the
+  upstream view never overstates what the *subtree* durably holds.  A
+  table some connected edge has no cursor for yet is **omitted** from
+  the aggregate — "no news", which upstream's drain treats as neither
+  progress nor regression (see the stall bugfix in
+  :meth:`FanoutEngine._drain <repro.edge.fanout.FanoutEngine._drain>`).
+* **Nacks are never aggregated** — a downstream tamper/gap/diverged
+  signal keeps its immediate escalation: the relay re-verifies the
+  implicated stored chain, heals the edge from its own store when the
+  store checks out, and only when the *store itself* is bad drops it
+  and nacks ``diverged`` upstream right away.
+* **Config/shard-map pass-through** — the upstream
+  :class:`~repro.edge.transport.ConfigFrame` (key ring, ack policy,
+  shard id + ShardMap trailing bytes) is stashed verbatim and replayed
+  byte-identically to every downstream handshake and key-ring refresh;
+  the relay adds nothing and signs nothing.
+* **Query forwarding** — a :class:`~repro.edge.transport.QueryRequestFrame`
+  arriving from upstream is forwarded round-robin to a connected edge;
+  the edge's signed response travels back untouched except for the
+  piggybacked cursors, which are replaced with the relay's *aggregate*
+  (the response rides the upstream replication link, so its cursors
+  must mean what that link's acks mean).
+
+Thread/loop ownership: a relay is **single-thread-owned**.  The serving
+loop thread (:func:`run_relay`, or a :class:`RelayHost`'s thread) runs
+the upstream frame handler, the downstream :meth:`RelayFanout.pump`,
+query forwarding, and the upstream outbox drain; both socket directions
+live on one :class:`~repro.edge.event_loop.EdgeEventLoop` (the upstream
+dial is a handler-mode connection, each downstream accept is a
+:class:`~repro.edge.event_loop.ReactorTransport`), so one ``select``
+serves the whole relay.  In-process tests drive the same objects from
+the test thread.
+
+The store is memory-only and append-only between snapshots (a chain
+cannot be compacted below its snapshot without re-snapshotting, and a
+relay cannot produce snapshots — it has no key), so a long-lived chain
+grows with history; upstream heals and key rotations replace the
+snapshot and restart the chain.  A relay that dies loses its store and
+re-registers empty — the standard snapshot heal then rebuilds the whole
+subtree, which is exactly the recovery story edges already have.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.delta import delta_digest
+from repro.core.digests import DigestEngine, VerifyOnlyDigestEngine
+from repro.core.wire import delta_body_bytes, delta_from_bytes, snapshot_from_bytes
+from repro.crypto.signatures import DigestVerifier
+from repro.edge.event_loop import EdgeEventLoop, ReactorTransport
+from repro.edge.fanout import FanoutEngine, PeerState
+from repro.edge.socket_transport import (
+    connect_with_retry,
+    recv_frame,
+    send_frame,
+)
+from repro.edge.transport import (
+    AckFrame,
+    ConfigFrame,
+    CursorAckFrame,
+    CursorProbeFrame,
+    DeltaFrame,
+    HelloFrame,
+    QueryRequestFrame,
+    QueryResponseFrame,
+    SnapshotFrame,
+    Transport,
+    config_from_frame,
+    frame_from_bytes,
+    frame_to_bytes,
+)
+from repro.exceptions import (
+    DeltaGapError,
+    ReplicationError,
+    StaleKeyError,
+    TransportError,
+)
+
+__all__ = ["RelayFanout", "RelayServer", "RelayHost", "run_relay"]
+
+
+@dataclass
+class _StoredDelta:
+    """One verbatim delta frame payload held for re-fan-out."""
+
+    lsn_first: int
+    lsn_last: int
+    epoch: int
+    payload: bytes
+
+
+@dataclass
+class _TableStore:
+    """The relay's holdings for one table: a snapshot frame plus the
+    contiguous chain of delta frames extending it.
+
+    Invariant: ``deltas`` is sorted, frame ``i+1``'s ``lsn_first`` is
+    frame ``i``'s ``lsn_last + 1`` (the first extends
+    ``snapshot.lsn``), every frame carries ``epoch``, and ``head`` is
+    the last frame's ``lsn_last`` (``snapshot.lsn`` when empty).
+    """
+
+    snapshot: Optional[SnapshotFrame] = None
+    deltas: list[_StoredDelta] = field(default_factory=list)
+    head: int = 0
+    epoch: int = 0
+
+
+class RelayFanout(FanoutEngine):
+    """Downstream delivery engine reading a relay's frame store.
+
+    Same windows, cursors, probe/settle machinery and nack escalation
+    as the central's engine — only the frame *source* hooks differ:
+    tables, log heads, payloads and snapshots come from the owning
+    :class:`RelayServer`'s verbatim store, the config bundle is the
+    stashed upstream frame, and cursor movement / downstream nacks are
+    reported back to the relay (aggregate recomputation, store
+    spot-verify).
+    """
+
+    def __init__(self, relay: "RelayServer", **kwargs) -> None:
+        # The base engine only touches its owner through the hooks
+        # below, so the relay takes the ``central`` seat wholesale.
+        super().__init__(relay, **kwargs)
+        self.relay = relay
+
+    # -- frame source: the verbatim store -------------------------------
+
+    def _tables(self) -> list:
+        return [
+            table
+            for table, st in self.relay.store.items()
+            if st.snapshot is not None
+        ]
+
+    def _has_table(self, table: str) -> bool:
+        return table in self.relay.store
+
+    def _log_head(self, table: str) -> Optional[int]:
+        st = self.relay.store.get(table)
+        if st is None or st.snapshot is None:
+            return None
+        return st.head
+
+    def _bootstrap_lag(self, table: str) -> int:
+        return 1
+
+    def _current_epoch(self) -> int:
+        config = self.relay.config
+        if config is None:
+            raise StaleKeyError("relay has no upstream config yet")
+        return config.keyring.current_epoch
+
+    def _issue_epoch(self, table: str) -> int:
+        st = self.relay.store.get(table)
+        if st is None or st.snapshot is None:
+            # No chain to issue from: fall back to the ring (the
+            # needs-snapshot path will fail to build a frame and flag
+            # the table until the store is re-seeded).
+            return self._current_epoch()
+        return st.epoch
+
+    def _peer_order(self) -> list:
+        return list(self.peers.values())
+
+    def _ack_every(self) -> int:
+        return self.relay.ack_every
+
+    def _config_frame(self) -> ConfigFrame:
+        return self.relay.downstream_config_frame()
+
+    def _shares_live_ring(self, peer: PeerState) -> bool:
+        # Every downstream ring is a copy decoded from the stashed
+        # frame; refreshes are always real sends.
+        return False
+
+    def _delta_payload(
+        self, table: str, cursor: int, payloads: dict
+    ) -> tuple[bytes | None, int]:
+        st = self.relay.store.get(table)
+        if st is None or st.snapshot is None:
+            raise DeltaGapError(f"relay holds no chain for {table!r}")
+        if cursor >= st.head:
+            return (None, cursor)
+        for stored in st.deltas:
+            if stored.lsn_first == cursor + 1:
+                return (stored.payload, stored.lsn_last)
+        # The cursor does not sit on a stored frame boundary (an edge
+        # resumed from state this chain generation never produced).
+        raise DeltaGapError(
+            f"no stored frame extends cursor {cursor} for {table!r}"
+        )
+
+    def _snapshot_frame(self, table: str, payloads: dict) -> SnapshotFrame:
+        st = self.relay.store.get(table)
+        if st is None or st.snapshot is None:
+            raise ReplicationError(f"relay holds no snapshot for {table!r}")
+        return st.snapshot
+
+    # -- feedback into the relay ----------------------------------------
+
+    def _on_cursors_advanced(self, peer: PeerState) -> None:
+        self.relay._note_downstream_progress()
+
+    def _on_peer_nack(self, peer: PeerState, ack, verdict: str) -> None:
+        self.relay._on_downstream_nack(peer, ack, verdict)
+
+
+class RelayServer:
+    """Unkeyed store-and-forward node between central and its edges.
+
+    Args:
+        name: Relay name (its upstream link label / hello identity).
+        window / workers / ack settings: Forwarded to the downstream
+            :class:`RelayFanout`.
+        spot_check_every: Verify the signature of every Nth ingested
+            delta frame (``0`` = never).  Purely a detection
+            accelerator — edges re-verify everything regardless.
+
+    The relay is single-thread-owned (module docstring); the lock below
+    only makes the in-process test surface forgiving, it is not a
+    concurrency design.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window: int = 8,
+        workers: int = 1,
+        spot_check_every: int = 0,
+    ) -> None:
+        self.name = name
+        self.spot_check_every = max(0, spot_check_every)
+        self.store: dict[str, _TableStore] = {}
+        #: Decoded verification bundle (ring used for spot-checks and
+        #: cursor sanitization); ``None`` until the first ConfigFrame.
+        self.config = None
+        #: The upstream ConfigFrame *verbatim* — replayed byte-identical
+        #: to downstream handshakes and refreshes (keyring + ack policy
+        #: + shard id/map pass-through; the relay adds nothing).
+        self._upstream_config: Optional[ConfigFrame] = None
+        self.ack_every = 1
+        self.ack_bytes = 1 << 18
+        self.fanout = RelayFanout(self, window=window, workers=workers)
+        self._lock = threading.RLock()
+        #: Deltas ingested since the last spot check.
+        self._ingested = 0
+        #: Frames accepted/bytes absorbed since the last upstream ack
+        #: (the same coalescing counters an edge keeps).
+        self._unacked_frames = 0
+        self._unacked_bytes = 0
+        #: Spontaneous upstream frames (escalation nacks) + the
+        #: aggregate-changed flag, drained by :meth:`pending_upstream`.
+        self._outbox_lock = threading.Lock()
+        self._outbox: list[bytes] = []
+        self._agg_dirty = False
+        self._last_agg: tuple = ()
+        self._rr = 0  # round-robin index for query forwarding
+
+    # ------------------------------------------------------------------
+    # Config pass-through
+    # ------------------------------------------------------------------
+
+    def adopt_config(self, frame: ConfigFrame) -> None:
+        """Install the upstream verification bundle (handshake reply or
+        in-stream key-ring refresh) and stash it verbatim for
+        downstream replay."""
+        with self._lock:
+            self._upstream_config = frame
+            self.config = config_from_frame(frame)
+            self.ack_every = max(1, frame.ack_every)
+            self.ack_bytes = max(1, frame.ack_bytes)
+
+    def downstream_config_frame(self) -> ConfigFrame:
+        """The stashed upstream ConfigFrame, byte-identical.
+
+        Raises:
+            ReplicationError: Before the first upstream handshake.
+        """
+        if self._upstream_config is None:
+            raise ReplicationError(
+                f"relay {self.name!r} has no upstream config yet"
+            )
+        return self._upstream_config
+
+    # ------------------------------------------------------------------
+    # Downstream peer management
+    # ------------------------------------------------------------------
+
+    def attach_edge(
+        self,
+        name: str,
+        transport: Transport,
+        cursors: Iterable[tuple[str, int, int]] = (),
+    ) -> PeerState:
+        """Register a downstream edge, sanitizing its resume cursors.
+
+        Only cursors that land on a stored frame boundary of the
+        current chain generation (and match its epoch) are kept — a
+        cursor from a previous generation cannot be extended by stored
+        frames and would only gap-nack; dropping it routes the edge
+        through the snapshot heal instead.
+        """
+        kept = []
+        with self._lock:
+            for table, lsn, epoch in cursors:
+                st = self.store.get(table)
+                if st is None or st.snapshot is None or epoch != st.epoch:
+                    continue
+                boundaries = {st.snapshot.lsn}
+                boundaries.update(d.lsn_last for d in st.deltas)
+                if lsn in boundaries:
+                    kept.append((table, lsn, epoch))
+        peer = self.fanout.attach(name, transport, cursors=kept)
+        self._note_downstream_progress()
+        return peer
+
+    def prune_disconnected(self) -> None:
+        """Drop peers whose links are dead (a reconnect re-attaches
+        under the same name with a fresh transport)."""
+        dead = [
+            name
+            for name, peer in self.fanout.peers.items()
+            if not peer.transport.connected
+        ]
+        if not dead:
+            return
+        for name in dead:
+            del self.fanout.peers[name]
+        self._note_downstream_progress()
+
+    # ------------------------------------------------------------------
+    # Upstream frame handling
+    # ------------------------------------------------------------------
+
+    def handle_frame(self, data: bytes) -> list[bytes]:
+        """Process one upstream frame; returns serialized replies.
+
+        Mirrors :meth:`EdgeServer.handle_frame
+        <repro.edge.edge_server.EdgeServer.handle_frame>`'s reply
+        discipline (immediate acks on heal boundaries and probes,
+        coalesced cumulative acks for accepted deltas, immediate nacks
+        for rejections) — except every cumulative ack carries the
+        relay's **aggregated** cursors, and query frames are forwarded
+        downstream instead of executed.
+        """
+        frame = frame_from_bytes(data)
+        with self._lock:
+            if isinstance(frame, SnapshotFrame):
+                return self._ingest_snapshot(frame)
+            if isinstance(frame, DeltaFrame):
+                return self._ingest_delta(frame)
+            if isinstance(frame, CursorProbeFrame):
+                return [frame_to_bytes(self._aggregate_ack())]
+            if isinstance(frame, ConfigFrame):
+                self.adopt_config(frame)
+                reply = AckFrame(
+                    edge=self.name, table="", ok=True, lsn=0,
+                    epoch=self.config.keyring.current_epoch, reason="config",
+                )
+                return [frame_to_bytes(reply)]
+            if isinstance(frame, QueryRequestFrame):
+                return [frame_to_bytes(self._forward_query(frame))]
+        raise TransportError(
+            f"relay {self.name!r} cannot handle {type(frame).__name__}"
+        )
+
+    def _ingest_snapshot(self, frame: SnapshotFrame) -> list[bytes]:
+        """Store a snapshot verbatim and restart the table's chain.
+
+        Stored deltas that still contiguously extend the new snapshot's
+        LSN are kept (an upstream heal that merely re-bases does not
+        throw away the tail); everything else is dropped.
+        """
+        st = self.store.setdefault(frame.table, _TableStore())
+        st.snapshot = frame
+        st.epoch = frame.epoch
+        head = frame.lsn
+        kept: list[_StoredDelta] = []
+        for stored in sorted(st.deltas, key=lambda d: d.lsn_first):
+            if stored.lsn_first == head + 1 and stored.epoch == frame.epoch:
+                kept.append(stored)
+                head = stored.lsn_last
+        st.deltas = kept
+        st.head = head
+        self._note_downstream_progress()
+        # Heal boundary: the sender is waiting on this O(tree) transfer
+        # — always answer immediately with the aggregate.
+        return [frame_to_bytes(self._aggregate_ack())]
+
+    def _ingest_delta(self, frame: DeltaFrame) -> list[bytes]:
+        table = frame.table
+        st = self.store.get(table)
+        if st is None or st.snapshot is None:
+            # Nothing to extend: ask for a (re-)seed.
+            return [frame_to_bytes(self._nack(table, "diverged"))]
+        try:
+            delta = delta_from_bytes(frame.payload)
+        except Exception:
+            return [frame_to_bytes(self._nack(table, "tamper"))]
+        if delta.table != table:
+            return [frame_to_bytes(self._nack(table, "tamper"))]
+        self._ingested += 1
+        if (
+            self.spot_check_every
+            and self._ingested % self.spot_check_every == 0
+            and not self._verify_delta_payload(table, frame.payload)
+        ):
+            return [frame_to_bytes(self._nack(table, "tamper"))]
+        if delta.epoch != st.epoch:
+            # Cross-epoch extension needs a fresh snapshot, exactly as
+            # on an edge replica.
+            return [frame_to_bytes(self._nack(table, "gap"))]
+        if delta.lsn_last <= st.head:
+            return [frame_to_bytes(self._nack(table, "stale"))]
+        if delta.lsn_first > st.head + 1:
+            return [frame_to_bytes(self._nack(table, "gap"))]
+        if delta.lsn_first <= st.head:
+            # Overlap: upstream resent from its (aggregated) cursor,
+            # which is below our head.  Truncate the chain back to that
+            # boundary and extend with the fresh frame — aggregated
+            # cursors are always stored-frame boundaries (edges ack
+            # only whole frames), so a misaligned overlap means the
+            # generations diverged: reload wholesale.
+            kept = [d for d in st.deltas if d.lsn_last < delta.lsn_first]
+            chain_end = kept[-1].lsn_last if kept else st.snapshot.lsn
+            if chain_end != delta.lsn_first - 1:
+                return [frame_to_bytes(self._nack(table, "diverged"))]
+            st.deltas = kept
+        st.deltas.append(
+            _StoredDelta(
+                lsn_first=delta.lsn_first,
+                lsn_last=delta.lsn_last,
+                epoch=delta.epoch,
+                payload=frame.payload,
+            )
+        )
+        st.head = delta.lsn_last
+        # Accepted: coalesce the upstream ack exactly like an edge.
+        self._unacked_frames += 1
+        self._unacked_bytes += len(frame.payload)
+        if (
+            self._unacked_frames >= self.ack_every
+            or self._unacked_bytes >= self.ack_bytes
+        ):
+            return [frame_to_bytes(self._aggregate_ack())]
+        return []
+
+    def _nack(self, table: str, reason: str) -> AckFrame:
+        """An immediate upstream nack carrying the *aggregated* cursor
+        (never the store head): the upstream retry resumes from what
+        the subtree durably holds, and the reported position can never
+        overstate it."""
+        lsn, epoch = 0, 0
+        for t, cursor_lsn, cursor_epoch in self.aggregated_cursors():
+            if t == table:
+                lsn, epoch = cursor_lsn, cursor_epoch
+                break
+        return AckFrame(
+            edge=self.name, table=table, ok=False, lsn=lsn, epoch=epoch,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Cursor aggregation (min-cursor semantics)
+    # ------------------------------------------------------------------
+
+    def aggregated_cursors(self) -> tuple[tuple[str, int, int], ...]:
+        """The subtree's cumulative cursors, one entry per stored table.
+
+        With no connected downstream edges the relay itself is the
+        subtree and reports its store head.  Otherwise each table
+        reports the **minimum** acknowledged ``(lsn, epoch)`` over the
+        connected edges; a table some connected edge holds no cursor
+        for yet is omitted entirely — "no news", never a claim.
+        Cursor reads are lock-free: per-peer cursors are monotone, so a
+        torn read can only be *older*, which min-aggregation absorbs.
+        """
+        peers = [
+            p for p in self.fanout.peers.values() if p.transport.connected
+        ]
+        cursors = []
+        for table in sorted(self.store):
+            st = self.store[table]
+            if st.snapshot is None:
+                continue
+            if not peers:
+                cursors.append((table, st.head, st.epoch))
+                continue
+            entries = []
+            for peer in peers:
+                lsn = peer.acked_lsns.get(table)
+                if lsn is None:
+                    entries = None
+                    break
+                entries.append((lsn, peer.acked_epochs.get(table, 0)))
+            if entries is None:
+                continue
+            lsn, epoch = min(entries)
+            cursors.append((table, lsn, epoch))
+        return tuple(cursors)
+
+    def _aggregate_ack(self) -> CursorAckFrame:
+        """One cumulative upstream ack; resets the coalescing counters
+        and the spontaneous-ack dirty flag (this ack carries the very
+        aggregate the flag would have announced)."""
+        self._unacked_frames = 0
+        self._unacked_bytes = 0
+        agg = self.aggregated_cursors()
+        with self._outbox_lock:
+            self._agg_dirty = False
+            self._last_agg = agg
+        return CursorAckFrame(edge=self.name, cursors=agg)
+
+    def _note_downstream_progress(self) -> None:
+        """Mark the aggregate dirty if it moved — the serving loop's
+        :meth:`pending_upstream` drain turns that into at most one
+        spontaneous upstream :class:`CursorAckFrame` per spin."""
+        agg = self.aggregated_cursors()
+        with self._outbox_lock:
+            if agg != self._last_agg:
+                self._last_agg = agg
+                self._agg_dirty = True
+
+    def pending_upstream(self) -> list[bytes]:
+        """Drain spontaneous upstream frames: queued escalation nacks
+        first (never coalesced), then at most one cumulative ack when
+        the aggregate advanced since the last one sent."""
+        with self._outbox_lock:
+            frames = list(self._outbox)
+            self._outbox.clear()
+            dirty = self._agg_dirty
+            self._agg_dirty = False
+        if dirty:
+            frames.append(
+                frame_to_bytes(
+                    CursorAckFrame(
+                        edge=self.name, cursors=self.aggregated_cursors()
+                    )
+                )
+            )
+        return frames
+
+    def store_cursors(self) -> tuple[tuple[str, int, int], ...]:
+        """``(table, head, epoch)`` per stored chain — what a live
+        relay reports in a *reconnect* hello (it can genuinely resume
+        from here; the aggregate is what its acks report)."""
+        return tuple(
+            (table, st.head, st.epoch)
+            for table, st in sorted(self.store.items())
+            if st.snapshot is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Downstream nack escalation & spot-checks
+    # ------------------------------------------------------------------
+
+    def _on_downstream_nack(self, peer: PeerState, ack, verdict: str) -> None:
+        """A downstream edge rejected a stored frame.
+
+        ``gap`` verdicts stay local (the engine retries / heals from
+        the store).  ``snapshot`` verdicts implicate the store itself:
+        re-verify the whole chain; if it checks out the edge is at
+        fault and heals from our (good) snapshot, if it does not the
+        store is dropped and a ``diverged`` nack is queued upstream
+        immediately — downstream nacks are never aggregated away.
+        """
+        if verdict != "snapshot":
+            return
+        table = ack.table
+        if not table or table not in self.store:
+            return
+        if self._verify_table(table):
+            return  # store is fine; the engine already heals the edge
+        st = self.store[table]
+        st.snapshot = None
+        st.deltas = []
+        st.head = 0
+        with self._outbox_lock:
+            self._outbox.append(
+                frame_to_bytes(
+                    AckFrame(
+                        edge=self.name, table=table, ok=False,
+                        lsn=0, epoch=0, reason="diverged",
+                    )
+                )
+            )
+
+    def _verify_table(self, table: str) -> bool:
+        """Best-effort verification of one stored chain: reconstruct
+        the snapshot under the verify-only engine and check every
+        stored delta's body signature.  A relay cannot verify *query
+        semantics* (it holds no replicas) — this is the same wire-level
+        check an edge performs, run over the store."""
+        st = self.store.get(table)
+        if st is None or st.snapshot is None or self.config is None:
+            return False
+        try:
+            public_key = self.config.keyring.public_key_for(st.snapshot.epoch)
+            signing = VerifyOnlyDigestEngine(
+                DigestEngine(self.config.db_name, policy=self.config.policy),
+                public_key,
+                st.snapshot.epoch,
+            )
+            snapshot_from_bytes(st.snapshot.payload, signing)
+        except Exception:
+            return False
+        return all(
+            self._verify_delta_payload(table, d.payload) for d in st.deltas
+        )
+
+    def _verify_delta_payload(self, table: str, payload: bytes) -> bool:
+        if self.config is None:
+            return False
+        try:
+            delta = delta_from_bytes(payload)
+        except Exception:
+            return False
+        if delta.table != table or delta.signature is None:
+            return False
+        try:
+            public_key = self.config.keyring.public_key_for(delta.epoch)
+        except StaleKeyError:
+            return False
+        body = delta_body_bytes(delta, public_key.signature_len)
+        return DigestVerifier(public_key).verify_value(
+            delta.signature, delta_digest(body)
+        )
+
+    # ------------------------------------------------------------------
+    # Query forwarding
+    # ------------------------------------------------------------------
+
+    def _forward_query(self, frame: QueryRequestFrame) -> QueryResponseFrame:
+        """Round-robin the query to a connected downstream edge.
+
+        The edge's signed response travels back untouched except for
+        the piggybacked cursors, which are replaced with the relay's
+        aggregate — on the upstream link a cursor means "what this
+        peer's subtree acknowledges", and the answering edge's own
+        cursors are already folded into that aggregate.
+        """
+        peers = [
+            p for p in self.fanout.peers.values() if p.transport.connected
+        ]
+        if not peers:
+            return QueryResponseFrame(
+                edge=self.name, payload=b"",
+                error=f"relay {self.name!r} has no connected edges",
+            )
+        last_error = ""
+        for i in range(len(peers)):
+            peer = peers[(self._rr + i) % len(peers)]
+            try:
+                reply = peer.transport.request(frame)
+            except TransportError as exc:
+                last_error = str(exc)
+                continue
+            if not isinstance(reply, QueryResponseFrame):
+                last_error = f"unexpected {type(reply).__name__}"
+                continue
+            self._rr = (self._rr + i + 1) % len(peers)
+            self.fanout.observe_response_cursors(peer.name, reply.cursors)
+            return dataclasses.replace(
+                reply, cursors=self.aggregated_cursors()
+            )
+        return QueryResponseFrame(
+            edge=self.name, payload=b"",
+            error=f"no downstream edge answered: {last_error}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Socket serving
+# ---------------------------------------------------------------------------
+
+
+def run_relay(
+    name: str,
+    host: str,
+    port: int,
+    listen_host: str = "127.0.0.1",
+    listen_port: int = 0,
+    *,
+    spin: float = 0.05,
+    io_timeout: float = 30.0,
+    max_reconnects: int | None = None,
+    retry_attempts: int = 40,
+    retry_delay: float = 0.25,
+    spot_check_every: int = 0,
+    verbose: bool = False,
+    stop_event: threading.Event | None = None,
+    ready: Callable[["RelayServer", tuple[str, int]], None] | None = None,
+) -> "RelayServer":
+    """Serve one relay: dial upstream, listen downstream, one loop.
+
+    Both socket directions share a single
+    :class:`~repro.edge.event_loop.EdgeEventLoop`: the upstream
+    connection is a handler-mode registration (incoming frames are
+    answered inline by :meth:`RelayServer.handle_frame`), each accepted
+    downstream edge becomes a
+    :class:`~repro.edge.event_loop.ReactorTransport` the
+    :class:`RelayFanout` pumps.  Each loop spin: run the selector, pump
+    stored frames downstream, drain the upstream outbox (spontaneous
+    aggregate acks and escalation nacks).
+
+    Args:
+        name: Relay name (upstream hello identity).
+        host / port: The upstream listener (central, or another relay).
+        listen_host / listen_port: Where downstream edges dial
+            (``0`` = ephemeral; the bound address is reported through
+            ``ready``).
+        spin: Selector timeout per loop spin.
+        io_timeout: Socket receive timeout (both directions).
+        max_reconnects: Upstream re-dial budget after disconnects
+            (``None`` = until dialing itself fails).
+        retry_attempts / retry_delay: Per-dial retry budget.
+        spot_check_every: See :class:`RelayServer`.
+        verbose: Narrate connections on stdout.
+        stop_event: Cooperative shutdown signal.
+        ready: Called once with ``(relay, (host, port))`` after the
+            downstream listener is bound (before the upstream dial).
+
+    Returns:
+        The relay server, once the upstream is gone for good or
+        ``stop_event`` is set.
+    """
+    relay = RelayServer(name, spot_check_every=spot_check_every)
+    loop = EdgeEventLoop()
+    relay.fanout.reactor = loop
+    stop = stop_event if stop_event is not None else threading.Event()
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((listen_host, listen_port))
+    listener.listen()
+    bound = listener.getsockname()[:2]
+    if ready is not None:
+        ready(relay, bound)
+    if verbose:
+        print(f"[relay {name}] listening on {bound[0]}:{bound[1]}", flush=True)
+
+    def _downstream_handshake(conn: socket.socket) -> None:
+        conn.settimeout(io_timeout)
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        data = recv_frame(conn)
+        if data is None:
+            raise TransportError("edge closed during handshake")
+        hello = frame_from_bytes(data)
+        if not isinstance(hello, HelloFrame):
+            raise TransportError(
+                f"expected HelloFrame, got {type(hello).__name__}"
+            )
+        # An edge may dial before the upstream handshake delivered the
+        # config; make it wait briefly instead of failing its dial.
+        deadline = time.monotonic() + io_timeout
+        while relay._upstream_config is None:
+            if stop.is_set() or time.monotonic() > deadline:
+                raise TransportError("relay has no upstream config yet")
+            time.sleep(0.05)
+        send_frame(conn, frame_to_bytes(relay.downstream_config_frame()))
+        transport = ReactorTransport(hello.edge, loop, conn, timeout=io_timeout)
+        relay.attach_edge(hello.edge, transport, cursors=hello.cursors)
+        if verbose:
+            print(f"[relay {name}] edge {hello.edge} attached", flush=True)
+
+    def _accept_loop() -> None:
+        while not stop.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            try:
+                _downstream_handshake(conn)
+            except Exception:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    accept_thread = threading.Thread(
+        target=_accept_loop, name=f"relay-{name}-accept", daemon=True
+    )
+    accept_thread.start()
+
+    reconnects = 0
+    try:
+        while not stop.is_set():
+            try:
+                sock = connect_with_retry(
+                    host, port, attempts=retry_attempts, delay=retry_delay,
+                    timeout=io_timeout,
+                )
+            except TransportError:
+                if reconnects:
+                    break  # upstream gone for good: normal shutdown
+                raise
+            sock.settimeout(io_timeout)
+            try:
+                send_frame(
+                    sock,
+                    frame_to_bytes(
+                        HelloFrame(
+                            edge=name,
+                            cursors=relay.store_cursors(),
+                            role="relay",
+                        )
+                    ),
+                )
+                data = recv_frame(sock)
+                if data is None:
+                    raise TransportError("upstream closed during handshake")
+                reply = frame_from_bytes(data)
+                if not isinstance(reply, ConfigFrame):
+                    raise TransportError(
+                        f"expected ConfigFrame, got {type(reply).__name__}"
+                    )
+                relay.adopt_config(reply)
+            except (TransportError, OSError):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                reconnects += 1
+                if max_reconnects is not None and reconnects > max_reconnects:
+                    break
+                continue
+            if verbose:
+                print(f"[relay {name}] connected to {host}:{port}", flush=True)
+            sock.setblocking(False)
+            upstream = loop.register(
+                f"upstream:{name}", sock, handler=relay.handle_frame
+            )
+            while not stop.is_set() and not upstream.closed:
+                loop.run_once(spin)
+                relay.prune_disconnected()
+                relay.fanout.pump()
+                for frame_bytes in relay.pending_upstream():
+                    if upstream.closed:
+                        break
+                    loop.enqueue(upstream, frame_bytes)
+            if not upstream.closed:
+                loop.close_conn(upstream)
+            if verbose:
+                print(f"[relay {name}] upstream disconnected", flush=True)
+            reconnects += 1
+            if max_reconnects is not None and reconnects > max_reconnects:
+                break
+    finally:
+        stop.set()
+        try:
+            listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            listener.close()
+        except OSError:
+            pass
+        loop.close()
+        accept_thread.join(timeout=5)
+    return relay
+
+
+class RelayHost:
+    """Run one socket relay on a background thread (tests / benches).
+
+    The in-process counterpart of ``python -m repro.edge.serve
+    --relay``: same :func:`run_relay` loop, same wire traffic, no
+    subprocess.  Use as a context manager::
+
+        with RelayHost("relay-0", upstream=deploy.address) as host:
+            host.wait_ready()
+            edges = EdgeHost(*host.address)
+            ...
+    """
+
+    def __init__(
+        self,
+        name: str,
+        upstream: tuple[str, int],
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        spin: float = 0.01,
+        io_timeout: float = 30.0,
+        spot_check_every: int = 0,
+    ) -> None:
+        self.name = name
+        self.upstream = upstream
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self.spin = spin
+        self.io_timeout = io_timeout
+        self.spot_check_every = spot_check_every
+        self.relay: Optional[RelayServer] = None
+        self.address: Optional[tuple[str, int]] = None
+        self._stop = threading.Event()
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "RelayHost":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name=f"relay-host-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        def _on_ready(relay: RelayServer, address: tuple[str, int]) -> None:
+            self.relay = relay
+            self.address = address
+            self._ready.set()
+
+        try:
+            run_relay(
+                self.name,
+                self.upstream[0],
+                self.upstream[1],
+                listen_host=self.listen_host,
+                listen_port=self.listen_port,
+                spin=self.spin,
+                io_timeout=self.io_timeout,
+                spot_check_every=self.spot_check_every,
+                stop_event=self._stop,
+                ready=_on_ready,
+            )
+        finally:
+            self._ready.set()  # never leave a waiter hanging on a crash
+
+    def wait_ready(self, timeout: float = 30.0) -> tuple[str, int]:
+        """Block until the downstream listener is bound; returns its
+        address.
+
+        Raises:
+            TransportError: If the relay did not come up in time.
+        """
+        if not self._ready.wait(timeout) or self.address is None:
+            raise TransportError(
+                f"relay {self.name!r} did not come up within {timeout}s"
+            )
+        return self.address
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "RelayHost":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -32,6 +32,18 @@ verified ACCEPTs, and the tampered edge stops receiving traffic.  This
 is the lazy-trust tradeoff WedgeChain (Nawab, 2020) makes explicit —
 results from possibly-lagging, possibly-compromised edges are usable
 *because* they are verifiable after the fact.
+
+Role and ownership: the router runs **client-side**, inside the
+trusted perimeter of whoever holds the central's *public* keys — it
+holds no signing key and adds nothing to the trust base.  It is
+single-threaded by construction (per-query state lives on the stack;
+per-edge stats are plain attributes) and does not own sockets: each
+query channel borrows the deployment's current connection for the
+target edge, so a restarted edge process is routable the moment it
+re-registers.  A channel may equally point at a relay
+(DESIGN.md section 13) — the relay round-robins the query over its
+own edges, and verification still happens here, end-to-end against
+the signer's public key.
 """
 
 from __future__ import annotations

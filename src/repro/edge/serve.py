@@ -186,12 +186,13 @@ def run_edge(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI wrapper for :func:`run_edge`."""
+    """CLI wrapper for :func:`run_edge` / :func:`~repro.edge.relay.run_relay`."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.edge.serve",
-        description="Run one edge server process against a central listener.",
+        description="Run one edge server (or relay) process against an "
+        "upstream listener.",
     )
-    parser.add_argument("--name", required=True, help="edge server name")
+    parser.add_argument("--name", required=True, help="edge/relay name")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument(
@@ -202,19 +203,54 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--retry-attempts", type=int, default=40)
     parser.add_argument("--retry-delay", type=float, default=0.25)
     parser.add_argument("--io-timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--relay", action="store_true",
+        help="run as an unkeyed store-and-forward relay instead of an edge: "
+        "dial --host/--port upstream, fan out to edges dialing "
+        "--listen-host/--listen-port",
+    )
+    parser.add_argument(
+        "--listen-host", default="127.0.0.1",
+        help="(relay) downstream listen address",
+    )
+    parser.add_argument(
+        "--listen-port", type=int, default=0,
+        help="(relay) downstream listen port (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--spot-check-every", type=int, default=0,
+        help="(relay) verify every Nth ingested delta signature (0 = never)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     try:
-        run_edge(
-            args.name,
-            args.host,
-            args.port,
-            max_reconnects=args.max_reconnects,
-            retry_attempts=args.retry_attempts,
-            retry_delay=args.retry_delay,
-            io_timeout=args.io_timeout,
-            verbose=not args.quiet,
-        )
+        if args.relay:
+            from repro.edge.relay import run_relay
+
+            run_relay(
+                args.name,
+                args.host,
+                args.port,
+                listen_host=args.listen_host,
+                listen_port=args.listen_port,
+                max_reconnects=args.max_reconnects,
+                retry_attempts=args.retry_attempts,
+                retry_delay=args.retry_delay,
+                io_timeout=args.io_timeout,
+                spot_check_every=args.spot_check_every,
+                verbose=not args.quiet,
+            )
+        else:
+            run_edge(
+                args.name,
+                args.host,
+                args.port,
+                max_reconnects=args.max_reconnects,
+                retry_attempts=args.retry_attempts,
+                retry_delay=args.retry_delay,
+                io_timeout=args.io_timeout,
+                verbose=not args.quiet,
+            )
     except TransportError as exc:
         print(f"[edge {args.name}] fatal: {exc}", file=sys.stderr, flush=True)
         return 1

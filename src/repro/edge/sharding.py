@@ -35,7 +35,18 @@ other shard's verified sub-result is kept.
 The map travels to edges and routers in the handshake
 :class:`~repro.edge.transport.ConfigFrame` (optional trailing fields —
 a single-shard deployment emits byte-identical frames to the pre-shard
-protocol)."""
+protocol).
+
+Role and ownership: everything here is **trusted central plane** —
+each shard holds its own *private* signing key, and a shard's results
+verify only against that shard's public records.  The
+:class:`ShardMap` itself is public control-plane data (it routes, it
+does not authenticate) and is safe to hand to edges, relays, and
+routers verbatim.  Threading follows the share-nothing split: each
+shard's write path runs wherever its caller runs, with no cross-shard
+lock; the sharded *deployment* serves all shards' accepted links from
+one reactor thread (DESIGN.md section 11), which owns the sockets but
+never the keys."""
 
 from __future__ import annotations
 

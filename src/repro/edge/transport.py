@@ -28,6 +28,21 @@ the thread-per-edge :class:`~repro.edge.socket_transport.TcpTransport`
 and the event-loop :class:`~repro.edge.event_loop.ReactorTransport`,
 which honours the same three fault states by gating its connection's
 outbound queue (see :attr:`FaultInjector.blocks_delivery`).
+
+Role and ownership: the codec is shared vocabulary, not a seat — the
+same nine frames serve central→edge links, central→relay links, and
+relay→edge links (the relay forwards replication frames *verbatim*,
+which is why byte-exactness is a protocol property and not a bench
+nicety).  Nothing in this module holds a signing key or verifies a
+signature: integrity lives inside the payloads (signed deltas,
+snapshots, VOs), so the transport layer — and anything that can
+read/modify it, a relay included — is untrusted by construction.  A
+``Transport`` instance belongs to the single sender thread that calls
+``send``/``flush``; concurrency, where it exists, is the medium's
+concern (the reactor's queue lock, the TCP transport's per-connection
+thread), never the codec's.  The authoritative field tables for every
+frame live in ``docs/ARCHITECTURE.md`` (enforced by
+``tools/check_docs.py``).
 """
 
 from __future__ import annotations
@@ -116,7 +131,8 @@ class AckFrame:
         lsn: The edge's delta cursor for ``table`` *after* processing.
         epoch: Key epoch of the edge's replica after processing.
         reason: Nack reason code (``""`` when ok) — one of ``stale``,
-            ``gap``, ``tamper``, ``diverged``, ``error``.
+            ``gap``, ``tamper``, ``diverged``, ``config`` (unknown key
+            epoch: re-send the config bundle, then retry), ``error``.
     """
 
     edge: str
@@ -241,10 +257,18 @@ class HelloFrame:
     Attributes:
         edge: The edge server's name (transport link label).
         cursors: ``(table, lsn, epoch)`` per replica the edge holds.
+        role: ``"edge"`` (the default) or ``"relay"``.  A relay dials
+            upstream exactly like an edge but holds no replicas of its
+            own — it stores and re-fans-out the signed frames verbatim
+            (DESIGN.md section 13).  The field rides as *optional
+            trailing bytes*: it is encoded only for non-default roles,
+            so every plain edge's hello stays byte-identical to the
+            pre-relay wire protocol.
     """
 
     edge: str
     cursors: tuple[tuple[str, int, int], ...] = ()
+    role: str = "edge"
 
 
 @dataclass(frozen=True)
@@ -520,13 +544,17 @@ def frame_to_bytes(frame: Frame) -> bytes:
     if isinstance(frame, CursorProbeFrame):
         return bytes([_FRAME_CURSOR_PROBE])
     if isinstance(frame, HelloFrame):
-        return b"".join(
-            (
-                bytes([_FRAME_HELLO]),
-                encode_value(frame.edge),
-                _encode_cursors(frame.cursors),
-            )
-        )
+        parts = [
+            bytes([_FRAME_HELLO]),
+            encode_value(frame.edge),
+            _encode_cursors(frame.cursors),
+        ]
+        if frame.role != "edge":
+            # Optional trailing role byte(s): absent for plain edges,
+            # so their hello stays byte-identical to the pre-relay
+            # protocol (and a pre-relay decoder would accept it).
+            parts.append(encode_value(frame.role))
+        return b"".join(parts)
     if isinstance(frame, ConfigFrame):
         parts = [
             bytes([_FRAME_CONFIG]),
@@ -666,7 +694,12 @@ def frame_from_bytes(data: bytes) -> Frame:
         elif tag == _FRAME_HELLO:
             edge, offset = decode_value(data, offset)
             cursors, offset = _decode_cursors(data, offset)
-            frame = HelloFrame(edge=edge, cursors=cursors)
+            # Optional trailing role field (relays only) — its absence
+            # is exactly the pre-relay encoding.
+            role = "edge"
+            if offset < len(data):
+                role, offset = decode_value(data, offset)
+            frame = HelloFrame(edge=edge, cursors=cursors, role=role)
         elif tag == _FRAME_CONFIG:
             db_name, offset = decode_value(data, offset)
             policy, offset = decode_value(data, offset)

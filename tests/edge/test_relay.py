@@ -1,0 +1,510 @@
+"""Relay semantics, in-process (DESIGN.md §13).
+
+The relay is wired exactly as over a socket — central → relay over one
+:class:`InProcessTransport` (the relay's ``handle_frame`` as handler),
+relay → edges over per-edge links its own :class:`RelayFanout` pumps —
+but everything runs in this process so the tests can inspect byte
+streams, shuffle ack orderings, and corrupt the store directly.
+
+Covers: byte-identical store-and-forward, verified queries through the
+relay, min-cursor aggregation (held edge, fresh edge omitting a table),
+the "ack omitting a table is no news" bugfix end to end, aggregation
+monotonicity under shuffled/duplicated acks (hypothesis), tamper
+escalation through the relay, key rotation through the relay, and
+verbatim ConfigFrame/ShardMap pass-through.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wire import result_from_bytes
+from repro.edge.central import CentralServer
+from repro.edge.edge_server import EdgeServer
+from repro.edge.relay import RelayServer, _TableStore
+from repro.edge.sharding import ShardMap
+from repro.edge.transport import (
+    CursorAckFrame,
+    DeltaFrame,
+    HelloFrame,
+    InProcessTransport,
+    SnapshotFrame,
+    config_from_frame,
+    config_to_frame,
+    frame_from_bytes,
+    frame_to_bytes,
+    range_query_frame,
+)
+from repro.workloads.generator import TableSpec, generate_table
+
+DB = "relaydb"
+TABLE = "items"
+
+
+def make_central(rows=60, **kwargs):
+    central = CentralServer(DB, seed=7, rsa_bits=512, **kwargs)
+    schema, data = generate_table(
+        TableSpec(name=TABLE, rows=rows, columns=3, seed=5)
+    )
+    central.create_table(schema, data, fanout_override=6)
+    return central
+
+
+def attach_relay(central, name="relay-0", **kwargs):
+    """Central → relay link, mirroring the socket handshake."""
+    relay = RelayServer(name, **kwargs)
+    up = InProcessTransport(name)
+    up.connect(relay.handle_frame)
+    cfg = config_to_frame(
+        central.edge_config(),
+        ack_every=central.ack_every,
+        ack_bytes=central.ack_bytes,
+    )
+    relay.adopt_config(cfg)
+    sent_epoch = max((record[0] for record in cfg.epochs), default=-1)
+    central.attach_remote_edge(name, up, config_epoch=sent_epoch)
+    return relay, up
+
+
+def attach_edge(relay, name):
+    """Relay → edge link, mirroring the downstream handshake."""
+    edge = EdgeServer(
+        name=name, config=config_from_frame(relay.downstream_config_frame())
+    )
+    down = InProcessTransport(name)
+    down.connect(edge.handle_frame)
+    relay.attach_edge(name, down)
+    return edge, down
+
+
+def agg_map(relay):
+    """``aggregated_cursors()`` as ``{table: (lsn, epoch)}``."""
+    return {t: (lsn, epoch) for t, lsn, epoch in relay.aggregated_cursors()}
+
+
+def tree_sync(central, relay, edges, rounds=10):
+    """Drive the whole tree to quiescence, relaying spontaneous
+    upstream acks by hand (the socket serve loop's job)."""
+    relay_peer = central.fanout.peer(relay.name)
+    for _ in range(rounds):
+        central.propagate()
+        central.fanout.drain(wait=True)
+        relay.fanout.pump()
+        relay.fanout.drain(wait=True)
+        frames = [frame_from_bytes(b) for b in relay.pending_upstream()]
+        if frames:
+            central.fanout._process_replies(relay_peer, frames)
+        settled = all(
+            central.fanout.staleness(relay.name, t) == 0
+            for t in central.vbtrees
+        ) and all(
+            relay.fanout.staleness(name, t) == 0
+            for name in edges
+            for t in central.vbtrees
+        )
+        if settled:
+            return True
+    return False
+
+
+class TestHelloRole:
+    def test_default_role_adds_no_bytes(self):
+        """An edge hello encodes exactly as before the role field —
+        old peers interoperate byte-for-byte."""
+        hello = HelloFrame(edge="edge-0", cursors=((TABLE, 3, 0),))
+        assert hello.role == "edge"
+        decoded = frame_from_bytes(frame_to_bytes(hello))
+        assert decoded == hello
+        # The optional trailing field costs nothing when defaulted: a
+        # relay hello is strictly longer than the same edge hello.
+        relay_hello = dataclasses.replace(hello, role="relay")
+        assert len(frame_to_bytes(relay_hello)) > len(frame_to_bytes(hello))
+        assert frame_from_bytes(frame_to_bytes(relay_hello)).role == "relay"
+
+
+class TestStoreAndForward:
+    def test_byte_identical_frames_and_verified_queries(self):
+        """Every snapshot/delta frame an edge receives is byte-equal to
+        one the central sent the relay, and queries through the relay
+        verify end to end."""
+        central = make_central()
+        relay, up = attach_relay(central)
+
+        upstream_frames = []
+        inner_handle = relay.handle_frame
+
+        def tap_relay(data):
+            frame = frame_from_bytes(data)
+            if isinstance(frame, (SnapshotFrame, DeltaFrame)):
+                upstream_frames.append(data)
+            return inner_handle(data)
+
+        up.connect(tap_relay)
+
+        downstream_frames = {}
+        edges = {}
+        for name in ("edge-0", "edge-1"):
+            edge, down = attach_edge(relay, name)
+            edges[name] = edge
+            downstream_frames[name] = taps = []
+            inner = edge.handle_frame
+
+            def tap_edge(data, inner=inner, taps=taps):
+                frame = frame_from_bytes(data)
+                if isinstance(frame, (SnapshotFrame, DeltaFrame)):
+                    taps.append(data)
+                return inner(data)
+
+            down.connect(tap_edge)
+
+        assert tree_sync(central, relay, edges)
+        for key in range(1000, 1010):
+            central.insert(TABLE, (key, "a", "b"))
+        assert tree_sync(central, relay, edges)
+
+        # Byte identity: the relay re-serialized nothing it could alter.
+        sent = set(upstream_frames)
+        assert sent, "central shipped no replication frames"
+        for name, received in downstream_frames.items():
+            assert received, f"{name} received no replication frames"
+            for data in received:
+                assert data in sent, (
+                    f"{name} got a frame the central never produced"
+                )
+
+        # Round-robin queries hit both edges; every result verifies.
+        client = central.make_client()
+        answered = set()
+        for _ in range(4):
+            reply = up.request(range_query_frame(TABLE, 1000, 1009, None, None))
+            assert not reply.error
+            result = result_from_bytes(reply.payload)
+            assert client.verify(result).ok
+            assert len(result.keys) == 10
+            answered.add(reply.edge)
+        assert answered == {"edge-0", "edge-1"}
+
+    def test_relay_holds_no_signing_key(self):
+        """The trust claim, structurally: nothing reachable from the
+        relay exposes a private key — its config is the public
+        verification bundle only."""
+        central = make_central()
+        relay, _up = attach_relay(central)
+        assert not hasattr(relay.config.keyring, "private_key_for")
+        record = relay.config.keyring.public_key_for(
+            relay.config.keyring.current_epoch
+        )
+        assert not hasattr(record, "d") and not hasattr(record, "private")
+
+
+class TestCursorAggregation:
+    def test_held_edge_pins_the_aggregate(self):
+        """The upstream cursor is the min over connected edges: one
+        slow (held) edge pins it even while its sibling advances."""
+        central = make_central()
+        relay, up = attach_relay(central)
+        edges = {}
+        transports = {}
+        for name in ("edge-0", "edge-1"):
+            edges[name], transports[name] = attach_edge(relay, name)
+        assert tree_sync(central, relay, edges)
+        base = agg_map(relay)[TABLE]
+
+        transports["edge-1"].faults.hold = True
+        for key in range(2000, 2005):
+            central.insert(TABLE, (key, "a", "b"))
+        for _ in range(4):
+            central.propagate()
+            central.fanout.drain(wait=True)
+            relay.fanout.pump()
+
+        fast = relay.fanout.peer("edge-0").acked_lsns[TABLE]
+        slow = relay.fanout.peer("edge-1").acked_lsns[TABLE]
+        assert fast > slow
+        agg = agg_map(relay)[TABLE]
+        assert agg == (slow, relay.fanout.peer("edge-1").acked_epochs[TABLE])
+        assert agg[0] == base[0]
+
+        transports["edge-1"].faults.hold = False
+        transports["edge-1"].flush()
+        assert tree_sync(central, relay, edges)
+        assert agg_map(relay)[TABLE][0] == relay.store[TABLE].head
+
+    def test_fresh_edge_omits_table_and_cannot_stall_or_regress(self):
+        """The satellite bugfix scenario end to end: a fresh edge joins
+        mid-stream, so the relay's aggregate *omits* the table.  The
+        central must treat that as no news — its banked cursor for the
+        relay neither regresses nor wedges the settle path — and once
+        the fresh edge heals, settle completes."""
+        central = make_central()
+        relay, up = attach_relay(central)
+        edges = {"edge-0": attach_edge(relay, "edge-0")[0]}
+        assert tree_sync(central, relay, edges)
+        relay_peer = central.fanout.peer(relay.name)
+        banked = relay_peer.acked_lsns[TABLE]
+        assert banked == relay.store[TABLE].head
+
+        # Fresh replica-less edge: no cursor for TABLE yet.
+        edges["edge-1"] = attach_edge(relay, "edge-1")[0]
+        assert TABLE not in agg_map(relay)
+
+        # An explicitly empty cumulative ack is "no news", not "lost
+        # everything".
+        central.fanout._process_replies(
+            relay_peer,
+            [CursorAckFrame(edge=relay.name, cursors=())],
+        )
+        assert relay_peer.acked_lsns[TABLE] == banked
+
+        # New writes flow while the aggregate still omits the table;
+        # the banked cursor must move forward or hold, never regress,
+        # and the bounded drain must terminate (no stall).
+        for key in range(3000, 3005):
+            central.insert(TABLE, (key, "a", "b"))
+        central.propagate()
+        central.fanout.drain(wait=True)
+        assert relay_peer.acked_lsns[TABLE] >= banked
+
+        # Full settle once the subtree heals.
+        assert tree_sync(central, relay, edges)
+        assert central.fanout.staleness(relay.name, TABLE) == 0
+        assert agg_map(relay)[TABLE][0] == relay.store[TABLE].head
+
+
+# Shared fixtures for the hypothesis property: RSA keygen is the
+# expensive part, so one central's config is reused across examples
+# (the relay under test is rebuilt per example).
+_AGG_CENTRAL = None
+
+
+def _agg_config():
+    global _AGG_CENTRAL
+    if _AGG_CENTRAL is None:
+        _AGG_CENTRAL = make_central(rows=12)
+    return config_to_frame(_AGG_CENTRAL.edge_config())
+
+
+HEAD = 40
+
+
+@st.composite
+def ack_schedules(draw):
+    """A shuffled, duplicate-ridden schedule of per-edge ack events."""
+    events = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["edge-0", "edge-1"]),
+                      st.integers(min_value=0, max_value=HEAD)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    dup = draw(st.integers(min_value=0, max_value=5))
+    events = events + events[:dup]
+    random.Random(draw(st.integers(0, 2**16))).shuffle(events)
+    return events
+
+
+class TestAggregationMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=ack_schedules())
+    def test_aggregate_is_monotone_and_exact(self, schedule):
+        """Under any interleaving/duplication of downstream acks the
+        aggregated cursor never decreases, and ends at exactly the min
+        over edges of each edge's own (monotone) max."""
+        cfg = _agg_config()
+        relay = RelayServer("relay-agg")
+        relay.adopt_config(cfg)
+        epoch = relay.config.keyring.current_epoch
+        relay.store[TABLE] = _TableStore(
+            snapshot=SnapshotFrame(
+                table=TABLE, lsn=0, epoch=epoch, naive=False, payload=b""
+            ),
+            head=HEAD,
+            epoch=epoch,
+        )
+        for name in ("edge-0", "edge-1"):
+            link = InProcessTransport(name)
+            link.connect(lambda data: [])
+            relay.attach_edge(name, link)
+
+        applied = {"edge-0": None, "edge-1": None}
+        last = agg_map(relay).get(TABLE, (-1, -1))
+        for name, lsn in schedule:
+            relay.fanout.observe_response_cursors(name, ((TABLE, lsn, epoch),))
+            applied[name] = max(lsn, applied[name] or 0)
+            agg = agg_map(relay).get(TABLE)
+            if agg is not None:
+                assert agg >= last, "aggregate regressed"
+                last = agg
+
+        if all(v is not None for v in applied.values()):
+            assert last == (min(applied.values()), epoch)
+        else:
+            # An edge that never acked keeps the table out of the
+            # aggregate entirely — omission, not a zero claim.
+            assert TABLE not in agg_map(relay)
+
+
+class TestTamperThroughRelay:
+    def test_corrupt_stored_delta_rejected_and_store_dropped(self):
+        """Tampering inside the relay: the edge rejects the corrupted
+        frame (end-to-end signature), the relay's store re-verify
+        fails, the store is dropped, an immediate diverged nack goes
+        upstream (never aggregated away), and the central re-seeds the
+        whole subtree."""
+        central = make_central()
+        relay, up = attach_relay(central)
+        edges = {"edge-0": attach_edge(relay, "edge-0")[0]}
+        assert tree_sync(central, relay, edges)
+
+        for key in range(4000, 4003):
+            central.insert(TABLE, (key, "a", "b"))
+        # Land the frames on the relay only (no downstream pump yet).
+        central.propagate()
+        central.fanout.drain(wait=True)
+        assert relay.store[TABLE].deltas
+
+        stored = relay.store[TABLE].deltas[-1]
+        payload = bytearray(stored.payload)
+        payload[len(payload) // 2] ^= 0xFF
+        stored.payload = bytes(payload)
+
+        relay.fanout.pump()
+        relay.fanout.drain(wait=True)
+
+        # The edge never applied tampered data, and the relay condemned
+        # its own store.
+        assert relay.store[TABLE].snapshot is None
+        nacks = [frame_from_bytes(b) for b in relay.pending_upstream()]
+        diverged = [
+            f for f in nacks
+            if getattr(f, "reason", "") == "diverged" and not f.ok
+        ]
+        assert diverged, "no immediate upstream diverged nack"
+        central.fanout._process_replies(
+            central.fanout.peer(relay.name), nacks
+        )
+
+        assert tree_sync(central, relay, edges)
+        client = central.make_client()
+        reply = up.request(range_query_frame(TABLE, 4000, 4002, None, None))
+        result = result_from_bytes(reply.payload)
+        assert client.verify(result).ok
+        assert len(result.keys) == 3
+
+
+class TestRouterQuarantineThroughRelay:
+    def test_adversarial_edge_quarantines_its_relay_channel(self):
+        """An adversarial edge behind one relay corrupts its query
+        answers; the verifying router rejects them, quarantines that
+        relay's channel, and serves every request — verified — from
+        the sibling relay.  Callers never see an unverified result."""
+        from repro.edge.router import (
+            EdgeRouter,
+            TransportQueryChannel,
+            VerifyingRouter,
+        )
+
+        central = make_central()
+        links = {}
+        relays = {}
+        for rname, ename in (("relay-0", "edge-0"), ("relay-1", "edge-1")):
+            relay, up = attach_relay(central, rname)
+            relays[rname] = relay
+            links[rname] = up
+            edge, down = attach_edge(relay, ename)
+            if rname == "relay-0":
+                inner = edge.handle_frame
+
+                def corrupt(data, inner=inner):
+                    replies = []
+                    for raw in inner(data):
+                        frame = frame_from_bytes(raw)
+                        if (
+                            hasattr(frame, "payload")
+                            and hasattr(frame, "error")
+                            and frame.payload
+                        ):
+                            bad = bytearray(frame.payload)
+                            bad[len(bad) // 2] ^= 0xFF
+                            frame = dataclasses.replace(
+                                frame, payload=bytes(bad)
+                            )
+                        replies.append(frame_to_bytes(frame))
+                    return replies
+
+                down.connect(corrupt)
+            for _ in range(8):
+                central.propagate()
+                central.fanout.drain(wait=True)
+                relay.fanout.pump()
+                relay.fanout.drain(wait=True)
+                frames = [
+                    frame_from_bytes(b) for b in relay.pending_upstream()
+                ]
+                if frames:
+                    central.fanout._process_replies(
+                        central.fanout.peer(rname), frames
+                    )
+
+        channels = [
+            TransportQueryChannel(name, links[name]) for name in sorted(links)
+        ]
+        router = EdgeRouter(channels, policy="round_robin", failure_threshold=1)
+        verifying = VerifyingRouter(router, central.make_client())
+        for _ in range(4):
+            resp = verifying.range_query(TABLE, low=1, high=50)
+            assert resp.verdict.ok
+            assert resp.edge == "relay-1"
+        stats = verifying.stats()
+        assert stats["relay-0"].quarantined
+        assert verifying.rejects >= 1 and verifying.accepts == 4
+
+
+class TestRotationAndConfigPassThrough:
+    def test_key_rotation_heals_through_relay(self):
+        """A rotation invalidates the relay's stored chain epoch; the
+        central re-seeds it, the relay refreshes its edges with the new
+        (verbatim) config and re-snapshots them, and queries verify
+        under the new key."""
+        central = make_central()
+        relay, up = attach_relay(central)
+        edges = {n: attach_edge(relay, n)[0] for n in ("edge-0", "edge-1")}
+        assert tree_sync(central, relay, edges)
+        old_epoch = relay.store[TABLE].epoch
+
+        central.rotate_key()
+        cfg = config_to_frame(
+            central.edge_config(),
+            ack_every=central.ack_every,
+            ack_bytes=central.ack_bytes,
+        )
+        replies = relay.handle_frame(frame_to_bytes(cfg))
+        assert frame_from_bytes(replies[0]).reason == "config"
+
+        central.insert(TABLE, (5000, "a", "b"))
+        assert tree_sync(central, relay, edges)
+        assert relay.store[TABLE].epoch > old_epoch
+        client = central.make_client()
+        reply = up.request(range_query_frame(TABLE, 5000, 5000, None, None))
+        assert client.verify(result_from_bytes(reply.payload)).ok
+
+    def test_config_and_shard_map_pass_through_verbatim(self):
+        """The downstream ConfigFrame is the upstream one, byte for
+        byte — including the optional trailing shard id + ShardMap."""
+        central = make_central()
+        shard_map = ShardMap(2, seed=1)
+        shard_map.place_table(TABLE, 0)
+        cfg = config_to_frame(
+            central.edge_config(), ack_every=3, ack_bytes=4096,
+            shard_id=0, shard_map=shard_map.to_wire(),
+        )
+        relay = RelayServer("relay-0")
+        relay.adopt_config(cfg)
+        out = relay.downstream_config_frame()
+        assert frame_to_bytes(out) == frame_to_bytes(cfg)
+        assert out.shard_id == 0
+        assert relay.ack_every == 3 and relay.ack_bytes == 4096

@@ -1,0 +1,100 @@
+"""Docs-consistency gate: the wire protocol reference must be complete.
+
+``docs/ARCHITECTURE.md`` claims to be the authoritative reference for
+every frame that crosses the trust boundary.  This check makes the
+claim enforceable: every ``*Frame`` class defined in
+``src/repro/edge/transport.py`` must be mentioned (by exact class
+name) in the document, and every frame *tag* assigned there
+(``_FRAME_* = n``) must appear as a catalog row ``| n |``.  Adding a
+frame type without documenting its wire layout fails CI's lint job —
+and the tier-1 suite (``tests/test_docs_consistency.py``), so the gap
+is caught before the push.
+
+Usage::
+
+    python tools/check_docs.py            # exit 0 = consistent
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+TRANSPORT = os.path.join(ROOT, "src", "repro", "edge", "transport.py")
+ARCHITECTURE = os.path.join(ROOT, "docs", "ARCHITECTURE.md")
+
+
+def frame_classes(source: str) -> list[str]:
+    """Every frame dataclass defined in the transport module."""
+    return re.findall(r"^class (\w+Frame)\b", source, flags=re.MULTILINE)
+
+
+def frame_tags(source: str) -> dict[str, int]:
+    """Every wire tag assignment (``_FRAME_NAME = n``)."""
+    return {
+        name: int(value)
+        for name, value in re.findall(
+            r"^(_FRAME_\w+) = (\d+)$", source, flags=re.MULTILINE
+        )
+    }
+
+
+def check(transport_path: str = TRANSPORT,
+          architecture_path: str = ARCHITECTURE) -> list[str]:
+    """Return a list of human-readable problems (empty = consistent)."""
+    problems: list[str] = []
+    try:
+        with open(transport_path) as fh:
+            source = fh.read()
+    except OSError as exc:
+        return [f"cannot read transport module: {exc}"]
+    try:
+        with open(architecture_path) as fh:
+            doc = fh.read()
+    except OSError as exc:
+        return [f"cannot read docs/ARCHITECTURE.md: {exc}"]
+
+    classes = frame_classes(source)
+    if not classes:
+        problems.append(f"no frame classes found in {transport_path} "
+                        "(did the layout change?)")
+    for name in classes:
+        if name not in doc:
+            problems.append(
+                f"frame class {name} (transport.py) is not documented in "
+                "docs/ARCHITECTURE.md"
+            )
+
+    tags = frame_tags(source)
+    if not tags:
+        problems.append("no _FRAME_* tag assignments found in transport.py")
+    for tag_name, tag in tags.items():
+        if not re.search(rf"^\| {tag} \|", doc, flags=re.MULTILINE):
+            problems.append(
+                f"wire tag {tag} ({tag_name}) has no catalog row "
+                f"'| {tag} | ...' in docs/ARCHITECTURE.md"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(f"ERROR: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"\ndocs-consistency check FAILED ({len(problems)} problem(s)). "
+            "Document the frame's wire layout in docs/ARCHITECTURE.md.",
+            file=sys.stderr,
+        )
+        return 1
+    print("docs-consistency check passed: every transport frame is "
+          "documented in docs/ARCHITECTURE.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
