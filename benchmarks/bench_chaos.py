@@ -1,0 +1,108 @@
+"""Chaos battery baselines: detection latency and recovery time.
+
+Runs every in-process scenario in :data:`repro.chaos.scenarios.SCENARIOS`
+(seed 0 — the storm, the fleet, and the query stream are all pure
+functions of their seeds) and commits the **deterministic counts** as a
+gated series:
+
+* ``verified`` / ``unverified`` — routed results seen by the caller;
+  ``unverified`` is gated at exactly zero tolerance, because one
+  unverified answer is the broken paper invariant, not a regression.
+* ``detection_queries`` — routed queries between the first tamper and
+  the first verify-REJECT (0 for tamper-free scenarios): the battery's
+  detection-latency figure, in queries rather than seconds so it
+  gates byte-exactly.
+* ``recovery_pumps`` — settle rounds from end-of-storm to fleet-wide
+  cursor parity: the recovery-time figure, in replication pumps.
+* ``rejections`` / ``unavailable`` — how loudly tamper was refused and
+  how much availability the storm cost.
+
+Wall-clock latency (the load generator's p50/p99 against its SLO) is
+printed alongside but deliberately **not** written to the gated series
+— a slow CI host must never look like a detection regression.
+
+Gated by ``benchmarks/results/baselines/chaos.json``; to update after
+an intentional behaviour change, re-run this bench and copy
+``benchmarks/results/chaos.json`` over the baseline in the same PR.
+"""
+
+import json
+import os
+
+from repro.bench.series import emit, results_dir
+from repro.chaos.scenarios import SCENARIOS
+
+HEADERS = (
+    "scenario", "verified", "unverified", "unavailable", "rejections",
+    "detection_queries", "recovery_pumps",
+)
+
+
+def _run_battery() -> list[dict]:
+    rows = []
+    for name in sorted(SCENARIOS):
+        report = SCENARIOS[name](seed=0)
+        assert report.unverified == 0, (
+            f"{name}: unverified result under storm"
+        )
+        summary = report.summary()
+        rows.append({
+            "scenario": name,
+            **{h: summary[h] for h in HEADERS if h != "scenario"},
+            # Reported, never gated (wall-clock):
+            "p50_ms": summary.get("p50_ms", 0.0),
+            "p99_ms": summary.get("p99_ms", 0.0),
+        })
+    return rows
+
+
+def _merge_series(path: str, rows: list[dict]) -> list[dict]:
+    """Merge rows into the results file keyed by scenario."""
+    existing: list[dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh).get("series", [])
+        except (OSError, ValueError):
+            existing = []
+    fresh = {r["scenario"] for r in rows}
+    merged = [r for r in existing if r.get("scenario") not in fresh]
+    merged.extend(rows)
+    with open(path, "w") as fh:
+        json.dump({"series": merged}, fh, indent=2)
+    print(f"[json series written to {os.path.relpath(path)}]")
+    return merged
+
+
+def test_chaos_battery(benchmark):
+    """Every scenario holds zero-unverified; detection latency and
+    recovery time are committed as deterministic, gateable counts."""
+    series = _run_battery()
+    rows = {r["scenario"]: r for r in series}
+
+    # Byzantine storms detect and count their detection latency;
+    # clean storms reject nothing.
+    for name in ("byzantine_edges", "combined_storm"):
+        assert rows[name]["detection_queries"] > 0
+        assert rows[name]["rejections"] > 0
+    for name in ("network_flaps", "slow_links", "rotation_mid_partition"):
+        assert rows[name]["rejections"] == 0
+        assert rows[name]["detection_queries"] == 0
+
+    emit(
+        "Chaos battery: detection latency and recovery (deterministic)",
+        "chaos",
+        headers=HEADERS + ("p50_ms", "p99_ms"),
+        rows=[
+            tuple(r[k] for k in HEADERS + ("p50_ms", "p99_ms"))
+            for r in series
+        ],
+    )
+    # Only the deterministic counts enter the gated JSON series; the
+    # wall-clock columns stay in the printed table and CSV.
+    gated = [{k: r[k] for k in HEADERS} for r in series]
+    _merge_series(os.path.join(results_dir(), "chaos.json"), gated)
+
+    benchmark.pedantic(
+        lambda: SCENARIOS["network_flaps"](seed=0), rounds=1, iterations=1
+    )

@@ -110,6 +110,23 @@ CHECKS: dict[str, SeriesCheck] = {
             "edge_delivered_delta_bytes": 0.10,
         },
     ),
+    # Chaos battery: every metric is a deterministic count (storms,
+    # fleets, and query streams are pure functions of their seeds).
+    # ``unverified`` is gated at zero tolerance — one unverified result
+    # is the broken invariant, not a drift.  Detection latency is in
+    # queries and recovery in pumps precisely so a slow CI host cannot
+    # move them; any change is a behaviour change to re-baseline
+    # deliberately.
+    "chaos": SeriesCheck(
+        key=("scenario",),
+        metrics={
+            "verified": 0.10,
+            "unverified": 0.0,
+            "rejections": 0.10,
+            "detection_queries": 0.10,
+            "recovery_pumps": 0.10,
+        },
+    ),
 }
 
 

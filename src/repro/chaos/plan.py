@@ -1,0 +1,228 @@
+"""Fault schedules: tick-indexed, seed-deterministic, byte-replayable.
+
+A :class:`FaultPlan` is the chaos battery's unit of reproducibility.
+It is built either by a scenario (hand-authored event lists) or by
+:meth:`FaultPlan.generate` (a pseudo-random storm that is a *pure
+function* of its seed), and it serializes to a canonical text form —
+two plans are the same storm if and only if their bytes are equal,
+which is what lets a failing chaos run be re-filed as "seed N, plan
+bytes B" and replayed exactly (the hypothesis property test in
+``tests/chaos/test_plan.py`` holds this line).
+
+Nothing here touches the fleet: the plan is pure data.  The
+orchestrator interprets event kinds; the vocabulary is:
+
+========== ============================================================
+kind       meaning (``target`` = link/edge/relay name, ``arg`` varies)
+========== ============================================================
+partition  link down — sends fail until ``heal``
+heal       clear every fault on the link (partition/hold/drop/slow)
+hold       park outbound frames on the link until ``release``
+release    stop holding (parked frames drain on the next flush)
+drop       lose the next ``int(arg)`` frames in flight
+slow       shape link latency to ``arg`` seconds per frame
+tamper     corrupt key ``int(arg)`` in the target edge's replica
+kill       crash the target (in-process: respawn empty → snapshot heal)
+rotate     rotate the central signing key (``target`` ignored)
+drop_store lose the relay's stored chain for table ``target``
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["FaultEvent", "FaultPlan", "EVENT_KINDS"]
+
+#: The closed vocabulary of event kinds (serialization rejects others).
+EVENT_KINDS = (
+    "partition",
+    "heal",
+    "hold",
+    "release",
+    "drop",
+    "slow",
+    "tamper",
+    "kill",
+    "rotate",
+    "drop_store",
+)
+
+_MAGIC = b"faultplan v1"
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault: *at tick, do kind to target (with arg)*.
+
+    Ordering is total (tick, kind, target, arg) so a plan's event list
+    has exactly one canonical sort — the serialized form is unique.
+    """
+
+    tick: int
+    kind: str
+    target: str
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.tick < 0:
+            raise ValueError(f"negative tick {self.tick}")
+        if "\n" in self.target or " " in self.target:
+            raise ValueError(f"unserializable target {self.target!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded storm: ``ticks`` steps of scheduled faults.
+
+    Attributes:
+        name: Scenario label (shows up in reports and baselines).
+        seed: The seed the plan was derived from (provenance only —
+            equality and serialization cover the events themselves).
+        ticks: Storm duration in orchestrator ticks.
+        events: The schedule, canonically sorted.
+    """
+
+    name: str
+    seed: int
+    ticks: int
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events))
+        if ordered != tuple(self.events):
+            object.__setattr__(self, "events", ordered)
+        for ev in self.events:
+            if ev.tick >= self.ticks:
+                raise ValueError(
+                    f"event at tick {ev.tick} outside plan of {self.ticks}"
+                )
+        if "\n" in self.name or " " in self.name:
+            raise ValueError(f"unserializable plan name {self.name!r}")
+
+    # ------------------------------------------------------------------
+    # Interpretation
+    # ------------------------------------------------------------------
+
+    def at(self, tick: int) -> tuple[FaultEvent, ...]:
+        """Events scheduled for ``tick``, in canonical order."""
+        return tuple(ev for ev in self.events if ev.tick == tick)
+
+    def targets(self) -> tuple[str, ...]:
+        """Every distinct target named by the plan, sorted."""
+        return tuple(sorted({ev.target for ev in self.events if ev.target}))
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (the replay contract)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding: equal plans ⇔ equal bytes.
+
+        Floats are encoded with ``repr`` (shortest round-tripping
+        form), so ``from_bytes(p.to_bytes()) == p`` exactly.
+        """
+        lines = [
+            _MAGIC.decode(),
+            f"name={self.name}",
+            f"seed={self.seed}",
+            f"ticks={self.ticks}",
+        ]
+        for ev in self.events:
+            lines.append(f"{ev.tick} {ev.kind} {ev.target} {ev.arg!r}")
+        return ("\n".join(lines) + "\n").encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FaultPlan":
+        """Decode :meth:`to_bytes` output (strict — any deviation raises)."""
+        lines = data.decode().splitlines()
+        if not lines or lines[0] != _MAGIC.decode():
+            raise ValueError("not a faultplan v1 byte string")
+        header = dict(
+            line.split("=", 1) for line in lines[1:4] if "=" in line
+        )
+        if set(header) != {"name", "seed", "ticks"}:
+            raise ValueError("malformed faultplan header")
+        events = []
+        for line in lines[4:]:
+            tick_s, kind, target, arg_s = line.split(" ")
+            events.append(
+                FaultEvent(
+                    tick=int(tick_s), kind=kind, target=target,
+                    arg=float(arg_s),
+                )
+            )
+        return cls(
+            name=header["name"],
+            seed=int(header["seed"]),
+            ticks=int(header["ticks"]),
+            events=tuple(events),
+        )
+
+    # ------------------------------------------------------------------
+    # Seeded generation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        targets: Sequence[str],
+        ticks: int = 20,
+        events_per_tick: float = 1.0,
+        kinds: Iterable[str] = ("partition", "heal", "hold", "release",
+                                "drop", "slow", "kill"),
+        name: str = "generated",
+    ) -> "FaultPlan":
+        """A pseudo-random storm that is a pure function of its inputs.
+
+        Every ``partition``/``hold`` drawn is paired with a matching
+        ``heal``/``release`` at a later (seeded) tick, so a generated
+        storm always ends with every link nominally healthy — the
+        orchestrator's final heal-all is belt and braces, not load
+        bearing.  ``slow`` draws a delay in [5, 50] ms; ``drop`` loses
+        1–3 frames.
+        """
+        rng = random.Random(seed)
+        kinds = tuple(kinds)
+        events: list[FaultEvent] = []
+        for tick in range(ticks):
+            n = int(events_per_tick) + (
+                1 if rng.random() < events_per_tick % 1 else 0
+            )
+            for _ in range(n):
+                kind = rng.choice(kinds)
+                target = rng.choice(list(targets))
+                if kind in ("heal", "release"):
+                    # Standalone heals are harmless no-ops; keep them —
+                    # schedules with redundant heals must replay too.
+                    events.append(FaultEvent(tick, kind, target))
+                elif kind == "partition":
+                    end = rng.randint(tick + 1, ticks)
+                    events.append(FaultEvent(tick, "partition", target))
+                    if end < ticks:
+                        events.append(FaultEvent(end, "heal", target))
+                elif kind == "hold":
+                    end = rng.randint(tick + 1, ticks)
+                    events.append(FaultEvent(tick, "hold", target))
+                    if end < ticks:
+                        events.append(FaultEvent(end, "release", target))
+                elif kind == "drop":
+                    events.append(
+                        FaultEvent(tick, "drop", target, float(rng.randint(1, 3)))
+                    )
+                elif kind == "slow":
+                    delay = round(rng.uniform(0.005, 0.05), 4)
+                    events.append(FaultEvent(tick, "slow", target, delay))
+                    end = rng.randint(tick + 1, ticks)
+                    if end < ticks:
+                        events.append(FaultEvent(end, "heal", target))
+                elif kind == "kill":
+                    events.append(FaultEvent(tick, "kill", target))
+                else:
+                    events.append(FaultEvent(tick, kind, target))
+        return cls(name=name, seed=seed, ticks=ticks, events=tuple(events))

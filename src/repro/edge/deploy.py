@@ -35,6 +35,7 @@ same nack→retry→snapshot-heal escalation, now exercised by real
 from __future__ import annotations
 
 import os
+import random
 import socket
 import subprocess
 import sys
@@ -47,6 +48,7 @@ from repro.core.wire import predicate_to_bytes, result_from_bytes
 from repro.edge.central import CentralServer
 from repro.edge.edge_server import EdgeResponse
 from repro.edge.event_loop import EdgeEventLoop, ReactorTransport
+from repro.edge import telemetry
 from repro.edge.socket_transport import TcpTransport, recv_frame, send_frame
 from repro.edge.transport import (
     HelloFrame,
@@ -190,8 +192,16 @@ class Deployment:
                 return  # listener closed: shutdown
             try:
                 self._handshake(conn)
-            except Exception:
+            except (TransportError, OSError) as exc:
                 # A broken dialer must not take the listener down.
+                telemetry.note("deploy.accept_loop.handshake", exc)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            except Exception as exc:  # noqa: BLE001 - anything else is
+                # a bug worth counting, not a torn socket.
+                telemetry.note("deploy.accept_loop.unexpected", exc)
                 try:
                     conn.close()
                 except OSError:
@@ -328,6 +338,46 @@ class Deployment:
         """Relaunch a (killed) edge process under the same name."""
         self.kill_edge(name)
         return self.launch_edge(name)
+
+    def restart_storm(
+        self,
+        names: Sequence[str] | None = None,
+        cycles: int = 1,
+        seed: int = 0,
+        wait: bool = True,
+        timeout: float = 30.0,
+    ) -> list[str]:
+        """Seeded SIGKILL/relaunch storm over the named edges.
+
+        Each cycle kills and relaunches every target once, in an order
+        drawn from ``random.Random(seed)`` — the same seed always
+        produces the same kill order, which is what makes a storm
+        failure replayable (see ``src/repro/chaos``).
+
+        Args:
+            names: Edges to storm (default: every managed edge).
+            cycles: Kill/relaunch passes over the whole target set.
+            seed: Shuffle seed; the schedule is a pure function of it.
+            wait: Re-wait for registration (and sync) after each cycle,
+                so the storm ends with a healed fleet.
+            timeout: Per-edge registration deadline when waiting.
+
+        Returns:
+            The kill order actually applied, one entry per kill.
+        """
+        rng = random.Random(seed)
+        targets = list(names) if names is not None else sorted(self.edges)
+        order: list[str] = []
+        for _ in range(max(0, cycles)):
+            shuffled = list(targets)
+            rng.shuffle(shuffled)
+            for name in shuffled:
+                self.restart_edge(name)
+                order.append(name)
+            if wait:
+                for name in shuffled:
+                    self.wait_for_edge(name, timeout=timeout)
+        return order
 
     # ------------------------------------------------------------------
     # Replication & queries over the wire
@@ -580,6 +630,9 @@ class RelayDeployment:
         self.central = central
         self.relays: dict[str, EdgeProcess] = {}
         self.relay_ports: dict[str, int] = {}
+        #: Launch kwargs pinned per relay name, so a restart rebuilds
+        #: the process with the same store cap / spot-check policy.
+        self.relay_opts: dict[str, dict] = {}
         self.edge_procs: dict[str, EdgeProcess] = {}
         self.edge_relay: dict[str, str] = {}
 
@@ -644,7 +697,8 @@ class RelayDeployment:
     # ------------------------------------------------------------------
 
     def launch_relay(
-        self, name: str, *, spot_check_every: int = 0
+        self, name: str, *, spot_check_every: int = 0,
+        max_store_bytes: int = 0,
     ) -> EdgeProcess:
         """Start a relay process dialing the central listener.
 
@@ -656,6 +710,10 @@ class RelayDeployment:
         if port is None:
             port = self._reserve_port()
             self.relay_ports[name] = port
+        self.relay_opts[name] = {
+            "spot_check_every": spot_check_every,
+            "max_store_bytes": max_store_bytes,
+        }
         return self._spawn(
             self.relays,
             name,
@@ -664,6 +722,7 @@ class RelayDeployment:
                 "--host", chost, "--port", str(cport),
                 "--listen-host", self.host, "--listen-port", str(port),
                 "--spot-check-every", str(spot_check_every),
+                "--max-store-bytes", str(max_store_bytes),
                 "--retry-attempts", "120",
             ],
         )
@@ -754,9 +813,38 @@ class RelayDeployment:
             central_handle.registered.clear()
 
     def restart_relay(self, name: str) -> EdgeProcess:
-        """Relaunch a (killed) relay on the same listen port."""
+        """Relaunch a (killed) relay on the same listen port, with the
+        same launch options it was first given."""
         self.kill_relay(name)
-        return self.launch_relay(name)
+        return self.launch_relay(name, **self.relay_opts.get(name, {}))
+
+    def restart_storm(
+        self,
+        names: Sequence[str] | None = None,
+        cycles: int = 1,
+        seed: int = 0,
+    ) -> list[str]:
+        """Seeded SIGKILL/relaunch storm over the named relays.
+
+        The relay-tier sibling of :meth:`Deployment.restart_storm`:
+        the kill order is a pure function of ``seed``.  Waiting is the
+        caller's job (:meth:`wait_for_edges` probes the subtree the
+        way it will be used), because a relay's readiness is only
+        observable through its edges.
+
+        Returns:
+            The kill order actually applied, one entry per kill.
+        """
+        rng = random.Random(seed)
+        targets = list(names) if names is not None else sorted(self.relays)
+        order: list[str] = []
+        for _ in range(max(0, cycles)):
+            shuffled = list(targets)
+            rng.shuffle(shuffled)
+            for name in shuffled:
+                self.restart_relay(name)
+                order.append(name)
+        return order
 
     def kill_edge(self, name: str) -> None:
         """SIGKILL a downstream edge process."""

@@ -57,6 +57,7 @@ import time
 from collections import deque
 from typing import Callable, Optional, Sequence
 
+from repro.edge import telemetry
 from repro.edge.network import Channel
 from repro.edge.socket_transport import (
     _IOV_MAX,
@@ -260,7 +261,8 @@ class EdgeEventLoop:
             except (BlockingIOError, InterruptedError):
                 self._want_write(conn, True)
                 return
-            except OSError:
+            except OSError as exc:
+                telemetry.note("event_loop.flush_conn", exc, detail=conn.name)
                 self._close_conn(conn)
                 return
             while conn.out and sent >= len(conn.out[0]):
@@ -298,7 +300,8 @@ class EdgeEventLoop:
                 n = conn.sock.recv_into(view)
             except (BlockingIOError, InterruptedError):
                 break
-            except OSError:
+            except OSError as exc:
+                telemetry.note("event_loop.read_conn", exc, detail=conn.name)
                 self._close_conn(conn)
                 return
             if n == 0:  # clean EOF
@@ -310,7 +313,11 @@ class EdgeEventLoop:
         while True:
             try:
                 data = conn.decoder.next_frame()
-            except TransportError:
+            except TransportError as exc:
+                # A framing error is never routine: the stream is
+                # misaligned and the only safe move is to drop the
+                # link — but it must leave a trace.
+                telemetry.note("event_loop.framing", exc, detail=conn.name)
                 self._close_conn(conn)
                 return
             if data is None:
@@ -407,6 +414,10 @@ class ReactorTransport(Transport):
     * ``drop_next`` — metered then dropped (bytes left, frame lost).
     * ``hold`` — metered and queued, the queue parked via the
       connection gate until the fault clears.
+    * ``delay`` — metered and queued, the queue parked until
+      ``delay`` seconds after the last delayed send — latency shaping
+      that never blocks the loop (healthy peers flush on schedule
+      while the slow link's deadline runs down).
 
     Args:
         name: The edge's name (link label).
@@ -439,9 +450,14 @@ class ReactorTransport(Transport):
         self._stray: list[Frame] = []
         self._conn = loop.register(name, sock)
         self._conn.gate = self._may_write
+        #: Monotonic deadline before which the outbound queue stays
+        #: parked (``faults.delay`` shaping; 0.0 = no shaping).
+        self._slow_until = 0.0
 
     def _may_write(self) -> bool:
-        return not self.faults.blocks_delivery
+        if self.faults.blocks_delivery:
+            return False
+        return time.monotonic() >= self._slow_until
 
     # ------------------------------------------------------------------
     # State
@@ -484,6 +500,10 @@ class ReactorTransport(Transport):
             if self.faults.drop_next > 0:
                 self.faults.drop_next -= 1
                 return SendOutcome(status="dropped", transfer=transfer)
+            if self.faults.delay > 0:
+                self._slow_until = max(
+                    self._slow_until, time.monotonic() + self.faults.delay
+                )
             self._loop.enqueue(self._conn, data)
             self._pending += 1
             return SendOutcome(status="queued", transfer=transfer)
@@ -496,7 +516,8 @@ class ReactorTransport(Transport):
         for data in inbox:
             try:
                 reply = frame_from_bytes(data)
-            except TransportError:
+            except TransportError as exc:
+                telemetry.note("reactor_transport.framing", exc, detail=self.name)
                 self._loop.close_conn(self._conn)
                 break
             if isinstance(reply, CursorAckFrame):
@@ -667,6 +688,7 @@ class EdgeHost:
                 return _edge.handle_frame(frame_bytes)
             except Exception as exc:  # noqa: BLE001 - mirror serve.py:
                 # one bad frame answers with an error, not a dead edge.
+                telemetry.note("edge_host.handler", exc, detail=_name)
                 return [
                     frame_to_bytes(
                         QueryResponseFrame(
@@ -700,8 +722,15 @@ class EdgeHost:
         while not self._stop.is_set():
             try:
                 self.loop.run_once(self.spin)
-            except Exception:  # noqa: BLE001 - a torn socket mid-spin
-                # must not kill the host thread; its conn was closed.
+            except OSError as exc:
+                # A torn socket mid-spin must not kill the host
+                # thread; its conn was closed.
+                telemetry.note("edge_host.serve", exc)
+                continue
+            except Exception as exc:  # noqa: BLE001 - anything else
+                # escaping run_once is a bug: count it loudly instead
+                # of spinning silently over it forever.
+                telemetry.note("edge_host.serve.unexpected", exc)
                 continue
 
     def close(self) -> None:

@@ -104,6 +104,7 @@ from repro.edge.transport import (
     frame_from_bytes,
     frame_to_bytes,
 )
+from repro.edge import telemetry
 from repro.exceptions import (
     DeltaGapError,
     ReplicationError,
@@ -139,6 +140,11 @@ class _TableStore:
     deltas: list[_StoredDelta] = field(default_factory=list)
     head: int = 0
     epoch: int = 0
+
+    def retained_bytes(self) -> int:
+        """Payload bytes this table pins in memory (snapshot + chain)."""
+        total = len(self.snapshot.payload) if self.snapshot else 0
+        return total + sum(len(d.payload) for d in self.deltas)
 
 
 class RelayFanout(FanoutEngine):
@@ -251,6 +257,15 @@ class RelayServer:
         spot_check_every: Verify the signature of every Nth ingested
             delta frame (``0`` = never).  Purely a detection
             accelerator — edges re-verify everything regardless.
+        max_store_bytes: Per-table cap on retained payload bytes
+            (``0`` = unbounded).  When a delta append pushes a table
+            past the cap, the whole chain is deterministically evicted
+            and a ``diverged`` nack asks upstream for a fresh snapshot
+            at head — the snapshot *is* the compact representation, so
+            the heal itself is the compaction.  A snapshot alone is
+            never evicted (it is the minimal heal unit); the cap
+            bounds the delta chain riding on top of it, which is what
+            actually grows without bound on a long-lived link.
 
     The relay is single-thread-owned (module docstring); the lock below
     only makes the in-process test surface forgiving, it is not a
@@ -263,9 +278,18 @@ class RelayServer:
         window: int = 8,
         workers: int = 1,
         spot_check_every: int = 0,
+        max_store_bytes: int = 0,
     ) -> None:
         self.name = name
         self.spot_check_every = max(0, spot_check_every)
+        self.max_store_bytes = max(0, max_store_bytes)
+        #: Store-hygiene telemetry: ``compacted_frames`` (deltas
+        #: retired because a stored snapshot now covers them),
+        #: ``store_evictions`` (byte-cap / fault-hook chain drops).
+        self.counters: dict[str, int] = {
+            "compacted_frames": 0,
+            "store_evictions": 0,
+        }
         self.store: dict[str, _TableStore] = {}
         #: Decoded verification bundle (ring used for spot-checks and
         #: cursor sanitization); ``None`` until the first ConfigFrame.
@@ -416,6 +440,7 @@ class RelayServer:
             if stored.lsn_first == head + 1 and stored.epoch == frame.epoch:
                 kept.append(stored)
                 head = stored.lsn_last
+        self.counters["compacted_frames"] += len(st.deltas) - len(kept)
         st.deltas = kept
         st.head = head
         self._note_downstream_progress()
@@ -431,7 +456,9 @@ class RelayServer:
             return [frame_to_bytes(self._nack(table, "diverged"))]
         try:
             delta = delta_from_bytes(frame.payload)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 - adversarial bytes may
+            # raise anything; the nack is the answer, the note the trace.
+            telemetry.note("relay.ingest_delta.parse", exc, detail=table)
             return [frame_to_bytes(self._nack(table, "tamper"))]
         if delta.table != table:
             return [frame_to_bytes(self._nack(table, "tamper"))]
@@ -471,6 +498,16 @@ class RelayServer:
             )
         )
         st.head = delta.lsn_last
+        if (
+            self.max_store_bytes
+            and st.deltas
+            and st.retained_bytes() > self.max_store_bytes
+        ):
+            # Over the cap: evict the chain and heal by snapshot — the
+            # fresh snapshot replaces snapshot + deltas wholesale, so
+            # the nack below is also the compaction request.
+            self._evict_table(st)
+            return [frame_to_bytes(self._nack(table, "diverged"))]
         # Accepted: coalesce the upstream ack exactly like an edge.
         self._unacked_frames += 1
         self._unacked_bytes += len(frame.payload)
@@ -607,10 +644,7 @@ class RelayServer:
             return
         if self._verify_table(table):
             return  # store is fine; the engine already heals the edge
-        st = self.store[table]
-        st.snapshot = None
-        st.deltas = []
-        st.head = 0
+        self._evict_table(self.store[table])
         with self._outbox_lock:
             self._outbox.append(
                 frame_to_bytes(
@@ -620,6 +654,39 @@ class RelayServer:
                     )
                 )
             )
+
+    def _evict_table(self, st: _TableStore) -> None:
+        """Deterministically drop one table's chain (snapshot heal path)."""
+        st.snapshot = None
+        st.deltas = []
+        st.head = 0
+        self.counters["store_evictions"] += 1
+
+    def drop_store(self, table: str) -> bool:
+        """Chaos hook: lose one table's stored chain as a fault.
+
+        Models a relay that lost (or corrupted) its in-memory store
+        without dying — the same state a byte-cap eviction or a failed
+        self-verification produces.  Queues an immediate ``diverged``
+        nack upstream so the next serve-loop drain requests the
+        snapshot heal.  Returns False when there was nothing to drop.
+        """
+        with self._lock:
+            st = self.store.get(table)
+            if st is None or st.snapshot is None:
+                return False
+            self._evict_table(st)
+            with self._outbox_lock:
+                self._outbox.append(
+                    frame_to_bytes(
+                        AckFrame(
+                            edge=self.name, table=table, ok=False,
+                            lsn=0, epoch=0, reason="diverged",
+                        )
+                    )
+                )
+            self._note_downstream_progress()
+            return True
 
     def _verify_table(self, table: str) -> bool:
         """Best-effort verification of one stored chain: reconstruct
@@ -638,7 +705,9 @@ class RelayServer:
                 st.snapshot.epoch,
             )
             snapshot_from_bytes(st.snapshot.payload, signing)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 - a corrupted stored
+            # snapshot fails verification however it fails to parse.
+            telemetry.note("relay.verify_table", exc, detail=table)
             return False
         return all(
             self._verify_delta_payload(table, d.payload) for d in st.deltas
@@ -649,7 +718,9 @@ class RelayServer:
             return False
         try:
             delta = delta_from_bytes(payload)
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 - same: corrupt bytes
+            # are a verification failure, not a crash.
+            telemetry.note("relay.verify_delta", exc, detail=table)
             return False
         if delta.table != table or delta.signature is None:
             return False
@@ -723,6 +794,7 @@ def run_relay(
     retry_attempts: int = 40,
     retry_delay: float = 0.25,
     spot_check_every: int = 0,
+    max_store_bytes: int = 0,
     verbose: bool = False,
     stop_event: threading.Event | None = None,
     ready: Callable[["RelayServer", tuple[str, int]], None] | None = None,
@@ -751,6 +823,7 @@ def run_relay(
             (``None`` = until dialing itself fails).
         retry_attempts / retry_delay: Per-dial retry budget.
         spot_check_every: See :class:`RelayServer`.
+        max_store_bytes: See :class:`RelayServer`.
         verbose: Narrate connections on stdout.
         stop_event: Cooperative shutdown signal.
         ready: Called once with ``(relay, (host, port))`` after the
@@ -760,7 +833,11 @@ def run_relay(
         The relay server, once the upstream is gone for good or
         ``stop_event`` is set.
     """
-    relay = RelayServer(name, spot_check_every=spot_check_every)
+    relay = RelayServer(
+        name,
+        spot_check_every=spot_check_every,
+        max_store_bytes=max_store_bytes,
+    )
     loop = EdgeEventLoop()
     relay.fanout.reactor = loop
     stop = stop_event if stop_event is not None else threading.Event()
@@ -807,7 +884,16 @@ def run_relay(
                 return  # listener closed: shutdown
             try:
                 _downstream_handshake(conn)
-            except Exception:
+            except (TransportError, OSError) as exc:
+                # A broken dialer must not take the listener down.
+                telemetry.note("relay.accept_loop.handshake", exc)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            except Exception as exc:  # noqa: BLE001 - anything else is
+                # a bug worth counting, not weather.
+                telemetry.note("relay.accept_loop.unexpected", exc)
                 try:
                     conn.close()
                 except OSError:
@@ -851,7 +937,8 @@ def run_relay(
                         f"expected ConfigFrame, got {type(reply).__name__}"
                     )
                 relay.adopt_config(reply)
-            except (TransportError, OSError):
+            except (TransportError, OSError) as exc:
+                telemetry.note("relay.upstream.handshake", exc)
                 try:
                     sock.close()
                 except OSError:
@@ -918,6 +1005,7 @@ class RelayHost:
         spin: float = 0.01,
         io_timeout: float = 30.0,
         spot_check_every: int = 0,
+        max_store_bytes: int = 0,
     ) -> None:
         self.name = name
         self.upstream = upstream
@@ -926,6 +1014,7 @@ class RelayHost:
         self.spin = spin
         self.io_timeout = io_timeout
         self.spot_check_every = spot_check_every
+        self.max_store_bytes = max_store_bytes
         self.relay: Optional[RelayServer] = None
         self.address: Optional[tuple[str, int]] = None
         self._stop = threading.Event()
@@ -957,6 +1046,7 @@ class RelayHost:
                 spin=self.spin,
                 io_timeout=self.io_timeout,
                 spot_check_every=self.spot_check_every,
+                max_store_bytes=self.max_store_bytes,
                 stop_event=self._stop,
                 ready=_on_ready,
             )

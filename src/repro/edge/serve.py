@@ -221,6 +221,11 @@ def main(argv: list[str] | None = None) -> int:
         "--spot-check-every", type=int, default=0,
         help="(relay) verify every Nth ingested delta signature (0 = never)",
     )
+    parser.add_argument(
+        "--max-store-bytes", type=int, default=0,
+        help="(relay) per-table frame-store byte cap; exceeding it "
+        "evicts the chain and heals by snapshot (0 = unbounded)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
     try:
@@ -238,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
                 retry_delay=args.retry_delay,
                 io_timeout=args.io_timeout,
                 spot_check_every=args.spot_check_every,
+                max_store_bytes=args.max_store_bytes,
                 verbose=not args.quiet,
             )
         else:

@@ -56,9 +56,11 @@ import threading
 import time
 from typing import Optional
 
+from repro.edge import telemetry
 from repro.edge.network import Channel
 from repro.edge.transport import (
     CursorAckFrame,
+    FaultInjector,
     Frame,
     QueryResponseFrame,
     SendOutcome,
@@ -362,6 +364,15 @@ class TcpTransport(Transport):
             :class:`~repro.edge.transport.Transport`.
         timeout: Receive timeout; a peer silent for longer is treated
             as wedged and the link is closed.
+        faults: Fault-injection state (healthy by default) — the same
+            :class:`~repro.edge.transport.FaultInjector` the in-process
+            link honors, applied at the TCP level: ``partitioned``
+            fails sends without touching the socket (a flap, not a
+            close — clearing it resumes the link), ``drop_next`` meters
+            then discards frames before the write, ``hold`` parks
+            serialized frames in the transport until :meth:`flush`
+            after the fault clears, and ``delay`` sleeps before each
+            write (latency shaping on a blocking link).
     """
 
     def __init__(
@@ -371,11 +382,14 @@ class TcpTransport(Transport):
         down_channel: Channel | None = None,
         up_channel: Channel | None = None,
         timeout: float = 10.0,
+        faults: FaultInjector | None = None,
     ) -> None:
         super().__init__(name, down_channel, up_channel)
         self._sock = sock
         self._sock.settimeout(timeout)
         self._lock = threading.RLock()
+        self.faults = faults or FaultInjector()
+        self._held: list[bytes] = []
         self._pending = 0
         self._stray: list[Frame] = []
         self._decoder = FrameDecoder()
@@ -430,10 +444,25 @@ class TcpTransport(Transport):
         with self._lock:
             if self._closed:
                 return SendOutcome(status="failed")
+            if self.faults.partitioned:
+                # A flap, not a death: nothing leaves the sender and
+                # the socket stays open for when the link heals.
+                return SendOutcome(status="failed")
             data = frame_to_bytes(frame)
+            if self.faults.drop_next > 0:
+                self.faults.drop_next -= 1
+                transfer = self._record_send(data, frame)
+                return SendOutcome(status="dropped", transfer=transfer)
+            if self.faults.hold:
+                transfer = self._record_send(data, frame)
+                self._held.append(data)
+                return SendOutcome(status="queued", transfer=transfer)
+            if self.faults.delay > 0:
+                time.sleep(self.faults.delay)
             try:
                 send_frame(self._sock, data)
-            except (OSError, TransportError):
+            except (OSError, TransportError) as exc:
+                telemetry.note("tcp.send", exc, detail=self.name)
                 self._mark_closed()
                 return SendOutcome(status="failed")
             self.syscalls["send"] += 1
@@ -471,6 +500,11 @@ class TcpTransport(Transport):
         with self._lock:
             replies = list(self._stray)
             self._stray.clear()
+            if self.faults.blocks_delivery:
+                # Mirror the in-process link: a partitioned/held link
+                # neither writes nor blocks waiting for replies.
+                return replies
+            self._write_held()
             while True:
                 if wait and not self._pending:
                     break
@@ -479,6 +513,19 @@ class TcpTransport(Transport):
                     break
                 replies.append(reply)
             return replies
+
+    def _write_held(self) -> None:
+        """Write frames parked by a (now cleared) ``hold`` fault."""
+        while self._held and not self._closed:
+            data = self._held.pop(0)
+            try:
+                send_frame(self._sock, data)
+            except (OSError, TransportError) as exc:
+                telemetry.note("tcp.send", exc, detail=self.name)
+                self._mark_closed()
+                return
+            self.syscalls["send"] += 1
+            self._pending += 1
 
     def poll(self) -> list:
         """Block for at least one reply frame; return all available.
@@ -532,8 +579,19 @@ class TcpTransport(Transport):
         """
         with self._lock:
             outcome = self.send(frame)
+            if outcome.status == "dropped":
+                raise TransportError(
+                    f"request to {self.name!r} lost in flight"
+                )
             if outcome.status != "queued":
                 raise TransportError(f"link to {self.name!r} is down")
+            if self.faults.hold:
+                # The frame stays parked in the link (metered, will be
+                # written on flush once the fault clears), but a
+                # synchronous caller cannot wait for it.
+                raise TransportError(
+                    f"link to {self.name!r} timed out (peer holding frames)"
+                )
             while True:
                 reply = self._read_reply()
                 if reply is None:
@@ -554,7 +612,9 @@ class TcpTransport(Transport):
         while True:
             try:
                 data = self._decoder.next_frame()
-            except TransportError:
+            except TransportError as exc:
+                # Misaligned stream: never routine, always traced.
+                telemetry.note("tcp.framing", exc, detail=self.name)
                 self._mark_closed()
                 return None
             if data is not None:
@@ -565,7 +625,8 @@ class TcpTransport(Transport):
             self.syscalls["recv"] += 1
             try:
                 n = self._sock.recv_into(view)
-            except (OSError, TransportError):
+            except (OSError, TransportError) as exc:
+                telemetry.note("tcp.recv", exc, detail=self.name)
                 self._mark_closed()
                 return None
             if n == 0:  # clean EOF
@@ -574,7 +635,8 @@ class TcpTransport(Transport):
             self._decoder.wrote(n)
         try:
             reply = frame_from_bytes(data)
-        except TransportError:
+        except TransportError as exc:
+            telemetry.note("tcp.framing", exc, detail=self.name)
             self._mark_closed()
             return None
         if isinstance(reply, CursorAckFrame):

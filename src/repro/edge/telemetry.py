@@ -1,0 +1,91 @@
+"""Swallowed-error telemetry: a counter where silence used to be.
+
+The serve loops and transports deliberately survive torn sockets,
+half-finished handshakes, and peers dying mid-frame — a fabric that
+fell over every time an edge was SIGKILLed could not heal anything.
+But "survive" used to mean ``except Exception: pass``, which also
+swallowed *unexpected* errors: a framing bug, a verification error, a
+typo in a handler all vanished into the same silence as a routine
+``ECONNRESET``.
+
+This module is the sweep's landing pad (ISSUE 9).  Every formerly
+silent handler now catches the *narrow* expected errors (usually
+``OSError`` on a torn socket) and routes anything else — and,
+optionally, the expected ones too — through :func:`note`, which
+increments a process-wide counter keyed ``site:ExceptionType`` and
+emits one ``repro.edge`` log line.  Tests and the chaos battery assert
+on the counters: an unexpected-error counter that moves during a
+healthy run is a bug, full stop.
+
+The counters are process-global and lock-guarded (the serve loops note
+from accept/reader threads).  They are telemetry, not control flow —
+nothing reads them to make decisions.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import Counter
+
+__all__ = ["note", "counters", "total", "unexpected_total", "reset"]
+
+log = logging.getLogger("repro.edge")
+
+_lock = threading.Lock()
+_counters: Counter[str] = Counter()
+
+
+def note(site: str, exc: BaseException, detail: str = "") -> None:
+    """Record one swallowed exception at ``site``.
+
+    Args:
+        site: Stable dotted label for the swallow site, e.g.
+            ``"relay.accept_loop.unexpected"``.  Sites ending in
+            ``.unexpected`` are the ones tests gate on.
+        exc: The exception being swallowed.
+        detail: Optional extra context for the log line.
+    """
+    key = f"{site}:{type(exc).__name__}"
+    with _lock:
+        _counters[key] += 1
+    log.warning(
+        "swallowed %s at %s: %s%s",
+        type(exc).__name__,
+        site,
+        exc,
+        f" ({detail})" if detail else "",
+    )
+
+
+def counters() -> dict[str, int]:
+    """Snapshot of all counters as ``{"site:ExcType": count}``."""
+    with _lock:
+        return dict(_counters)
+
+
+def total(prefix: str = "") -> int:
+    """Sum of counters whose site starts with ``prefix``.
+
+    ``total("")`` is everything; ``total("relay.")`` is the relay's
+    swallows; the chaos invariant is
+    ``total_unexpected := sum over keys containing ".unexpected:"``,
+    exposed here as ``total(prefix)`` over an ``.unexpected`` site
+    prefix or via :func:`counters` filtering.
+    """
+    with _lock:
+        return sum(v for k, v in _counters.items() if k.startswith(prefix))
+
+
+def unexpected_total() -> int:
+    """Sum of counters at ``*.unexpected`` sites — the chaos gate."""
+    with _lock:
+        return sum(
+            v for k, v in _counters.items() if ".unexpected:" in k
+        )
+
+
+def reset() -> None:
+    """Zero every counter (test isolation)."""
+    with _lock:
+        _counters.clear()

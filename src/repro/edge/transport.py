@@ -753,11 +753,20 @@ class FaultInjector:
         drop_next: Lose the next N frames in flight.
         hold: Queue frames instead of delivering (slow edge); they
             drain on :meth:`InProcessTransport.flush` once cleared.
+        delay: Per-frame latency shaping, in seconds.  The in-process
+            link models it as a one-flush delivery delay (the frame is
+            queued like a held frame but drains on the *next* flush
+            even while the fault persists — a slow link, not a wedged
+            one); :class:`~repro.edge.socket_transport.TcpTransport`
+            sleeps before each write; the reactor parks the
+            connection's queue until the deadline passes without ever
+            blocking the loop.
     """
 
     partitioned: bool = False
     drop_next: int = 0
     hold: bool = False
+    delay: float = 0.0
 
     @property
     def blocks_delivery(self) -> bool:
@@ -775,6 +784,7 @@ class FaultInjector:
         self.partitioned = False
         self.drop_next = 0
         self.hold = False
+        self.delay = 0.0
 
 
 @dataclass
@@ -969,7 +979,10 @@ class InProcessTransport(Transport):
         if self.faults.drop_next > 0:
             self.faults.drop_next -= 1
             return SendOutcome(status="dropped", transfer=transfer)
-        if self.faults.hold:
+        if self.faults.hold or self.faults.delay > 0:
+            # A held frame waits for the fault to clear; a delayed
+            # frame merely waits for the next flush — the in-process
+            # model of a slow link is "delivered one tick late".
             self._queue.append(data)
             return SendOutcome(status="queued", transfer=transfer)
         return SendOutcome(

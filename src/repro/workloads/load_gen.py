@@ -1,0 +1,154 @@
+"""Open-loop query load with Zipf key popularity and SLO reporting.
+
+The chaos battery's traffic source (ROADMAP "scenario diversity",
+item b): a deterministic generator that decides *up front* — purely
+from its seed — which range queries tick N carries, independent of how
+long any previous query took.  Open-loop matters for chaos: a
+closed-loop driver slows down exactly when the system degrades, which
+flatters p99 precisely when the storm makes it interesting.  Here the
+offered load per tick is constant; what varies is how the fleet copes.
+
+Key popularity is Zipf-skewed (:func:`~repro.workloads.generator.zipf_ranks`,
+YCSB's theta=0.99 default), so a partitioned edge holding the hot keys
+hurts more than one holding the tail — the load shape is part of the
+scenario, not decoration.
+
+Latency accounting is wall-clock and therefore **reported, never
+gated**: ``bench_chaos.py`` commits only deterministic counts to its
+baseline and prints the latency distribution alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.generator import zipf_ranks
+
+__all__ = ["LoadProfile", "LoadGenerator", "LoadReport", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) by linear interpolation.
+
+    Returns 0.0 for an empty sample set (a storm that blocked every
+    query has no latency distribution, not an undefined one).
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of the offered load (pure data, all defaults overridable).
+
+    Attributes:
+        queries_per_tick: Range queries issued every orchestrator tick.
+        key_start / key_step / n_keys: The queried table's primary-key
+            lattice (matches :class:`~repro.workloads.generator.TableSpec`).
+        span: Half-width of each range query, in key steps — queries
+            cover ``[center - span*step, center + span*step]``.
+        theta: Zipf skew for the range *centers* (0 = uniform).
+        seed: PRNG seed; the whole query stream is a function of it.
+        slo_seconds: Latency objective a query should meet; the report
+            counts violations (reported, never gated — wall-clock).
+    """
+
+    queries_per_tick: int = 8
+    key_start: int = 0
+    key_step: int = 1
+    n_keys: int = 64
+    span: int = 3
+    theta: float = 0.99
+    seed: int = 0
+    slo_seconds: float = 0.5
+
+
+@dataclass
+class LoadReport:
+    """What the generator observed: issued/answered counts and the
+    latency distribution against the SLO."""
+
+    issued: int = 0
+    answered: int = 0
+    unavailable: int = 0
+    latencies: list[float] = field(default_factory=list)
+    slo_seconds: float = 0.5
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.latencies, 50.0)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 99.0)
+
+    @property
+    def over_slo(self) -> int:
+        """Answered queries that missed the latency objective."""
+        return sum(1 for lat in self.latencies if lat > self.slo_seconds)
+
+    def summary(self) -> dict:
+        """Flat dict for benches / logs."""
+        return {
+            "issued": self.issued,
+            "answered": self.answered,
+            "unavailable": self.unavailable,
+            "p50_ms": round(self.p50 * 1000, 3),
+            "p99_ms": round(self.p99 * 1000, 3),
+            "over_slo": self.over_slo,
+        }
+
+
+class LoadGenerator:
+    """Deterministic per-tick batches of range-query bounds.
+
+    The whole stream is precomputed from ``profile.seed`` at
+    construction, so tick N's batch is identical across runs no matter
+    what the fleet did during ticks 0..N-1 — the open-loop property,
+    and the reason a chaos failure replays.
+    """
+
+    def __init__(self, profile: LoadProfile, ticks: int) -> None:
+        self.profile = profile
+        self.ticks = ticks
+        total = profile.queries_per_tick * ticks
+        ranks = zipf_ranks(
+            profile.n_keys, total, theta=profile.theta, seed=profile.seed
+        )
+        self._batches: list[list[tuple[int, int]]] = []
+        for tick in range(ticks):
+            batch = []
+            for i in range(profile.queries_per_tick):
+                rank = ranks[tick * profile.queries_per_tick + i]
+                center = profile.key_start + rank * profile.key_step
+                half = profile.span * profile.key_step
+                batch.append((center - half, center + half))
+            self._batches.append(batch)
+        self.report = LoadReport(slo_seconds=profile.slo_seconds)
+
+    def batch(self, tick: int) -> list[tuple[int, int]]:
+        """The ``(low, high)`` query bounds scheduled for ``tick``."""
+        return list(self._batches[tick])
+
+    # -- observation hooks (the orchestrator calls these) ---------------
+
+    def note_issued(self) -> None:
+        self.report.issued += 1
+
+    def note_answered(self, latency: float) -> None:
+        self.report.answered += 1
+        self.report.latencies.append(latency)
+
+    def note_unavailable(self) -> None:
+        """The router exhausted the fleet — availability loss, counted
+        separately from verification (an unanswered query is loud; an
+        unverified answer would be the broken invariant)."""
+        self.report.unavailable += 1

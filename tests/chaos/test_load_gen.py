@@ -1,0 +1,90 @@
+"""Open-loop load generation: determinism, Zipf shape, SLO accounting."""
+
+from repro.workloads.load_gen import (
+    LoadGenerator,
+    LoadProfile,
+    LoadReport,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99.0) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([0.25], 50.0) == 0.25
+
+    def test_interpolates(self):
+        assert percentile([0.0, 1.0], 50.0) == 0.5
+        assert percentile([0.0, 1.0, 2.0, 3.0], 25.0) == 0.75
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 100.0) == 5.0
+
+
+class TestLoadGenerator:
+    def test_batches_deterministic(self):
+        profile = LoadProfile(seed=7, n_keys=32)
+        a = LoadGenerator(profile, ticks=6)
+        b = LoadGenerator(profile, ticks=6)
+        assert all(a.batch(t) == b.batch(t) for t in range(6))
+
+    def test_open_loop_batches_precomputed(self):
+        """Observation hooks must not influence the query stream — the
+        whole schedule exists before the first query is issued."""
+        profile = LoadProfile(seed=3, n_keys=32)
+        gen = LoadGenerator(profile, ticks=4)
+        expected = [gen.batch(t) for t in range(4)]
+        gen.note_issued()
+        gen.note_unavailable()
+        gen.note_answered(12.5)
+        assert [gen.batch(t) for t in range(4)] == expected
+
+    def test_zipf_head_is_hottest(self):
+        """theta=0.99 skew: the rank-0 key (key_start) centers more
+        queries than any tail key — the load shape chaos relies on to
+        guarantee tamper-at-the-head gets queried."""
+        profile = LoadProfile(seed=1, n_keys=64, queries_per_tick=32)
+        gen = LoadGenerator(profile, ticks=16)
+        centers = [
+            (low + high) // 2
+            for t in range(16)
+            for (low, high) in gen.batch(t)
+        ]
+        head = centers.count(profile.key_start)
+        tail = max(centers.count(k) for k in range(32, 64))
+        assert head > tail
+
+    def test_span_and_lattice(self):
+        profile = LoadProfile(
+            seed=2, n_keys=8, key_start=100, key_step=10, span=2
+        )
+        gen = LoadGenerator(profile, ticks=2)
+        for low, high in gen.batch(0):
+            assert high - low == 2 * profile.span * profile.key_step
+            center = (low + high) // 2
+            assert (center - profile.key_start) % profile.key_step == 0
+
+
+class TestLoadReport:
+    def test_counts_and_percentiles(self):
+        report = LoadReport(slo_seconds=0.1)
+        report.issued = 4
+        report.answered = 3
+        report.unavailable = 1
+        report.latencies = [0.05, 0.08, 0.2]
+        assert report.over_slo == 1
+        assert report.p50 == 0.08
+        summary = report.summary()
+        assert summary["issued"] == 4
+        assert summary["unavailable"] == 1
+        assert summary["over_slo"] == 1
+        assert summary["p50_ms"] == 80.0
+
+    def test_empty_report(self):
+        report = LoadReport()
+        assert report.p50 == 0.0 and report.p99 == 0.0
+        assert report.over_slo == 0

@@ -1,0 +1,109 @@
+"""The standing battery, asserted (DESIGN.md §14).
+
+Every named scenario must complete with **zero unverified results**,
+quarantine any tamper it schedules, and converge to post-storm cursor
+parity (the orchestrator raises if settle fails, so a returned report
+is itself the parity proof).  Telemetry's ``*.unexpected`` counters
+must stay silent throughout — a storm exercises the *expected* error
+paths; anything routed to an unexpected-counter is a swallowed bug.
+"""
+
+import pytest
+
+from repro.chaos.scenarios import SCENARIOS
+from repro.edge import telemetry
+
+
+@pytest.fixture(scope="module")
+def battery():
+    """Run every scenario once (cached for all assertions below),
+    with the unexpected-error telemetry watched across the whole
+    battery."""
+    telemetry.reset()
+    reports = {name: fn(seed=0) for name, fn in SCENARIOS.items()}
+    unexpected = telemetry.unexpected_total()
+    return reports, unexpected
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_zero_unverified_results(battery, name):
+    """The paper's invariant under storm: the caller never sees an
+    unverified result, whatever the weather."""
+    reports, _ = battery
+    report = reports[name]
+    assert report.unverified == 0, (
+        f"{name}: {report.unverified} unverified results "
+        f"(plan: {report.plan_bytes!r})"
+    )
+    assert report.ok
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_storm_served_queries(battery, name):
+    """A battery that answered nothing proves nothing: every scenario
+    must actually serve verified results under its storm."""
+    reports, _ = battery
+    assert reports[name].verified > 0
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_replayable_from_plan_bytes(battery, name):
+    """Each report carries its replay evidence: canonical plan bytes
+    and the applied-fault trace."""
+    from repro.chaos.plan import FaultPlan
+
+    reports, _ = battery
+    report = reports[name]
+    plan = FaultPlan.from_bytes(report.plan_bytes)
+    assert plan.to_bytes() == report.plan_bytes
+
+
+def test_tamper_always_quarantined(battery):
+    """Byzantine scenarios detect and quarantine every tampered edge;
+    detection latency is finite and counted."""
+    reports, _ = battery
+    for name in ("byzantine_edges", "combined_storm"):
+        report = reports[name]
+        assert report.rejections > 0, f"{name}: tamper never rejected"
+        assert report.detection_queries > 0, (
+            f"{name}: tampered but never detected"
+        )
+        assert report.quarantined, f"{name}: nothing quarantined"
+
+
+def test_clean_scenarios_reject_nothing(battery):
+    """Fault storms without tamper must not trip the verifier — a
+    partition or a slow link is not a forgery."""
+    reports, _ = battery
+    for name in ("network_flaps", "slow_links", "rotation_mid_partition"):
+        report = reports[name]
+        assert report.rejections == 0
+        assert report.detection_queries == 0  # no tamper scheduled
+        assert not report.quarantined
+
+
+def test_relay_storm_exercises_store_bounds(battery):
+    """The relay storm must actually trip the byte-cap eviction path
+    *and* the snapshot-covers-chain compaction path — otherwise the
+    bounded store rides along untested."""
+    reports, _ = battery
+    summary = reports["relay_storm"].load_summary
+    assert summary["store_evictions"] > 0
+    assert summary["compacted_frames"] > 0
+
+
+def test_recovery_counted(battery):
+    """Post-storm convergence took at least one settle pump and was
+    reached (settle raises otherwise — the report existing is the
+    parity proof)."""
+    reports, _ = battery
+    for name, report in reports.items():
+        assert report.recovery_pumps >= 1, name
+
+
+def test_no_unexpected_swallows_across_battery(battery):
+    """Storms exercise expected error paths (handshake drops, stale
+    epochs); the ``*.unexpected`` telemetry must stay at zero — any
+    hit is a silently-swallowed bug surfacing."""
+    _, unexpected = battery
+    assert unexpected == 0, telemetry.counters()

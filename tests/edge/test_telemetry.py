@@ -1,0 +1,54 @@
+"""Swallowed-error telemetry: counted, logged, and gate-able.
+
+The silent-``except`` sweep routes every caught exception through
+:mod:`repro.edge.telemetry` — expected faults to named sites, anything
+else to a ``*.unexpected`` site whose total the chaos battery gates at
+zero.  These tests pin the counter/keying/logging contract the sweep
+relies on.
+"""
+
+import logging
+
+from repro.edge import telemetry
+
+
+class TestNote:
+    def setup_method(self):
+        telemetry.reset()
+
+    def test_counts_by_site_and_exception_type(self):
+        telemetry.note("relay.verify_table", ValueError("x"))
+        telemetry.note("relay.verify_table", ValueError("y"))
+        telemetry.note("relay.verify_table", KeyError("z"))
+        counters = telemetry.counters()
+        assert counters["relay.verify_table:ValueError"] == 2
+        assert counters["relay.verify_table:KeyError"] == 1
+
+    def test_total_and_prefix_filter(self):
+        telemetry.note("deploy.accept_loop.handshake", OSError())
+        telemetry.note("tcp.recv", OSError())
+        assert telemetry.total() == 2
+        assert telemetry.total("deploy.") == 1
+
+    def test_unexpected_total_isolates_gated_sites(self):
+        telemetry.note("relay.accept_loop.handshake", OSError())
+        assert telemetry.unexpected_total() == 0
+        telemetry.note("relay.accept_loop.unexpected", RuntimeError("?"))
+        telemetry.note("edge_host.serve.unexpected", RuntimeError("?"))
+        assert telemetry.unexpected_total() == 2
+
+    def test_reset_clears(self):
+        telemetry.note("tcp.send", OSError())
+        telemetry.reset()
+        assert telemetry.counters() == {}
+        assert telemetry.total() == 0
+
+    def test_note_emits_one_log_line(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.edge"):
+            telemetry.note("tcp.framing", ValueError("bad magic"),
+                           detail="peer=edge-0")
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert "tcp.framing" in message
+        assert "ValueError" in message
+        assert "peer=edge-0" in message

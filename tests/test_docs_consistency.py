@@ -49,3 +49,45 @@ def test_checker_can_fail(tmp_path):
         "| 0 | DocumentedFrame |\n| 99 | PhantomFrame |\n"
     )
     assert checker.check(str(fake_transport), str(fake_doc)) == []
+
+
+def test_fault_hook_table_gated(tmp_path):
+    """A FaultInjector field without a fault-hook table row is
+    reported; documenting it clears the problem."""
+    checker = _load_checker()
+    fake_transport = tmp_path / "transport.py"
+    fake_transport.write_text(
+        "class DocumentedFrame:\n    pass\n\n"
+        "_FRAME_DOCUMENTED = 0\n\n"
+        "class FaultInjector:\n"
+        "    partitioned: bool = False\n"
+        "    vanish: bool = False\n\n"
+        "    def clear(self) -> None:\n"
+        "        pass\n"
+    )
+    fake_doc = tmp_path / "ARCHITECTURE.md"
+    fake_doc.write_text(
+        "DocumentedFrame\n\n| 0 | DocumentedFrame |\n\n"
+        "| `partitioned` | link down |\n"
+    )
+    problems = checker.check(str(fake_transport), str(fake_doc))
+    assert any("vanish" in p for p in problems)
+    assert not any("partitioned" in p for p in problems)
+
+    fake_doc.write_text(
+        "DocumentedFrame\n\n| 0 | DocumentedFrame |\n\n"
+        "| `partitioned` | link down |\n| `vanish` | gone |\n"
+    )
+    assert checker.check(str(fake_transport), str(fake_doc)) == []
+
+
+def test_fault_fields_extracted_from_real_transport():
+    """The extractor sees the real FaultInjector's fields (the gate is
+    wired to the live class, not a stale list)."""
+    checker = _load_checker()
+    with open(
+        os.path.join(ROOT, "src", "repro", "edge", "transport.py")
+    ) as fh:
+        fields = checker.fault_fields(fh.read())
+    assert "partitioned" in fields
+    assert "delay" in fields

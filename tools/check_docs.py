@@ -5,10 +5,14 @@ every frame that crosses the trust boundary.  This check makes the
 claim enforceable: every ``*Frame`` class defined in
 ``src/repro/edge/transport.py`` must be mentioned (by exact class
 name) in the document, and every frame *tag* assigned there
-(``_FRAME_* = n``) must appear as a catalog row ``| n |``.  Adding a
-frame type without documenting its wire layout fails CI's lint job —
-and the tier-1 suite (``tests/test_docs_consistency.py``), so the gap
-is caught before the push.
+(``_FRAME_* = n``) must appear as a catalog row ``| n |``.  The same
+holds for the fault-hook table: every :class:`FaultInjector` field
+must have a row ``| `field` | ...`` so the documented chaos surface
+(DESIGN.md section 14) cannot drift from the injectable faults the
+battery actually composes.  Adding a frame type or a fault hook
+without documenting it fails CI's lint job — and the tier-1 suite
+(``tests/test_docs_consistency.py``), so the gap is caught before the
+push.
 
 Usage::
 
@@ -40,6 +44,28 @@ def frame_tags(source: str) -> dict[str, int]:
             r"^(_FRAME_\w+) = (\d+)$", source, flags=re.MULTILINE
         )
     }
+
+
+def fault_fields(source: str) -> list[str]:
+    """The :class:`FaultInjector` dataclass field names, in order.
+
+    Empty list when the class is absent (nothing to check — the frame
+    checks above already catch gross transport-layout changes).
+    """
+    match = re.search(
+        r"^class FaultInjector\b.*?(?=^\S|\Z)", source,
+        flags=re.MULTILINE | re.DOTALL,
+    )
+    if match is None:
+        return []
+    body = match.group(0)
+    # Fields end where methods/properties begin.
+    cut = re.search(r"^    (?:@|def )", body, flags=re.MULTILINE)
+    if cut is not None:
+        body = body[: cut.start()]
+    return re.findall(
+        r"^    (\w+): [\w\[\]\. |]+ = ", body, flags=re.MULTILINE
+    )
 
 
 def check(transport_path: str = TRANSPORT,
@@ -76,6 +102,17 @@ def check(transport_path: str = TRANSPORT,
             problems.append(
                 f"wire tag {tag} ({tag_name}) has no catalog row "
                 f"'| {tag} | ...' in docs/ARCHITECTURE.md"
+            )
+
+    # The fault-hook table (chaos battery, DESIGN.md section 14): every
+    # FaultInjector field must have a row '| `field` | ...' so the doc
+    # cannot drift from the injectable faults the battery composes.
+    for field in fault_fields(source):
+        if not re.search(rf"^\| `{field}` \|", doc, flags=re.MULTILINE):
+            problems.append(
+                f"FaultInjector field {field!r} (transport.py) has no "
+                "fault-hook table row '| `" + field + "` | ...' in "
+                "docs/ARCHITECTURE.md"
             )
     return problems
 
