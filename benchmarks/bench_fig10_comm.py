@@ -38,7 +38,7 @@ def test_fig10_measured(benchmark, deployment, qc):
     16 B digests) — the *shape* must hold: VB-tree below Naive at every
     selectivity, both linear, gap = Q_r per-tuple signatures."""
     central, edge, _client, spec = deployment
-    columns = tuple(["id"] + [f"a{i}" for i in range(1, qc)])
+    columns = ("id", *(f"a{i}" for i in range(1, qc)))
 
     series = []
 

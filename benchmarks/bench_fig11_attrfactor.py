@@ -28,7 +28,7 @@ def test_fig11_attrfactor(benchmark):
         ["attrFactor", "Naive(20%)", "VB-tree(20%)", "Naive(80%)", "VB-tree(80%)"],
         table,
     )
-    for factor, n20, v20, n80, v80 in table:
+    for _factor, n20, v20, n80, v80 in table:
         assert n20 - v20 >= 3e6    # the paper's quoted absolute gaps
         assert n80 - v80 >= 12e6
     # Relative convergence: ratio falls as attributes grow.

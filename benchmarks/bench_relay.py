@@ -242,7 +242,7 @@ def _run_relayed(relays: int, edges: int) -> dict:
     # Verified queries, round-robined by each relay over its edges.
     client = central.make_client()
     unverified = 0
-    for (relay, fleet), up in zip(tiers, uplinks):
+    for (_relay, fleet), up in zip(tiers, uplinks, strict=True):
         for _ in range(len(fleet) + 1):
             reply = up.request(
                 range_query_frame(TABLE, 100_000, 100_000 + INSERTS)

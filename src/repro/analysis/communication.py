@@ -118,9 +118,13 @@ def fig10_series(
     ]
 
 
+# Default attrFactor sweep, evaluated once (never mutated).
+_ATTR_FACTORS = tuple(range(0, 7))
+
+
 def fig11_series(
     params: Parameters | None = None,
-    attr_factors: Sequence[float] = tuple(range(0, 7)),
+    attr_factors: Sequence[float] = _ATTR_FACTORS,
     selectivities: Sequence[float] = (0.2, 0.8),
 ) -> list[tuple[float, dict[str, float]]]:
     """Figure 11: attribute size = ``attrFactor * |D|``; full projection

@@ -135,9 +135,13 @@ def fig13a_series(
     return rows
 
 
+# Default Q_c sweep, evaluated once (never mutated).
+_QUERY_COLS_SWEEP = tuple(range(0, 11))
+
+
 def fig13b_series(
     params: Parameters | None = None,
-    query_cols_sweep: Sequence[int] = tuple(range(0, 11)),
+    query_cols_sweep: Sequence[int] = _QUERY_COLS_SWEEP,
     selectivities: Sequence[float] = (0.2, 0.8),
 ) -> list[tuple[int, dict[str, float]]]:
     """Figure 13(b): sweep ``Q_c`` from 0 to N_c at X = 10.

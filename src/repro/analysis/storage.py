@@ -81,9 +81,13 @@ def storage_costs(params: Parameters) -> StorageCosts:
     )
 
 
+# Default figure sweeps, evaluated once (never mutated).
+_LOG2_KEY_SIZES = tuple(range(0, 9))
+
+
 def fig8_series(
     params: Parameters | None = None,
-    log2_key_sizes: Sequence[int] = tuple(range(0, 9)),
+    log2_key_sizes: Sequence[int] = _LOG2_KEY_SIZES,
 ) -> list[tuple[int, int, int]]:
     """Figure 8: (log2 |K|, B-tree fan-out, VB-tree fan-out)."""
     params = params or Parameters()
@@ -102,7 +106,7 @@ def fig8_series(
 
 def fig9_series(
     params: Parameters | None = None,
-    log2_key_sizes: Sequence[int] = tuple(range(0, 9)),
+    log2_key_sizes: Sequence[int] = _LOG2_KEY_SIZES,
 ) -> list[tuple[int, int, int]]:
     """Figure 9: (log2 |K|, B-tree height, VB-tree height) at ``N_r``."""
     params = params or Parameters()

@@ -264,12 +264,13 @@ class NaiveVerifier:
             result.keys,
             result.tuple_digests,
             result.filtered_attr_digests,
+            strict=True,
         ):
             if len(filtered_sigs) != len(filtered):
                 raise VOFormatError("filtered digest arity mismatch")
             attr_values = [
                 self.engine.attribute_value(result.table, col, key, value)
-                for col, value in zip(result.columns, row)
+                for col, value in zip(result.columns, row, strict=False)
             ]
             attr_values.extend(self._recover(s) for s in filtered_sigs)
             expected = self._recover(signed_tuple)

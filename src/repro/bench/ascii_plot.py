@@ -44,8 +44,8 @@ def ascii_plot(
     x_span = (x_max - x_min) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for (label, ys), mark in zip(series.items(), _MARKS):
-        for x, y in zip(xs, ys):
+    for (_label, ys), mark in zip(series.items(), _MARKS, strict=False):
+        for x, y in zip(xs, ys, strict=False):
             col = round((x - x_min) / x_span * (width - 1))
             row = height - 1 - round((y - y_min) / y_span * (height - 1))
             grid[row][col] = mark
@@ -74,7 +74,7 @@ def ascii_plot(
         " " * label_w + f"  {fmt(x_min)}" + " " * max(1, width - 12) + fmt(x_max)
     )
     legend = "   ".join(
-        f"{mark} {label}" for (label, _ys), mark in zip(series.items(), _MARKS)
+        f"{mark} {label}" for (label, _ys), mark in zip(series.items(), _MARKS, strict=False)
     )
     lines.append(" " * label_w + "  " + legend)
     return "\n".join(lines)

@@ -42,7 +42,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     def line(cells: Sequence[str]) -> str:
-        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths, strict=True))
     sep = "  ".join("-" * w for w in widths)
     return "\n".join([line(list(headers)), sep, *(line(r) for r in str_rows)])
 

@@ -140,7 +140,7 @@ class DigestEngine:
         key = row.key
         attr_values = tuple(
             self.attribute_value(table, name, key, value)
-            for name, value in zip(row.schema.column_names, row.values)
+            for name, value in zip(row.schema.column_names, row.values, strict=False)
         )
         return TupleDigests(
             attribute_values=attr_values,

@@ -185,7 +185,7 @@ class ResultVerifier:
         key = result.keys[row_index]
         values = [
             self.engine.attribute_value(result.table, col, key, val)
-            for col, val in zip(result.columns, result.rows[row_index])
+            for col, val in zip(result.columns, result.rows[row_index], strict=False)
         ]
         values.extend(projection_by_row.get(row_index, ()))
         expected = len(result.all_columns)
@@ -232,7 +232,7 @@ class ResultVerifier:
         # Result tuples: recomputed attribute digests of returned columns.
         for row_index, row in enumerate(result.rows):
             key = result.keys[row_index]
-            for col, val in zip(result.columns, row):
+            for col, val in zip(result.columns, row, strict=False):
                 a = self.engine.attribute_value(result.table, col, key, val)
                 product = (product * (a | 1)) % modulus
                 self.meter.count_combine(1)

@@ -673,7 +673,7 @@ def snapshot_from_bytes(data: bytes, signing):
     # Pre-order over an ordered B+-tree visits leaves left-to-right;
     # rebuild the leaf chain from that order.
     leaves = [n for n in order if n.is_leaf]
-    for prev, cur in zip(leaves, leaves[1:]):
+    for prev, cur in zip(leaves, leaves[1:], strict=False):
         prev.next_leaf = cur
         cur.prev_leaf = prev
     tree._root = order[0]

@@ -239,7 +239,7 @@ class BPlusTree:
         """All (key, value) pairs in key order."""
         leaf: Optional[LeafNode] = self.first_leaf()
         while leaf is not None:
-            yield from zip(leaf.keys, leaf.values)
+            yield from zip(leaf.keys, leaf.values, strict=True)
             leaf = leaf.next_leaf
 
     def range_items(

@@ -43,7 +43,7 @@ class Row:
 
     def as_dict(self) -> dict[str, Any]:
         """Column-name → value mapping."""
-        return dict(zip(self.schema.column_names, self.values))
+        return dict(zip(self.schema.column_names, self.values, strict=False))
 
     def project(self, names: Sequence[str]) -> "Row":
         """A new row containing only ``names`` (in the given order)."""

@@ -118,7 +118,7 @@ class TableSchema:
                 f"got {len(values)}"
             )
         return tuple(
-            col.type.validate(v) for col, v in zip(self.columns, values)
+            col.type.validate(v) for col, v in zip(self.columns, values, strict=True)
         )
 
     def tuple_width(self) -> int:

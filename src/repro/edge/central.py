@@ -668,7 +668,7 @@ class CentralServer:
         self.fanout.attach(
             name, transport, cursors=sane, config_epoch=config_epoch
         )
-        self._edges = [e for e in self._edges if e.name != name] + [handle]
+        self._edges = [*(e for e in self._edges if e.name != name), handle]
         return handle
 
     def propagate(self, table: str | None = None, force_snapshot: bool = False) -> int:

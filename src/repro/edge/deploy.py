@@ -199,7 +199,7 @@ class Deployment:
                     conn.close()
                 except OSError:
                     pass
-            except Exception as exc:  # noqa: BLE001 - anything else is
+            except Exception as exc:  # broad by design: anything else is
                 # a bug worth counting, not a torn socket.
                 telemetry.note("deploy.accept_loop.unexpected", exc)
                 try:
@@ -281,7 +281,7 @@ class Deployment:
         stdout: Any = subprocess.DEVNULL
         if self.log_dir is not None:
             os.makedirs(self.log_dir, exist_ok=True)
-            stdout = open(  # noqa: SIM115 - closed on relaunch/shutdown
+            stdout = open(  # not a context manager: closed on relaunch/shutdown
                 os.path.join(self.log_dir, f"{name}.log"), "ab"
             )
             handle.log = stdout
@@ -678,7 +678,7 @@ class RelayDeployment:
         stdout: Any = subprocess.DEVNULL
         if self.log_dir is not None:
             os.makedirs(self.log_dir, exist_ok=True)
-            stdout = open(  # noqa: SIM115 - closed on relaunch/shutdown
+            stdout = open(  # not a context manager: closed on relaunch/shutdown
                 os.path.join(self.log_dir, f"{name}.log"), "ab"
             )
             handle.log = stdout

@@ -45,6 +45,7 @@ from repro.core.wire import (
 from repro.crypto.meter import CostMeter, NULL_METER
 from repro.crypto.signatures import DigestVerifier
 from repro.db.expressions import Predicate
+from repro.edge import telemetry
 from repro.edge.central import ClientConfig
 from repro.edge.network import Channel, Transfer
 from repro.edge.transport import (
@@ -211,10 +212,13 @@ class EdgeServer:
         if isinstance(frame, SnapshotFrame):
             try:
                 self._install_snapshot(frame)
-            except Exception:
+            except Exception as exc:
                 # Malformed payload or unacceptable epoch: nack so the
                 # sender's heal path retries, never an exception back
-                # through the transport.
+                # through the transport.  Counted — a snapshot that
+                # fails to install during a healthy run is a bug, not
+                # weather (FL002).
+                telemetry.note("edge_server.snapshot_install", exc)
                 return [frame_to_bytes(
                     self._ack(frame.table, ok=False, reason="error")
                 )]
@@ -233,12 +237,14 @@ class EdgeServer:
                 reply = self._ack(frame.table, ok=False, reason="tamper")
             except (ReplicaDeltaError, ReplicationError):
                 reply = self._ack(frame.table, ok=False, reason="diverged")
-            except Exception:
+            except Exception as exc:
                 # Anything else (e.g. at-rest tampering broke the tree
                 # underneath the apply) is replica divergence too: a
                 # rejected replication frame must *always* produce an
                 # immediate nack, so the sender's heal escalation runs
-                # instead of a wedge.
+                # instead of a wedge.  Counted so the "anything else"
+                # class stays visible (FL002).
+                telemetry.note("edge_server.delta_apply", exc)
                 reply = self._ack(frame.table, ok=False, reason="diverged")
             else:
                 # Accepted: coalesce.  The ack leaves once the
@@ -270,6 +276,7 @@ class EdgeServer:
                 # traceback is stripped before stashing: it would pin
                 # every frame-local (request, replica state) on a
                 # long-lived edge whose errors arrive via transports.
+                telemetry.note("edge_server.query", exc)
                 self._last_query_exc = exc.with_traceback(None)
                 reply = QueryResponseFrame(
                     edge=self.name,

@@ -686,7 +686,7 @@ class EdgeHost:
         def handler(frame_bytes: bytes, _edge=edge, _name=name):
             try:
                 return _edge.handle_frame(frame_bytes)
-            except Exception as exc:  # noqa: BLE001 - mirror serve.py:
+            except Exception as exc:  # broad by design, mirror serve.py:
                 # one bad frame answers with an error, not a dead edge.
                 telemetry.note("edge_host.handler", exc, detail=_name)
                 return [
@@ -727,7 +727,7 @@ class EdgeHost:
                 # thread; its conn was closed.
                 telemetry.note("edge_host.serve", exc)
                 continue
-            except Exception as exc:  # noqa: BLE001 - anything else
+            except Exception as exc:  # broad by design: anything else
                 # escaping run_once is a bug: count it loudly instead
                 # of spinning silently over it forever.
                 telemetry.note("edge_host.serve.unexpected", exc)

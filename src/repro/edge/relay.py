@@ -456,7 +456,7 @@ class RelayServer:
             return [frame_to_bytes(self._nack(table, "diverged"))]
         try:
             delta = delta_from_bytes(frame.payload)
-        except Exception as exc:  # noqa: BLE001 - adversarial bytes may
+        except Exception as exc:  # broad by design: adversarial bytes
             # raise anything; the nack is the answer, the note the trace.
             telemetry.note("relay.ingest_delta.parse", exc, detail=table)
             return [frame_to_bytes(self._nack(table, "tamper"))]
@@ -705,7 +705,7 @@ class RelayServer:
                 st.snapshot.epoch,
             )
             snapshot_from_bytes(st.snapshot.payload, signing)
-        except Exception as exc:  # noqa: BLE001 - a corrupted stored
+        except Exception as exc:  # broad by design: a corrupted stored
             # snapshot fails verification however it fails to parse.
             telemetry.note("relay.verify_table", exc, detail=table)
             return False
@@ -718,7 +718,7 @@ class RelayServer:
             return False
         try:
             delta = delta_from_bytes(payload)
-        except Exception as exc:  # noqa: BLE001 - same: corrupt bytes
+        except Exception as exc:  # broad by design, same: corrupt bytes
             # are a verification failure, not a crash.
             telemetry.note("relay.verify_delta", exc, detail=table)
             return False
@@ -891,7 +891,7 @@ def run_relay(
                     conn.close()
                 except OSError:
                     pass
-            except Exception as exc:  # noqa: BLE001 - anything else is
+            except Exception as exc:  # broad by design: anything else is
                 # a bug worth counting, not weather.
                 telemetry.note("relay.accept_loop.unexpected", exc)
                 try:

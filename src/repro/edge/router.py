@@ -56,6 +56,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.core.secondary import secondary_index_name
 from repro.core.vo import AuthenticatedResult
 from repro.core.wire import predicate_to_bytes, result_from_bytes
+from repro.edge import telemetry
 from repro.edge.transport import (
     InProcessTransport,
     QueryRequestFrame,
@@ -656,6 +657,10 @@ class EdgeRouter(_QuerySurface):
             try:
                 result = result_from_bytes(reply.payload)
             except Exception as exc:
+                # Counted: an unparseable payload is either tampering
+                # (the adversary tests drive this) or a codec bug —
+                # both worth a counter, not just a failover (FL002).
+                telemetry.note("router.payload_parse", exc)
                 self._record_failure(
                     stats, f"unparseable response payload: {exc}"
                 )

@@ -22,6 +22,7 @@ import argparse
 import socket
 import sys
 
+from repro.edge import telemetry
 from repro.edge.socket_transport import (
     connect_with_retry,
     recv_frame,
@@ -101,9 +102,11 @@ def serve_connection(sock: socket.socket, name: str, edge=None):
             break
         try:
             replies = edge.handle_frame(data)
-        except Exception as exc:  # noqa: BLE001 - one bad frame must not
-            # kill the process (and the central expects exactly one
-            # reply per frame, so answer with an error response).
+        except Exception as exc:
+            # Broad by design: one bad frame must not kill the process
+            # (and the central expects exactly one reply per frame, so
+            # answer with an error response).  Counted per FL002.
+            telemetry.note("serve.handle_frame", exc)
             replies = [
                 frame_to_bytes(
                     QueryResponseFrame(

@@ -180,7 +180,7 @@ class ShardMap:
                 f"range placement needs {self.nshards - 1} boundaries, "
                 f"got {len(bounds)}"
             )
-        if any(b2 < b1 for b1, b2 in zip(bounds, bounds[1:])):
+        if any(b2 < b1 for b1, b2 in zip(bounds, bounds[1:], strict=False)):
             raise ReplicationError("boundaries must be sorted ascending")
         self._placements[name] = _Placement(kind="range", boundaries=bounds)
         self.version += 1

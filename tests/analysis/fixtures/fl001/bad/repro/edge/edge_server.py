@@ -1,0 +1,9 @@
+"""Known-bad FL001: a verify-only module touching the signing surface."""
+
+from repro.crypto.signatures import DigestSigner
+import repro.crypto.rsa
+
+
+def rotate_locally(keypair, engine, value):
+    signer = DigestSigner(keypair.private, epoch=2)
+    return signer, engine.sign(value)

@@ -1,0 +1,7 @@
+"""Known-good FL001: the verify-only surface is all an edge needs."""
+
+from repro.crypto.signatures import DigestVerifier, SignedDigest
+
+
+def check(verifier: DigestVerifier, signed: SignedDigest, expected):
+    return verifier.verify_value(signed, expected)

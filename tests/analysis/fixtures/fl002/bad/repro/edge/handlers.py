@@ -1,0 +1,23 @@
+"""Known-bad FL002: broad handlers that swallow errors silently."""
+
+
+def pump(sock):
+    try:
+        sock.flush()
+    except Exception:
+        return None
+
+
+def close_all(socks):
+    for sock in socks:
+        try:
+            sock.close()
+        except BaseException:
+            continue
+
+
+def read(sock):
+    try:
+        return sock.recv()
+    except:
+        return None

@@ -1,0 +1,19 @@
+"""Known-good FL002: narrow handlers, telemetry routing, re-raise."""
+
+from repro.edge import telemetry
+
+
+def pump(sock):
+    try:
+        sock.flush()
+    except OSError:
+        pass  # narrow best-effort flush: deliberate control flow
+    except Exception as exc:
+        telemetry.note("handlers.pump", exc)
+
+
+def strict(sock):
+    try:
+        sock.flush()
+    except Exception as exc:
+        raise RuntimeError("flush failed") from exc

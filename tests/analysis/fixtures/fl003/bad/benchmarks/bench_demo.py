@@ -1,0 +1,12 @@
+"""Known-bad FL003 (bench scope): unseeded RNG is banned; wall-clock
+timing is allowed here — benchmarks print timings, gated series are
+deterministic counts."""
+
+import random
+import time
+
+
+def bench(n):
+    started = time.time()
+    series = [random.random() for _ in range(n)]
+    return series, time.time() - started

@@ -1,0 +1,13 @@
+"""Known-bad FL003: wall clock and module-level RNG in a seeded path."""
+
+import random
+import time
+from datetime import datetime
+from random import shuffle
+
+
+def schedule(n):
+    started = time.time()
+    stamp = datetime.now()
+    random.shuffle(list(range(n)))
+    return [random.randint(0, n) for _ in range(n)], started, stamp, shuffle

@@ -1,0 +1,12 @@
+"""Known-good FL003 (bench scope): wall clock for printed timings,
+seeded RNG for everything that feeds a gated series."""
+
+import random
+import time
+
+
+def bench(n, seed):
+    rng = random.Random(seed)
+    started = time.time()
+    series = [rng.random() for _ in range(n)]
+    return series, time.time() - started

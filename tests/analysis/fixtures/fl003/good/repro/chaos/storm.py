@@ -1,0 +1,10 @@
+"""Known-good FL003: seeded RNG instance, monotonic local deadline."""
+
+import random
+import time
+
+
+def schedule(n, seed):
+    rng = random.Random(seed)
+    deadline = time.monotonic() + 1.0
+    return [rng.randint(0, n) for _ in range(n)], deadline

@@ -1,0 +1,12 @@
+"""Known-bad FL004: blocking calls all over the reactor module."""
+
+import subprocess
+import time
+
+
+def pump(sock, lock):
+    time.sleep(0.1)
+    data = sock.recv(4096)
+    lock.acquire()
+    subprocess.run(["true"])
+    return data

@@ -1,0 +1,18 @@
+"""Known-bad FL004 (class scope): FanoutEngine blocks on the reactor.
+
+The module-level helper below also sleeps, but it is NOT reactor code
+— the rule must flag only the class body (scope precision is part of
+what the fixture test asserts).
+"""
+
+import time
+
+
+class FanoutEngine:
+    def settle(self, lock):
+        time.sleep(0.05)
+        lock.wait()
+
+
+def offline_helper():
+    time.sleep(1.0)

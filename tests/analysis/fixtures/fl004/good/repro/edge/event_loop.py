@@ -1,0 +1,14 @@
+"""Known-good FL004: provably non-blocking socket ops, timed waits."""
+
+
+def pump(sock, lock):
+    try:
+        data = sock.recv(4096)
+    except (BlockingIOError, InterruptedError):
+        return b""
+    if not lock.acquire(timeout=1.0):
+        return b""
+    try:
+        return data
+    finally:
+        lock.release()

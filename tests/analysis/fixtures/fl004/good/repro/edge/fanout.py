@@ -1,0 +1,10 @@
+"""Known-good FL004 (class scope): a reactor-safe FanoutEngine."""
+
+
+class FanoutEngine:
+    def settle(self, sock, done):
+        try:
+            chunk = sock.recv(65536)
+        except BlockingIOError:
+            return False
+        return done.wait(0.01) and bool(chunk)

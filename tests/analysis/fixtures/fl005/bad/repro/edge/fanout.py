@@ -1,0 +1,12 @@
+"""Known-bad FL005: cursor writes outside the monotonic helpers."""
+
+
+class FanoutEngine:
+    def on_ack(self, peer, table, lsn):
+        peer.acked_lsns[table] = lsn
+        peer.acked_epochs.pop(table, None)
+        del peer.acked_lsns[table]
+
+
+def rewind(peer, table):
+    peer.acked_lsns[table] = 0

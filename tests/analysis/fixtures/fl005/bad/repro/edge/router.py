@@ -1,0 +1,6 @@
+"""Known-bad FL005: a router must never touch replication cursors."""
+
+
+def reset_route(peer, table):
+    peer.acked_lsns.update({table: 0})
+    peer.acked_epochs[table] = -1

@@ -1,0 +1,21 @@
+"""Known-good FL005: mutation confined to the three audited helpers."""
+
+
+class FanoutEngine:
+    def attach(self, peer, cursors):
+        for table, (lsn, epoch) in cursors:
+            peer.acked_lsns[table] = lsn
+            peer.acked_epochs[table] = epoch
+
+    def _advance_cursor(self, peer, table, lsn, epoch):
+        current = peer.acked_lsns.get(table)
+        if current is None or lsn > current:
+            peer.acked_lsns[table] = lsn
+            peer.acked_epochs[table] = epoch
+
+    def _send_snapshot(self, peer, table):
+        peer.acked_lsns.pop(table, None)
+        peer.acked_epochs.pop(table, None)
+
+    def progress(self, peer, table):
+        return peer.acked_lsns.get(table)

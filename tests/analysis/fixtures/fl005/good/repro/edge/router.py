@@ -1,0 +1,6 @@
+"""Known-good FL005: routers read cursors, never write them."""
+
+
+def lag(peer, table, head_lsn):
+    acked = peer.acked_lsns.get(table, 0)
+    return head_lsn - acked

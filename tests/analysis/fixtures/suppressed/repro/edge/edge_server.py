@@ -1,0 +1,10 @@
+"""Suppression fixture: two annotated FL001 bends, one unannotated."""
+
+from repro.crypto.signatures import DigestSigner  # fabriclint: disable=FL001
+
+# fabriclint: disable=FL001
+import repro.crypto.rsa
+
+
+def forge(engine, value):
+    return engine.sign(value)

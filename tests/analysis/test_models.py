@@ -150,7 +150,7 @@ class TestFig11AttrFactor:
     def test_absolute_gap_constant(self):
         """The paper: >= 3 MB gap at 20%, >= 12 MB at 80%, regardless of
         attribute size."""
-        for factor, entry in fig11_series():
+        for _factor, entry in fig11_series():
             assert entry["naive(20%)"] - entry["vbtree(20%)"] >= 3e6
             assert entry["naive(80%)"] - entry["vbtree(80%)"] >= 12e6
 

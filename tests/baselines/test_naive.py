@@ -10,6 +10,7 @@ from repro.crypto.signatures import DigestSigner
 from repro.db.rows import Row
 from repro.db.schema import Column, TableSchema
 from repro.db.types import IntType, VarcharType
+from repro.exceptions import VOFormatError
 
 DB = "naivedb"
 
@@ -128,7 +129,7 @@ class TestMaintenance:
         store.add(row)
         assert store.auth_for(1)
         store.remove(1)
-        with pytest.raises(Exception):
+        with pytest.raises(VOFormatError):
             store.auth_for(1)
 
 

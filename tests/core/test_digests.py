@@ -154,7 +154,7 @@ class TestSigningEngine:
         row = Row(schema, (3, "abc"))
         digests, signed_tuple, signed_attrs = signing.sign_tuple("t", row)
         assert verifier.recover(signed_tuple) == digests.tuple_value
-        for sig, value in zip(signed_attrs, digests.attribute_values):
+        for sig, value in zip(signed_attrs, digests.attribute_values, strict=True):
             assert verifier.recover(sig) == value
 
 

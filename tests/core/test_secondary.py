@@ -169,5 +169,5 @@ class TestVOSizeBenefit:
         expected = sorted(
             (r["price"], r.key) for r in rows if 33 <= r["price"] <= 66
         )
-        got = sorted((row[2], key) for row, key in zip(result.rows, result.keys))
+        got = sorted((row[2], key) for row, key in zip(result.rows, result.keys, strict=True))
         assert got == expected

@@ -72,7 +72,7 @@ class TestAlgebra:
             AdditiveSetHash(),
         ):
             assert scheme.fold(scheme.combine(values), extra) == scheme.combine(
-                values + [extra]
+                [*values, extra]
             )
 
     def test_empty_set_is_fold_identity(self, scheme):
@@ -119,7 +119,7 @@ class TestExponentialScheme:
         tuples = [h.digest_of_bytes(f"t{i}".encode()) for i in range(10)]
         node_digest = h.combine(tuples)
         new_tuple = h.digest_of_bytes(b"t-new")
-        assert h.fold(node_digest, new_tuple) == h.combine(tuples + [new_tuple])
+        assert h.fold(node_digest, new_tuple) == h.combine([*tuples, new_tuple])
 
     def test_reference_pow_path_agrees(self):
         fast = ExponentialCommutativeHash(use_builtin_pow=True)

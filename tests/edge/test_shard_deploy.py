@@ -59,10 +59,10 @@ class TestShardedDeployment:
         merged = router.range_query("items", low=5, high=1002)
         assert merged.verified
         assert len(merged.parts) == SHARDS
-        assert merged.keys == list(range(5, 64)) + [1001, 1002]
+        assert merged.keys == [*range(5, 64), 1001, 1002]
         # Each sub-result verified against its own shard's keys, served
         # by an edge of that shard.
-        for shard_id, part in zip(merged.shards, merged.parts):
+        for shard_id, part in zip(merged.shards, merged.parts, strict=True):
             assert part.edge.startswith(f"edge-s{shard_id}-")
 
         snap = router.snapshot()

@@ -2,8 +2,9 @@
 
 Tier-1 twin of the CI lint step: every frame class and wire tag in
 ``repro.edge.transport`` must be documented in
-``docs/ARCHITECTURE.md``, and the checker itself must be able to fail
-(a gate that cannot fail gates nothing).
+``docs/ARCHITECTURE.md``, every fabriclint ``rule_id`` must have its
+ARCHITECTURE.md section 7 table row (and vice versa), and the checker
+itself must be able to fail (a gate that cannot fail gates nothing).
 """
 
 import importlib.util
@@ -20,6 +21,14 @@ def _load_checker():
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _empty_rules(tmp_path):
+    """A fabriclint rules file registering no rules — lets the frame
+    and fault-hook tests isolate their own drift axis."""
+    fake_rules = tmp_path / "rules.py"
+    fake_rules.write_text("")
+    return str(fake_rules)
 
 
 def test_every_frame_is_documented():
@@ -39,8 +48,9 @@ def test_checker_can_fail(tmp_path):
         "_FRAME_PHANTOM = 99\n"
     )
     fake_doc = tmp_path / "ARCHITECTURE.md"
+    fake_rules = _empty_rules(tmp_path)
     fake_doc.write_text("DocumentedFrame\n\n| 0 | DocumentedFrame |\n")
-    problems = checker.check(str(fake_transport), str(fake_doc))
+    problems = checker.check(str(fake_transport), str(fake_doc), fake_rules)
     assert any("PhantomFrame" in p for p in problems)
     assert any("99" in p for p in problems)
 
@@ -48,7 +58,7 @@ def test_checker_can_fail(tmp_path):
         "DocumentedFrame PhantomFrame\n\n"
         "| 0 | DocumentedFrame |\n| 99 | PhantomFrame |\n"
     )
-    assert checker.check(str(fake_transport), str(fake_doc)) == []
+    assert checker.check(str(fake_transport), str(fake_doc), fake_rules) == []
 
 
 def test_fault_hook_table_gated(tmp_path):
@@ -66,11 +76,12 @@ def test_fault_hook_table_gated(tmp_path):
         "        pass\n"
     )
     fake_doc = tmp_path / "ARCHITECTURE.md"
+    fake_rules = _empty_rules(tmp_path)
     fake_doc.write_text(
         "DocumentedFrame\n\n| 0 | DocumentedFrame |\n\n"
         "| `partitioned` | link down |\n"
     )
-    problems = checker.check(str(fake_transport), str(fake_doc))
+    problems = checker.check(str(fake_transport), str(fake_doc), fake_rules)
     assert any("vanish" in p for p in problems)
     assert not any("partitioned" in p for p in problems)
 
@@ -78,7 +89,52 @@ def test_fault_hook_table_gated(tmp_path):
         "DocumentedFrame\n\n| 0 | DocumentedFrame |\n\n"
         "| `partitioned` | link down |\n| `vanish` | gone |\n"
     )
-    assert checker.check(str(fake_transport), str(fake_doc)) == []
+    assert checker.check(str(fake_transport), str(fake_doc), fake_rules) == []
+
+
+def test_fabriclint_rule_table_gated(tmp_path):
+    """Both drift directions are reported: a registered rule without a
+    table row, and a table row naming an unregistered rule."""
+    checker = _load_checker()
+    fake_transport = tmp_path / "transport.py"
+    fake_transport.write_text(
+        "class DocumentedFrame:\n    pass\n\n_FRAME_DOCUMENTED = 0\n"
+    )
+    fake_rules = tmp_path / "rules.py"
+    fake_rules.write_text(
+        "class A:\n    rule_id = \"FL001\"\n\n"
+        "class B:\n    rule_id = \"FL999\"\n"
+    )
+    fake_doc = tmp_path / "ARCHITECTURE.md"
+    fake_doc.write_text(
+        "DocumentedFrame\n\n| 0 | DocumentedFrame |\n\n"
+        "| `FL001` | documented |\n| `FL777` | ghost rule |\n"
+    )
+    problems = checker.check(
+        str(fake_transport), str(fake_doc), str(fake_rules)
+    )
+    assert any("FL999" in p for p in problems)  # enforced, undocumented
+    assert any("FL777" in p for p in problems)  # documented, dead
+    assert not any("FL001" in p for p in problems)
+
+    fake_doc.write_text(
+        "DocumentedFrame\n\n| 0 | DocumentedFrame |\n\n"
+        "| `FL001` | documented |\n| `FL999` | documented |\n"
+    )
+    assert checker.check(
+        str(fake_transport), str(fake_doc), str(fake_rules)
+    ) == []
+
+
+def test_rule_ids_extracted_from_real_catalog():
+    """The extractor sees the live fabriclint registry (the gate is
+    wired to the real rules file, not a stale list)."""
+    checker = _load_checker()
+    with open(
+        os.path.join(ROOT, "tools", "fabriclint", "rules.py")
+    ) as fh:
+        ids = checker.fabriclint_rule_ids(fh.read())
+    assert ids == ["FL001", "FL002", "FL003", "FL004", "FL005"]
 
 
 def test_fault_fields_extracted_from_real_transport():

@@ -9,8 +9,13 @@ name) in the document, and every frame *tag* assigned there
 holds for the fault-hook table: every :class:`FaultInjector` field
 must have a row ``| `field` | ...`` so the documented chaos surface
 (DESIGN.md section 14) cannot drift from the injectable faults the
-battery actually composes.  Adding a frame type or a fault hook
-without documenting it fails CI's lint job — and the tier-1 suite
+battery actually composes.  Likewise the fabriclint rule table
+(ARCHITECTURE.md section 7): every ``rule_id`` registered in
+``tools/fabriclint/rules.py`` must have a row ``| `FLnnn` | ...``,
+and every row must name a registered rule — the documented invariant
+catalog and the enforced one stay the same catalog.  Adding a frame
+type, a fault hook, or a lint rule without documenting it fails CI's
+lint job — and the tier-1 suite
 (``tests/test_docs_consistency.py``), so the gap is caught before the
 push.
 
@@ -29,6 +34,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 ROOT = os.path.dirname(HERE)
 TRANSPORT = os.path.join(ROOT, "src", "repro", "edge", "transport.py")
 ARCHITECTURE = os.path.join(ROOT, "docs", "ARCHITECTURE.md")
+FABRICLINT_RULES = os.path.join(HERE, "fabriclint", "rules.py")
 
 
 def frame_classes(source: str) -> list[str]:
@@ -68,8 +74,22 @@ def fault_fields(source: str) -> list[str]:
     )
 
 
+def fabriclint_rule_ids(source: str) -> list[str]:
+    """Every ``rule_id = "FLnnn"`` registered in fabriclint's catalog
+    (class-body assignments in ``tools/fabriclint/rules.py``)."""
+    return re.findall(
+        r'^    rule_id = "(FL\d+)"', source, flags=re.MULTILINE
+    )
+
+
+def fabriclint_table_rows(doc: str) -> list[str]:
+    """Rule ids carrying a table row ``| `FLnnn` | ...`` in the doc."""
+    return re.findall(r"^\| `(FL\d+)` \|", doc, flags=re.MULTILINE)
+
+
 def check(transport_path: str = TRANSPORT,
-          architecture_path: str = ARCHITECTURE) -> list[str]:
+          architecture_path: str = ARCHITECTURE,
+          rules_path: str = FABRICLINT_RULES) -> list[str]:
     """Return a list of human-readable problems (empty = consistent)."""
     problems: list[str] = []
     try:
@@ -114,6 +134,31 @@ def check(transport_path: str = TRANSPORT,
                 "fault-hook table row '| `" + field + "` | ...' in "
                 "docs/ARCHITECTURE.md"
             )
+
+    # The fabriclint rule table (ARCHITECTURE.md section 7) must match
+    # the registered rules in both directions: an enforced-but-
+    # undocumented rule and a documented-but-dead rule are both drift.
+    try:
+        with open(rules_path) as fh:
+            rules_source = fh.read()
+    except OSError as exc:
+        problems.append(f"cannot read fabriclint rules: {exc}")
+        return problems
+    rule_ids = fabriclint_rule_ids(rules_source)
+    rows = fabriclint_table_rows(doc)
+    for rule_id in rule_ids:
+        if rule_id not in rows:
+            problems.append(
+                f"fabriclint rule {rule_id} (fabriclint/rules.py) has no "
+                "table row '| `" + rule_id + "` | ...' in "
+                "docs/ARCHITECTURE.md"
+            )
+    for rule_id in rows:
+        if rule_id not in rule_ids:
+            problems.append(
+                f"docs/ARCHITECTURE.md documents fabriclint rule {rule_id} "
+                "but no such rule_id is registered in fabriclint/rules.py"
+            )
     return problems
 
 
@@ -128,8 +173,8 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    print("docs-consistency check passed: every transport frame is "
-          "documented in docs/ARCHITECTURE.md")
+    print("docs-consistency check passed: every transport frame and "
+          "fabriclint rule is documented in docs/ARCHITECTURE.md")
     return 0
 
 

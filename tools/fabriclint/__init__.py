@@ -1,0 +1,34 @@
+"""fabriclint — AST invariant checker for the edge fabric's disciplines.
+
+The paper's guarantee (clients verify edge answers against the owner's
+signature, so edges and relays need no trust) only holds while the code
+keeps a handful of disciplines that no unit test can see from the
+outside: the private-key API must stay unreachable from untrusted
+modules, swallowed exceptions must stay visible to telemetry,
+chaos/bench paths must stay deterministic, the reactor must never
+block, and replication cursors must only move through the monotonic
+helpers.  ``fabriclint`` turns each of those reviewer-head invariants
+into a machine-checked rule over the stdlib ``ast`` (no dependencies —
+same precedent as ``tools/check_docs.py``).
+
+Layout:
+
+- :mod:`fabriclint.engine` — findings, suppressions, baseline,
+  file walking, the runner.
+- :mod:`fabriclint.rules` — the rule catalog (FL001..), each with
+  embedded known-bad/known-good sources so ``--self-test`` can prove
+  the rule is live.
+- ``run.py`` — the CLI (``python tools/fabriclint/run.py src tools
+  benchmarks``).
+
+DESIGN.md section 15 is the prose catalog: what each rule enforces and
+which PR's security argument it protects.  ``docs/ARCHITECTURE.md``
+carries the one-row-per-rule table, kept honest by
+``tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["__version__"]
+
+__version__ = "1.0"

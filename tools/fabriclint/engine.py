@@ -1,0 +1,288 @@
+"""fabriclint engine: findings, suppressions, baseline, runner.
+
+The engine is rule-agnostic.  It walks ``*.py`` files under the given
+paths, parses each once, hands every applicable rule a
+:class:`FileContext`, and post-filters the findings through two
+escape hatches:
+
+- **Suppressions** — a ``# fabriclint: disable=FL001`` comment on the
+  flagged line (or alone on the line directly above it) silences that
+  rule there.  ``disable=all`` silences every rule.  Suppressions are
+  for the rare spot where the discipline is deliberately bent and the
+  bend is worth a comment; they show up in ``--stats`` so they cannot
+  accumulate silently.
+- **Baseline** — a committed file of grandfathered finding keys
+  (``RULE:path:line``).  A baselined finding is reported but does not
+  fail the run; a *stale* baseline entry (no longer found) is printed
+  so the file shrinks as debt is paid.  The shipped baseline is empty:
+  ISSUE 10 fixed the violations instead of grandfathering them.
+
+Finding keys are stable across machines (paths are root-relative,
+POSIX separators), so the baseline and CI output diff cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "Suppressions",
+    "collect_files",
+    "load_baseline",
+    "run_paths",
+    "run_source",
+    "RunResult",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # root-relative, POSIX separators
+    line: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Stable identity used by the baseline and CI output."""
+        return f"{self.rule}:{self.path}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.key}: {self.message}"
+
+
+_DIRECTIVE = re.compile(r"#\s*fabriclint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class Suppressions:
+    """Per-file ``# fabriclint: disable=...`` directives.
+
+    A directive that shares its line with code applies to that line; a
+    directive on a comment-only line applies to the next line (the
+    statement it annotates).  Rule lists are comma-separated;
+    ``all`` matches every rule.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            rules = {
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            # A trailing directive covers its own line; a comment-only
+            # directive covers the statement below it.  Multi-line
+            # statements report the node's *first* line, so that is
+            # the line to annotate.
+            code_before = text[: match.start()].strip()
+            target = lineno if code_before else lineno + 1
+            self._by_line.setdefault(target, set()).update(rules)
+
+    def covers(self, rule: str, line: int) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return "ALL" in rules or rule.upper() in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    relpath: str  # root-relative, POSIX separators
+    source: str
+    tree: ast.AST
+    suppressions: Suppressions = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.suppressions = Suppressions(self.source)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.rule_id,
+            path=self.relpath,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for fabriclint rules.
+
+    Subclasses set ``rule_id`` / ``title`` / ``rationale`` and
+    implement :meth:`applies_to` + :meth:`check`.  Each rule also
+    embeds ``self_test_bad`` / ``self_test_good`` — ``(virtual_path,
+    source)`` pairs proving the rule fires and stays quiet — consumed
+    by ``run.py --self-test`` and the fixture tests.
+    """
+
+    rule_id: str = "FL000"
+    title: str = ""
+    rationale: str = ""
+    # (virtual relpath, source) pairs for --self-test.
+    self_test_bad: tuple[str, str] = ("", "")
+    self_test_good: tuple[str, str] = ("", "")
+
+    def applies_to(self, relpath: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def path_endswith(relpath: str, suffixes: Sequence[str]) -> bool:
+    """True when ``relpath`` ends with any suffix on a path boundary.
+
+    ``repro/edge/relay.py`` matches suffix ``edge/relay.py`` but a file
+    ``my_edge/relay.py`` does not — the match must start at a
+    separator (or the path start).
+    """
+    for suffix in suffixes:
+        if relpath == suffix or relpath.endswith("/" + suffix):
+            return True
+    return False
+
+
+def path_in_dirs(relpath: str, dir_suffixes: Sequence[str]) -> bool:
+    """True when some directory prefix of ``relpath`` matches.
+
+    ``dir_suffixes`` entries look like ``repro/edge/`` and match both
+    ``src/repro/edge/x.py`` and ``repro/edge/x.py`` (fixture trees
+    omit the ``src/`` level).
+    """
+    padded = "/" + relpath
+    return any("/" + d in padded for d in dir_suffixes)
+
+
+def collect_files(root: str, paths: Sequence[str]) -> list[str]:
+    """Root-relative POSIX paths of every ``*.py`` under ``paths``.
+
+    ``paths`` may name files or directories (relative to ``root``).
+    Hidden directories and ``__pycache__`` are skipped.  Order is
+    sorted, so runs are reproducible.
+    """
+    found: set[str] = set()
+    for path in paths:
+        absolute = os.path.join(root, path)
+        if os.path.isfile(absolute) and absolute.endswith(".py"):
+            found.add(os.path.relpath(absolute, root).replace(os.sep, "/"))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = [
+                d
+                for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            ]
+            for name in filenames:
+                if name.endswith(".py"):
+                    full = os.path.join(dirpath, name)
+                    found.add(os.path.relpath(full, root).replace(os.sep, "/"))
+    return sorted(found)
+
+
+def load_baseline(path: str) -> set[str]:
+    """Finding keys grandfathered by the committed baseline file."""
+    keys: set[str] = set()
+    if not os.path.exists(path):
+        return keys
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                keys.add(line)
+    return keys
+
+
+@dataclass
+class RunResult:
+    """Outcome of one lint run, pre-split by the escape hatches."""
+
+    findings: list[Finding]  # actionable: not baselined, not suppressed
+    baselined: list[Finding]
+    suppressed: list[Finding]
+    stale_baseline: list[str]  # baseline keys that no longer fire
+    parse_errors: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def run_source(
+    rules: Iterable[Rule], relpath: str, source: str
+) -> list[Finding]:
+    """Run ``rules`` over one in-memory file; suppressions honored,
+    no baseline.  This is the primitive the self-test and the fixture
+    tests drive."""
+    tree = ast.parse(source)
+    ctx = FileContext(relpath=relpath, source=source, tree=tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for item in rule.check(ctx):
+            if not ctx.suppressions.covers(item.rule, item.line):
+                findings.append(item)
+    return findings
+
+
+def run_paths(
+    rules: Iterable[Rule],
+    root: str,
+    paths: Sequence[str],
+    baseline: set[str] | None = None,
+) -> RunResult:
+    """Run ``rules`` over every ``*.py`` under ``paths``."""
+    baseline = baseline or set()
+    rules = list(rules)
+    findings: list[Finding] = []
+    baselined: list[Finding] = []
+    suppressed: list[Finding] = []
+    parse_errors: list[str] = []
+    seen_keys: set[str] = set()
+    for relpath in collect_files(root, paths):
+        applicable = [r for r in rules if r.applies_to(relpath)]
+        if not applicable:
+            continue
+        try:
+            with open(os.path.join(root, relpath)) as fh:
+                source = fh.read()
+            tree = ast.parse(source, filename=relpath)
+        except (OSError, SyntaxError) as exc:
+            parse_errors.append(f"{relpath}: {exc}")
+            continue
+        ctx = FileContext(relpath=relpath, source=source, tree=tree)
+        for rule in applicable:
+            for item in rule.check(ctx):
+                if ctx.suppressions.covers(item.rule, item.line):
+                    suppressed.append(item)
+                elif item.key in baseline:
+                    baselined.append(item)
+                    seen_keys.add(item.key)
+                else:
+                    findings.append(item)
+    stale = sorted(baseline - seen_keys)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return RunResult(
+        findings=findings,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        parse_errors=parse_errors,
+    )

@@ -1,0 +1,207 @@
+"""fabriclint CLI — machine-enforce the fabric's code disciplines.
+
+Usage::
+
+    python tools/fabriclint/run.py src tools benchmarks   # the CI gate
+    python tools/fabriclint/run.py --list-rules           # rule catalog
+    python tools/fabriclint/run.py --self-test            # prove rules fire
+    python tools/fabriclint/run.py --write-baseline src   # grandfather debt
+
+Exit codes:
+
+- ``0`` — no non-baselined findings (the gate passes).
+- ``1`` — findings (or, under ``--self-test``, the *expected* outcome:
+  every rule demonstrably produced a finding on its known-bad source,
+  i.e. the gate can fail.  CI asserts exit code 1 exactly).
+- ``2`` — the tool itself is broken: unparseable input, or a
+  ``--self-test`` rule that failed to fire / fired on known-good
+  source / ignored a suppression (a dead rule).
+
+Findings are keyed ``RULE:path:line`` with root-relative POSIX paths,
+so output, suppressions, and the committed baseline
+(``tools/fabriclint/baseline.txt``) diff cleanly across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TOOLS = os.path.dirname(HERE)
+ROOT = os.path.dirname(TOOLS)
+
+if TOOLS not in sys.path:
+    sys.path.insert(0, TOOLS)
+
+from fabriclint.engine import (  # noqa: E402 - sys.path bootstrap above
+    load_baseline,
+    run_paths,
+    run_source,
+)
+from fabriclint.rules import all_rules  # noqa: E402
+
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+DEFAULT_BASELINE = os.path.join(HERE, "baseline.txt")
+
+
+def self_test() -> int:
+    """Prove every registered rule is live (used by CI).
+
+    For each rule: the known-bad source must produce at least one
+    finding carrying the rule's own id; the known-good source must be
+    clean; a ``disable=<rule>`` suppression on the first bad finding's
+    line must silence it.  When all of that holds the self-test
+    *passes* — and exits ``1``, because the passing outcome is a
+    demonstration of the failing path (a gate that cannot fail gates
+    nothing).  A dead or trigger-happy rule exits ``2``.
+    """
+    rules = all_rules()
+    broken: list[str] = []
+    for rule in rules:
+        bad_path, bad_src = rule.self_test_bad
+        good_path, good_src = rule.self_test_good
+        bad = run_source([rule], bad_path, bad_src)
+        if not bad or any(f.rule != rule.rule_id for f in bad):
+            broken.append(
+                f"{rule.rule_id}: known-bad source produced "
+                f"{[f.key for f in bad]} (expected >=1 {rule.rule_id} finding)"
+            )
+            continue
+        good = run_source([rule], good_path, good_src)
+        if good:
+            broken.append(
+                f"{rule.rule_id}: known-good source produced "
+                f"{[f.key for f in good]} (expected none)"
+            )
+            continue
+        # A suppression on the first finding's line must silence it.
+        lines = bad_src.splitlines()
+        target = bad[0].line - 1
+        lines[target] += f"  # fabriclint: disable={rule.rule_id}"
+        still = [
+            f
+            for f in run_source([rule], bad_path, "\n".join(lines) + "\n")
+            if f.line == bad[0].line
+        ]
+        if still:
+            broken.append(
+                f"{rule.rule_id}: suppression comment did not silence "
+                f"{still[0].key}"
+            )
+            continue
+        print(
+            f"self-test {rule.rule_id}: fires on known-bad "
+            f"({len(bad)} finding(s)), quiet on known-good, suppressible"
+        )
+    if broken:
+        for problem in broken:
+            print(f"SELF-TEST BROKEN: {problem}", file=sys.stderr)
+        print(
+            "\nfabriclint self-test found dead rules — the gate is "
+            "vacuous.  Fix the rules before trusting a green run.",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"\nself-test passed: all {len(rules)} rules can fail "
+        "(exiting 1 to demonstrate the failing path — CI asserts this)"
+    )
+    return 1
+
+
+def list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  {rule.title}")
+        print(f"       {rule.rationale}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fabriclint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=[],
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root", default=ROOT,
+        help="repository root paths are resolved against (default: the "
+        "checkout containing this tool; tests point it at fixture trees)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered RULE:path:line keys",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline (report everything as actionable)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="prove every rule can fail (exits 1 on success by design)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.list_rules:
+        return list_rules()
+
+    paths = args.paths or list(DEFAULT_PATHS)
+    baseline = (
+        set() if args.no_baseline else load_baseline(args.baseline)
+    )
+    result = run_paths(all_rules(), args.root, paths, baseline=baseline)
+
+    for error in result.parse_errors:
+        print(f"PARSE ERROR: {error}", file=sys.stderr)
+    for item in result.findings:
+        print(item.render())
+
+    if args.write_baseline:
+        keys = sorted(
+            f.key for f in result.findings + result.baselined
+        )
+        with open(args.baseline, "w") as fh:
+            fh.write(
+                "# fabriclint baseline: grandfathered findings "
+                "(RULE:path:line).\n"
+                "# Shrink this file; never grow it without a review.\n"
+            )
+            for key in keys:
+                fh.write(key + "\n")
+        print(f"baseline rewritten: {len(keys)} key(s) -> {args.baseline}")
+        return 0
+
+    summary = (
+        f"fabriclint: {len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    if result.stale_baseline:
+        print(
+            "stale baseline entries (fixed — remove them from "
+            f"{os.path.relpath(args.baseline, args.root)}):",
+        )
+        for key in result.stale_baseline:
+            print(f"  {key}")
+    if result.parse_errors:
+        print(summary + f", {len(result.parse_errors)} parse error(s)")
+        return 2
+    print(summary)
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
